@@ -1,0 +1,113 @@
+package interopdb
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// hash-join entity resolution and the type-informed reasoning.
+
+import (
+	"testing"
+
+	"interopdb/internal/core"
+	"interopdb/internal/expr"
+	"interopdb/internal/logic"
+	"interopdb/internal/object"
+	"interopdb/internal/tm"
+	"interopdb/internal/workload"
+)
+
+// BenchmarkAblation_EntityResolution quantifies the hash join: with it,
+// entity resolution is O(n); the nested-loop fallback is O(n²).
+func BenchmarkAblation_EntityResolution(b *testing.B) {
+	p := workload.DefaultParams()
+	p.LocalBooks, p.RemoteBooks = 800, 800
+	local, remote := workload.Bibliographic(p)
+	for _, disable := range []bool{false, true} {
+		name := "hashJoin"
+		if disable {
+			name = "nestedLoop"
+		}
+		b.Run(name, func(b *testing.B) {
+			spec := core.MustCompile(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1Integration())
+			spec.DisableHashJoin = disable
+			conf, err := core.Conform(spec, local, remote)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Merge(conf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestAblationNestedLoopSameAnswer: the ablation toggle must not change
+// the result, only the cost.
+func TestAblationNestedLoopSameAnswer(t *testing.T) {
+	p := workload.DefaultParams()
+	p.LocalBooks, p.RemoteBooks = 150, 150
+	render := func(disable bool) int {
+		local, remote := workload.Bibliographic(p)
+		spec := core.MustCompile(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1Integration())
+		spec.DisableHashJoin = disable
+		conf, err := core.Conform(spec, local, remote)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := core.Merge(conf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := 0
+		for _, g := range v.Objects {
+			if g.Merged() {
+				merged++
+			}
+		}
+		return merged
+	}
+	if a, b := render(false), render(true); a != b {
+		t.Fatalf("hash join changed the merge result: %d vs %d", a, b)
+	}
+}
+
+// BenchmarkAblation_TypedReasoning quantifies the type-informed theory:
+// range bounds and integrality let the checker decide queries that are
+// Unknown without them.
+func BenchmarkAblation_TypedReasoning(b *testing.B) {
+	types := map[string]object.Type{"rating": object.RangeType{Lo: 1, Hi: 10}}
+	prem := []expr.Node{expr.MustParse("rating > 2"), expr.MustParse("rating < 4")}
+	conc := expr.MustParse("rating = 3")
+	b.Run("typed", func(b *testing.B) {
+		c := &logic.Checker{Types: types}
+		for i := 0; i < b.N; i++ {
+			if c.Entails(prem, conc) != logic.Yes {
+				b.Fatal("typed reasoning should prove integer pinning")
+			}
+		}
+	})
+	b.Run("untyped", func(b *testing.B) {
+		c := &logic.Checker{}
+		for i := 0; i < b.N; i++ {
+			if c.Entails(prem, conc) == logic.Yes {
+				b.Fatal("untyped reasoning cannot prove integer pinning")
+			}
+		}
+	})
+}
+
+// TestAblationTypedReasoningPrecision demonstrates the precision gap the
+// bench relies on.
+func TestAblationTypedReasoningPrecision(t *testing.T) {
+	prem := []expr.Node{expr.MustParse("rating > 2"), expr.MustParse("rating < 4")}
+	conc := expr.MustParse("rating = 3")
+	typed := &logic.Checker{Types: map[string]object.Type{"rating": object.RangeType{Lo: 1, Hi: 10}}}
+	untyped := &logic.Checker{}
+	if got := typed.Entails(prem, conc); got != logic.Yes {
+		t.Errorf("typed: %v", got)
+	}
+	if got := untyped.Entails(prem, conc); got == logic.Yes {
+		t.Errorf("untyped should not prove integer pinning: %v", got)
+	}
+}

@@ -1,0 +1,126 @@
+// Command interopbench runs the full reproduction suite: the E1–E11
+// scenario reproductions (every worked example and figure of the paper)
+// and the B1–B6 measurements (query optimisation, transaction validation,
+// scale sweeps, derivation cost, baseline comparison, conflict
+// detection). Its output is the source of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	interopbench            # everything
+//	interopbench -only E    # scenario reproductions only
+//	interopbench -only B    # measurements only
+//	interopbench -quick     # smaller B-series sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"interopdb/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run only E or B series")
+	quick := flag.Bool("quick", false, "smaller measurement sweeps")
+	flag.Parse()
+
+	failed := false
+	if *only == "" || strings.EqualFold(*only, "E") {
+		fmt.Println("==================== E-series: scenario reproductions ====================")
+		results, err := experiments.All()
+		exitOn(err)
+		for _, r := range results {
+			fmt.Print(r)
+			if !r.Passed() {
+				failed = true
+			}
+		}
+	}
+
+	if *only == "" || strings.EqualFold(*only, "B") {
+		fmt.Println("==================== B-series: measurements ====================")
+		runB(*quick)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func runB(quick bool) {
+	books := 2000
+	sizes := []int{1000, 5000, 20000}
+	counts := []int{4, 16, 64, 256}
+	if quick {
+		books = 500
+		sizes = []int{500, 2000}
+		counts = []int{4, 16, 64}
+	}
+
+	fmt.Printf("\nB1: query optimisation (%d+%d books)\n", books, books)
+	rows, err := experiments.B1(books)
+	exitOn(err)
+	for _, r := range rows {
+		speedup := "-"
+		if r.OptScanned < r.BaseScanned {
+			speedup = fmt.Sprintf("%.0fx fewer objects", float64(r.BaseScanned)/float64(max(1, r.OptScanned)))
+		}
+		fmt.Printf("  %-62s opt: %6d scanned %10v | base: %6d scanned %10v | pruned=%-5v %s\n",
+			r.Query, r.OptScanned, r.OptTime, r.BaseScanned, r.BaseTime, r.Pruned, speedup)
+	}
+
+	fmt.Println("\nB2: transaction validation (rejected before shipping)")
+	b2, err := experiments.B2(200, []float64{0, 0.25, 0.5, 0.75})
+	exitOn(err)
+	for _, r := range b2 {
+		fmt.Printf("  violation rate %.2f: %3d/%3d rejected early, %d reached the local manager and were rejected there\n",
+			r.ViolationRate, r.RejectedEarly, r.Attempts, r.LocalRejects)
+	}
+
+	fmt.Println("\nB3: integration scale sweep")
+	b3, err := experiments.B3(sizes, []float64{0.1, 0.5, 0.9})
+	exitOn(err)
+	for _, r := range b3 {
+		fmt.Printf("  books=%6d overlap=%.1f: %6d global objects (%6d merged) in %v\n",
+			r.Books, r.Overlap, r.Objects, r.Merged, r.Duration)
+	}
+
+	fmt.Println("\nB4: derivation cost vs constraint count")
+	b4, err := experiments.B4(counts)
+	exitOn(err)
+	for _, r := range b4 {
+		fmt.Printf("  %4d component constraints → %4d derived global constraints in %v\n",
+			r.Constraints, r.Derived, r.Duration)
+	}
+
+	fmt.Println("\nB5: baseline comparison")
+	b5, err := experiments.B5()
+	exitOn(err)
+	fmt.Printf("  class-based [BLN86-style] classification: precision %.2f, recall %.2f (instance-based = 1.00/1.00 by construction)\n",
+		b5.ClassBasedPrecision, b5.ClassBasedRecall)
+	fmt.Printf("  union-all [AQF95/RPG95-style] constraints: %d/%d valid merged states falsely rejected (derived constraints: 0)\n",
+		b5.UnionAllFalseRej, b5.UnionAllTotal)
+
+	fmt.Println("\nB6: conflict detection under injected weakenings")
+	b6, err := experiments.B6()
+	exitOn(err)
+	for _, r := range b6 {
+		fmt.Printf("  %d weakened constraints → %2d conflicts, %2d repair suggestions\n",
+			r.WeakenedConstraints, r.Conflicts, r.Suggestions)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "interopbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,104 @@
+// Repair: the validation role of constraints (§5.2.1's strict-similarity
+// example) as an interactive-style walkthrough.
+//
+// The Bookseller's oc2 is weakened to "ref?=true implies rating >= 3".
+// Rule r3 then imports refereed proceedings into RefereedPubl although
+// they are no longer provably valid members (the conformed RefereedPubl
+// constraint demands rating >= 4). The engine detects the conflict and
+// proposes the paper's repairs; the program applies the strengthened rule
+// and shows the conflict disappear.
+//
+// Run:  go run ./examples/repair
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"interopdb"
+)
+
+func main() {
+	weakened := strings.Replace(interopdb.FigureOneBookseller,
+		"oc2: ref? = true implies rating >= 7",
+		"oc2: ref? = true implies rating >= 3", 1)
+	bs, err := interopdb.ParseDatabase(weakened)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib := interopdb.Figure1Library()
+	is := interopdb.Figure1Integration()
+
+	local := interopdb.NewStore(lib)
+	remote := interopdb.NewStore(bs)
+	seed(remote)
+
+	res, err := interopdb.Integrate(lib, bs, is, local, remote, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== conflicts under the weakened oc2 ==")
+	var fix string
+	for _, c := range res.Derivation.Conflicts {
+		if c.Kind != interopdb.ConflictStrictSim {
+			continue
+		}
+		fmt.Printf("  %s\n", c)
+		for _, s := range c.Suggestions {
+			fmt.Printf("    option[%s]: %s\n", s.Kind, s.Text)
+			if s.NewRuleSrc != "" {
+				fmt.Printf("      %s\n", s.NewRuleSrc)
+			}
+			if s.Kind == interopdb.SuggestStrengthenRule && strings.HasPrefix(s.NewRuleSrc, "rule r3:") && fix == "" {
+				fix = s.NewRuleSrc
+			}
+		}
+	}
+	if fix == "" {
+		log.Fatal("expected a strengthen-rule suggestion for r3")
+	}
+
+	fmt.Println("\n== applying the suggested repair ==")
+	fmt.Printf("  %s\n", fix)
+	repaired := strings.Replace(interopdb.FigureOneIntegration,
+		"rule r3: Sim(R:Proceedings, RefereedPubl) <= R.ref? = true",
+		fix, 1)
+	is2, err := interopdb.ParseIntegration(repaired)
+	if err != nil {
+		log.Fatal(err)
+	}
+	local2 := interopdb.NewStore(lib)
+	remote2 := interopdb.NewStore(bs)
+	seed(remote2)
+	res2, err := interopdb.Integrate(lib, bs, is2, local2, remote2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	remaining := 0
+	for _, c := range res2.Derivation.Conflicts {
+		if c.Kind == interopdb.ConflictStrictSim && strings.Contains(c.Where, "r3") {
+			remaining++
+			fmt.Printf("  still conflicting: %s\n", c)
+		}
+	}
+	if remaining == 0 {
+		fmt.Println("  r3 is conflict-free: imported objects now provably satisfy RefereedPubl's constraints")
+	}
+}
+
+// seed inserts a couple of bookseller objects so the run has instances.
+func seed(remote *interopdb.Store) {
+	remote.Enforce = false
+	defer func() { remote.Enforce = true }()
+	pub := remote.MustInsert("Publisher", map[string]interopdb.Value{
+		"name": interopdb.Str("Springer"), "location": interopdb.Str("Berlin"),
+	})
+	remote.MustInsert("Proceedings", map[string]interopdb.Value{
+		"title": interopdb.Str("Proceedings of CAiSE"), "isbn": interopdb.Str("caise96"),
+		"publisher": interopdb.Ref{DB: "Bookseller", OID: pub},
+		"shopprice": interopdb.Real(60), "libprice": interopdb.Real(55),
+		"ref?": interopdb.Bool(true), "rating": interopdb.Int(3),
+	})
+}

@@ -1,0 +1,104 @@
+package baseline
+
+import (
+	"testing"
+
+	"interopdb/internal/core"
+	"interopdb/internal/fixture"
+	"interopdb/internal/tm"
+	"interopdb/internal/workload"
+)
+
+func fig1Result(t testing.TB, opt fixture.Options) *core.Result {
+	local, remote := fixture.Figure1Stores(opt)
+	res, err := core.Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1Integration(), local, remote, 1)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	return res
+}
+
+// TestClassBasedOverassigns: the [BLN86]-style wholesale class
+// correspondence Proceedings≡RefereedPubl claims the non-refereed
+// workshop notes are refereed — instance-based rules do not.
+func TestClassBasedOverassigns(t *testing.T) {
+	res := fig1Result(t, fixture.Options{})
+	corrs := []ClassCorrespondence{
+		{LocalClass: "RefereedPubl", RemoteClass: "Proceedings"},
+		{LocalClass: "Publication", RemoteClass: "Item"},
+	}
+	cb := ClassBasedClassification(res, corrs)
+	q := CompareClassification(res, cb, []string{"RefereedPubl", "Publication"})
+	if q.Assignments == 0 {
+		t.Fatal("no assignments")
+	}
+	if q.Precision() >= 1 {
+		t.Errorf("class-based precision should be < 1 (workshop notes are not refereed): %+v", q)
+	}
+	if q.Correct == 0 {
+		t.Errorf("some assignments are correct: %+v", q)
+	}
+}
+
+// TestClassBasedPerfectWhenRulesAreClassWide: if every remote object of
+// the class genuinely belongs (ref?=true for all), class-based matches
+// instance-based.
+func TestClassBasedMatchesOnItems(t *testing.T) {
+	res := fig1Result(t, fixture.Options{})
+	// Every Item merges into... only vldb96 does; Items are not
+	// classified under Publication unless merged or similar. So the
+	// Publication≡Item correspondence over-assigns too.
+	cb := ClassBasedClassification(res, []ClassCorrespondence{{LocalClass: "Publication", RemoteClass: "Item"}})
+	q := CompareClassification(res, cb, []string{"Publication"})
+	if q.Precision() >= 1 {
+		t.Errorf("monograph must not be a Publication under instance rules: %+v", q)
+	}
+}
+
+// TestUnionAllFalseRejects: the naive all-objective union falsely rejects
+// valid merged states — the introduction's point. The merged employee's
+// trav_reimb 22 satisfies the derived {12,17,22} but violates both
+// locally-declared tariff sets.
+func TestUnionAllFalseRejects(t *testing.T) {
+	db1, db2 := workload.Personnel(workload.PersonnelParams{Seed: 3, DB1: 50, DB2: 50, Overlap: 0.5})
+	res, err := core.Integrate(tm.Personnel1(), tm.Personnel2(), tm.PersonnelIntegration(), db1, db2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, total := FalseRejects(res, "DB1.Employee")
+	if total == 0 {
+		t.Fatal("no employees examined")
+	}
+	if fr == 0 {
+		t.Errorf("union-all should falsely reject merged employees with averaged tariffs (total %d)", total)
+	}
+	t.Logf("union-all false rejects: %d/%d", fr, total)
+}
+
+// TestDerivedAcceptsAllMergedStates: sanity — every state produced by the
+// merge satisfies the derived scope-appropriate constraints (soundness of
+// the paper's derivation on this workload).
+func TestDerivedAcceptsAllMergedStates(t *testing.T) {
+	db1, db2 := workload.Personnel(workload.PersonnelParams{Seed: 4, DB1: 80, DB2: 80, Overlap: 0.4})
+	res, err := core.Integrate(tm.Personnel1(), tm.Personnel2(), tm.PersonnelIntegration(), db1, db2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cls := range []string{"DB1.Employee", "DB2.Employee"} {
+		for _, g := range res.View.Extent(cls) {
+			env := res.View.Env(g)
+			for _, gc := range res.Derivation.GlobalFor(cls, core.ScopeAll, core.ScopeMerged) {
+				if gc.Scope == core.ScopeMerged && !g.Merged() {
+					continue
+				}
+				ok, err := env.EvalBool(gc.Expr)
+				if err != nil {
+					continue // key constraints etc. need extension context
+				}
+				if !ok {
+					t.Errorf("derived constraint %s violated by %s", gc.Expr, g)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,716 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"interopdb/internal/expr"
+	"interopdb/internal/object"
+	"interopdb/internal/schema"
+	"interopdb/internal/store"
+	"interopdb/internal/tm"
+)
+
+// CObj is a conformed object: a component object brought into the common
+// semantical context (attributes renamed and converted, object-value
+// conflicts settled), or a virtual object created from values.
+type CObj struct {
+	Src     object.Ref // provenance; for virtual objects a synthetic ref
+	Side    Side
+	Class   string
+	Attrs   map[string]object.Value
+	Virtual bool
+}
+
+// Get implements expr.Object.
+func (o *CObj) Get(attr string) (object.Value, bool) {
+	v, ok := o.Attrs[attr]
+	return v, ok
+}
+
+// Identity implements expr.Identifiable.
+func (o *CObj) Identity() object.Ref { return o.Src }
+
+// String renders the object for reports.
+func (o *CObj) String() string {
+	keys := make([]string, 0, len(o.Attrs))
+	for k := range o.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + o.Attrs[k].String()
+	}
+	return fmt.Sprintf("%s[%s](%s)", o.Class, o.Src, strings.Join(parts, ","))
+}
+
+// CCon is a conformed constraint: the original constraint re-expressed in
+// conformed terms (§4), carrying its objectivity status.
+type CCon struct {
+	Key     ConKey
+	Kind    schema.ConstraintKind
+	Side    Side
+	Class   string // conformed owning class ("" for database constraints)
+	Expr    expr.Node
+	Status  Status
+	Derived bool   // produced by §3 intraobject-condition derivation
+	Note    string // conformation notes (imperfect conversion etc.)
+	// Imperfect marks constraints whose conversion could not be carried
+	// through exactly; they are excluded from derivation and entailment.
+	Imperfect bool
+	// Hidden marks constraints hidden by object-to-value conformation
+	// (§4 subtask 1: hiding objects hides the constraints that involve
+	// properties not included in the complex values).
+	Hidden bool
+}
+
+// String renders the constraint.
+func (c CCon) String() string {
+	tag := c.Status.String()
+	if c.Derived {
+		tag += ",derived"
+	}
+	if c.Hidden {
+		tag += ",hidden"
+	}
+	where := c.Class
+	if where == "" {
+		where = "(database)"
+	}
+	return fmt.Sprintf("%s on %s [%s]: %s", c.Key, where, tag, c.Expr)
+}
+
+// Conformed is the output of the conformation phase.
+type Conformed struct {
+	Spec *Spec
+	// Conformed schemas per side (virtual classes added, attributes
+	// renamed and retyped).
+	LocalSchema, RemoteSchema *schema.Database
+	// Conformed objects by side and most-specific conformed class.
+	objs  map[Side]map[string][]*CObj
+	byRef map[object.Ref]*CObj
+	// Cons holds every conformed constraint of both sides.
+	Cons []CCon
+	// ImpliedEq are equality rules introduced by descriptivity
+	// conformation (virtual objects ↔ remote objects).
+	ImpliedEq []*EqRule
+	// VirtualClasses names classes created during conformation, per side.
+	VirtualClasses map[Side][]string
+	// Hidden marks classes removed from a side's view by object-to-value
+	// conformation; their extents are empty and their constraints hidden.
+	Hidden map[Side]map[string]bool
+	// Types maps conformed attribute paths to types, for the reasoner.
+	Types map[string]object.Type
+	// Consts merges both databases' named constants.
+	Consts  map[string]object.Value
+	virtSeq object.OID
+}
+
+// SchemaOf returns the conformed schema of a side.
+func (c *Conformed) SchemaOf(side Side) *schema.Database {
+	if side == LocalSide {
+		return c.LocalSchema
+	}
+	return c.RemoteSchema
+}
+
+// Objects returns the conformed direct instances of a class on a side.
+func (c *Conformed) Objects(side Side, class string) []*CObj {
+	return c.objs[side][class]
+}
+
+// Extent returns the conformed extension of a class (direct + subclass
+// instances).
+func (c *Conformed) Extent(side Side, class string) []*CObj {
+	db := c.SchemaOf(side)
+	var out []*CObj
+	for _, cn := range append([]string{class}, db.Subclasses(class)...) {
+		out = append(out, c.objs[side][cn]...)
+	}
+	return out
+}
+
+// AllObjects returns every conformed object of a side.
+func (c *Conformed) AllObjects(side Side) []*CObj {
+	var out []*CObj
+	db := c.SchemaOf(side)
+	for _, cls := range db.ClassNames() {
+		out = append(out, c.objs[side][cls]...)
+	}
+	return out
+}
+
+// Deref resolves a reference to its conformed object.
+func (c *Conformed) Deref(r object.Ref) (expr.Object, bool) {
+	o, ok := c.byRef[r]
+	return o, ok
+}
+
+// Env builds an evaluation environment over the conformed world with self
+// bound to the given object.
+func (c *Conformed) Env(self *CObj) *expr.Env {
+	env := &expr.Env{
+		Consts: c.Consts,
+		Deref:  func(r object.Ref) (expr.Object, bool) { return c.Deref(r) },
+	}
+	if self != nil {
+		attrs := map[string]bool{}
+		for _, a := range c.SchemaOf(self.Side).AllAttrs(self.Class) {
+			attrs[a.Name] = true
+		}
+		env.Vars = map[string]expr.Object{"self": self}
+		env.SelfAttrs = attrs
+		side := self.Side
+		env.Ext = func(class string) []expr.Object { return c.extObjects(side, class) }
+	}
+	return env
+}
+
+func (c *Conformed) extObjects(side Side, class string) []expr.Object {
+	ext := c.Extent(side, class)
+	out := make([]expr.Object, len(ext))
+	for i, o := range ext {
+		out[i] = o
+	}
+	return out
+}
+
+// ConsOn returns the conformed constraints of the given kind attached to
+// the class chain of the given class on a side (object constraints
+// inherit; class constraints do not).
+func (c *Conformed) ConsOn(side Side, class string, kind schema.ConstraintKind) []CCon {
+	db := c.SchemaOf(side)
+	var out []CCon
+	classes := []string{class}
+	if kind == schema.ObjectConstraint {
+		classes = db.Supers(class)
+	}
+	for _, con := range c.Cons {
+		if con.Side != side || con.Kind != kind || con.Hidden {
+			continue
+		}
+		for _, cn := range classes {
+			if con.Class == cn {
+				out = append(out, con)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Conform runs the conformation phase of §4: object-value conflicts are
+// settled by objectifying described values into virtual classes,
+// equivalent properties are renamed and converted into the common domain,
+// and every constraint is re-expressed in conformed terms.
+func Conform(spec *Spec, local, remote *store.Store) (*Conformed, error) {
+	if local.Name() != spec.Local.Schema.Name || remote.Name() != spec.Remote.Schema.Name {
+		return nil, fmt.Errorf("stores %s, %s do not match spec databases %s, %s",
+			local.Name(), remote.Name(), spec.Local.Schema.Name, spec.Remote.Schema.Name)
+	}
+	c := &Conformed{
+		Spec:           spec,
+		LocalSchema:    spec.Local.Schema.Clone(),
+		RemoteSchema:   spec.Remote.Schema.Clone(),
+		objs:           map[Side]map[string][]*CObj{LocalSide: {}, RemoteSide: {}},
+		byRef:          map[object.Ref]*CObj{},
+		VirtualClasses: map[Side][]string{},
+		Hidden:         map[Side]map[string]bool{LocalSide: {}, RemoteSide: {}},
+		Types:          map[string]object.Type{},
+		Consts:         map[string]object.Value{},
+		virtSeq:        1,
+	}
+	for k, v := range spec.Local.Consts {
+		c.Consts[k] = v
+	}
+	for k, v := range spec.Remote.Consts {
+		c.Consts[k] = v
+	}
+
+	// Descriptivity analysis first: which value attributes become object
+	// references (the paper's object view of object-value conflicts).
+	desc := map[Side]map[string]map[string]*DescRule{LocalSide: {}, RemoteSide: {}}
+	for _, dr := range spec.DescRules {
+		byClass := desc[dr.ValueSide]
+		if byClass[dr.ValueClass] == nil {
+			byClass[dr.ValueClass] = map[string]*DescRule{}
+		}
+		for _, a := range dr.ValueAttrs {
+			byClass[dr.ValueClass][a] = dr
+		}
+	}
+
+	if err := c.conformSchema(LocalSide, desc[LocalSide]); err != nil {
+		return nil, err
+	}
+	if err := c.conformSchema(RemoteSide, desc[RemoteSide]); err != nil {
+		return nil, err
+	}
+	c.applyValueViews()
+	if err := c.conformObjects(LocalSide, local, desc[LocalSide]); err != nil {
+		return nil, err
+	}
+	if err := c.conformObjects(RemoteSide, remote, desc[RemoteSide]); err != nil {
+		return nil, err
+	}
+	c.conformConstraints(LocalSide, desc[LocalSide])
+	c.conformConstraints(RemoteSide, desc[RemoteSide])
+	c.collectTypes()
+	return c, nil
+}
+
+// virtClassName names the virtual class objectifying values that describe
+// objects of the given class (VirtPublisher in the paper's example).
+func virtClassName(objectClass string) string { return "Virt" + objectClass }
+
+// conformedAttrName resolves the conformed name and conversion of an
+// attribute on a side (identity when no propeq covers it).
+func (c *Conformed) conformedAttrName(side Side, class, attr string) (string, ConvFunc) {
+	pe, ok := c.Spec.PropEqFor(side, class, attr)
+	if !ok {
+		return attr, idFunc{}
+	}
+	if side == LocalSide {
+		return pe.Conformed, pe.CF
+	}
+	return pe.Conformed, pe.CFRemote
+}
+
+// conformSchema applies attribute renames/retypes and creates virtual
+// classes on one side's cloned schema.
+func (c *Conformed) conformSchema(side Side, desc map[string]map[string]*DescRule) error {
+	db := c.SchemaOf(side)
+	// Virtual classes for descriptivity (objectify direction only; value
+	// views are applied in applyValueViews).
+	for class, attrs := range desc {
+		for _, dr := range attrs {
+			if dr.ValueView {
+				continue
+			}
+			vc := virtClassName(dr.ObjectClass)
+			if _, ok := db.Class(vc); ok {
+				continue
+			}
+			// The virtual class carries one attribute per described value
+			// attribute, under its conformed name.
+			nc := &schema.Class{Name: vc, Virtual: true}
+			for _, a := range dr.ValueAttrs {
+				orig, _, ok := c.Spec.DB(side).Schema.ResolveAttr(class, a)
+				if !ok {
+					return fmt.Errorf("descriptivity: no attribute %s.%s", class, a)
+				}
+				name, conv := c.conformedAttrName(side, class, a)
+				nc.Attrs = append(nc.Attrs, schema.Attribute{
+					Name: name, Type: conv.ApplyType(orig.Type.(object.Type)),
+				})
+			}
+			if err := db.AddClass(nc); err != nil {
+				return err
+			}
+			c.VirtualClasses[side] = append(c.VirtualClasses[side], vc)
+			// Implied equality rule between the virtual class and the
+			// described object class on the other side.
+			cond := c.rewriteDescCond(side, class, dr)
+			impl := &EqRule{
+				Raw: tm.Rule{Name: dr.Raw.Name + "$virt", Kind: tm.RuleEq, Src: dr.Raw.Src},
+			}
+			if side == LocalSide {
+				impl.LocalVar, impl.LocalClass = dr.ValueVar, vc
+				impl.RemoteVar, impl.RemoteClass = dr.ObjectVar, dr.ObjectClass
+			} else {
+				impl.LocalVar, impl.LocalClass = dr.ObjectVar, dr.ObjectClass
+				impl.RemoteVar, impl.RemoteClass = dr.ValueVar, vc
+			}
+			impl.Inter = splitConjuncts(cond)
+			c.ImpliedEq = append(c.ImpliedEq, impl)
+		}
+	}
+	// Attribute renames and retypes per propeq; objectified attributes
+	// become references to the virtual class instead, value-view
+	// described attributes keep their declared name and type.
+	for _, cls := range db.Classes() {
+		if cls.Virtual {
+			continue
+		}
+		for i, a := range cls.Attrs {
+			if byClass, ok := desc[clsOwning(c.Spec.DB(side).Schema, cls.Name, a.Name)]; ok {
+				if dr, ok := byClass[a.Name]; ok {
+					if !dr.ValueView {
+						cls.Attrs[i].Type = object.ClassType{Class: virtClassName(dr.ObjectClass)}
+					}
+					continue
+				}
+			}
+			name, conv := c.conformedAttrName(side, cls.Name, a.Name)
+			cls.Attrs[i].Name = name
+			cls.Attrs[i].Type = conv.ApplyType(a.Type.(object.Type))
+		}
+	}
+	return nil
+}
+
+// applyValueViews hides the object classes of value-view descriptivity
+// rules: reference attributes pointing at them become tuple-typed, and
+// the classes' extents and constraints are suppressed (§4 subtask 1).
+func (c *Conformed) applyValueViews() {
+	for _, dr := range c.Spec.DescRules {
+		if !dr.ValueView {
+			continue
+		}
+		objSide := dr.ValueSide.Other()
+		c.Hidden[objSide][dr.ObjectClass] = true
+		db := c.SchemaOf(objSide)
+		origDB := c.Spec.DB(objSide).Schema
+		fields := map[string]object.Type{}
+		for _, a := range origDB.AllAttrs(dr.ObjectClass) {
+			name, conv := c.conformedAttrName(objSide, dr.ObjectClass, a.Name)
+			fields[name] = conv.ApplyType(a.Type.(object.Type))
+		}
+		tt := object.TupleType{Fields: fields}
+		for _, cls := range db.Classes() {
+			for i, a := range cls.Attrs {
+				if ct, ok := a.Type.(object.ClassType); ok && ct.Class == dr.ObjectClass {
+					cls.Attrs[i].Type = tt
+				}
+			}
+		}
+	}
+}
+
+// clsOwning returns the class that declares the attribute (for desc map
+// lookups keyed by the declaring class).
+func clsOwning(db *schema.Database, class, attr string) string {
+	if _, owner, ok := db.ResolveAttr(class, attr); ok {
+		return owner
+	}
+	return class
+}
+
+// rewriteDescCond rewrites a descriptivity condition so that the value
+// variable reads the virtual object's conformed attributes:
+// O.publisher = R.name becomes O.name = R.name.
+func (c *Conformed) rewriteDescCond(side Side, class string, dr *DescRule) expr.Node {
+	attrSet := map[string]string{}
+	for _, a := range dr.ValueAttrs {
+		name, _ := c.conformedAttrName(side, class, a)
+		attrSet[a] = name
+	}
+	return expr.Rewrite(dr.Cond, func(n expr.Node) expr.Node {
+		p, ok := n.(expr.Path)
+		if !ok {
+			return nil
+		}
+		root, ok := p.Recv.(expr.Ident)
+		if !ok || root.Name != dr.ValueVar {
+			return nil
+		}
+		if nn, ok := attrSet[p.Attr]; ok {
+			return expr.Path{Recv: p.Recv, Attr: nn}
+		}
+		return nil
+	})
+}
+
+// conformObjects converts one side's store contents into conformed
+// objects, creating virtual objects for described values.
+func (c *Conformed) conformObjects(side Side, st *store.Store, desc map[string]map[string]*DescRule) error {
+	origDB := c.Spec.DB(side).Schema
+	// Virtual object dedup per virtual class: canonical key → ref.
+	virt := map[string]map[string]object.Ref{}
+
+	for _, clsName := range origDB.ClassNames() {
+		if c.Hidden[side][clsName] {
+			continue // value-view: the class's objects exist only as values
+		}
+		for _, o := range st.DirectExtent(clsName) {
+			co := &CObj{
+				Src:   object.Ref{DB: st.Name(), OID: o.OID()},
+				Side:  side,
+				Class: clsName,
+				Attrs: map[string]object.Value{},
+			}
+			for _, a := range origDB.AllAttrs(clsName) {
+				v, ok := o.Get(a.Name)
+				if !ok {
+					continue
+				}
+				owner := clsOwning(origDB, clsName, a.Name)
+				if byClass, ok := desc[owner]; ok {
+					if dr, ok := byClass[a.Name]; ok {
+						if dr.ValueView {
+							co.Attrs[a.Name] = v // value stays a value
+							continue
+						}
+						ref, err := c.virtualFor(side, clsName, dr, o, virt)
+						if err != nil {
+							return err
+						}
+						co.Attrs[a.Name] = ref
+						continue
+					}
+				}
+				// References to hidden classes inline as tuple values.
+				if ct, ok := a.Type.(object.ClassType); ok && c.Hidden[side][ct.Class] {
+					tup, err := c.hideRef(side, st, ct.Class, v)
+					if err != nil {
+						return fmt.Errorf("conforming %s.%s of %s: %w", clsName, a.Name, co.Src, err)
+					}
+					co.Attrs[a.Name] = tup
+					continue
+				}
+				name, conv := c.conformedAttrName(side, clsName, a.Name)
+				cv, err := conv.Apply(v)
+				if err != nil {
+					return fmt.Errorf("conforming %s.%s of %s: %w", clsName, a.Name, co.Src, err)
+				}
+				co.Attrs[name] = cv
+			}
+			c.objs[side][clsName] = append(c.objs[side][clsName], co)
+			c.byRef[co.Src] = co
+		}
+	}
+	return nil
+}
+
+// hideRef converts a reference to a hidden class into the complex value
+// describing the referenced object (conformed field names and values).
+func (c *Conformed) hideRef(side Side, st *store.Store, class string, v object.Value) (object.Value, error) {
+	ref, ok := v.(object.Ref)
+	if !ok {
+		if v.Kind() == object.KindNull {
+			return v, nil
+		}
+		return nil, fmt.Errorf("expected a reference to %s, got %s", class, v)
+	}
+	target, ok := st.Get(ref.OID)
+	if !ok {
+		return object.Null{}, nil
+	}
+	origDB := c.Spec.DB(side).Schema
+	fields := map[string]object.Value{}
+	for _, a := range origDB.AllAttrs(class) {
+		fv, ok := target.Get(a.Name)
+		if !ok {
+			continue
+		}
+		name, conv := c.conformedAttrName(side, class, a.Name)
+		cv, err := conv.Apply(fv)
+		if err != nil {
+			return nil, err
+		}
+		fields[name] = cv
+	}
+	return object.NewTuple(fields), nil
+}
+
+// virtualFor returns (creating on first use) the virtual object for the
+// described value tuple of the given object.
+func (c *Conformed) virtualFor(side Side, class string, dr *DescRule, o *store.Obj, virt map[string]map[string]object.Ref) (object.Ref, error) {
+	vc := virtClassName(dr.ObjectClass)
+	if virt[vc] == nil {
+		virt[vc] = map[string]object.Ref{}
+	}
+	attrs := map[string]object.Value{}
+	var keyParts []string
+	for _, a := range dr.ValueAttrs {
+		v, ok := o.Get(a)
+		if !ok {
+			v = object.Null{}
+		}
+		name, conv := c.conformedAttrName(side, class, a)
+		cv, err := conv.Apply(v)
+		if err != nil {
+			return object.Ref{}, err
+		}
+		attrs[name] = cv
+		keyParts = append(keyParts, fmt.Sprintf("%016x", object.Hash(cv)))
+	}
+	key := strings.Join(keyParts, "|")
+	if ref, ok := virt[vc][key]; ok {
+		return ref, nil
+	}
+	ref := object.Ref{DB: "virt:" + vc, OID: c.virtSeq}
+	c.virtSeq++
+	vo := &CObj{Src: ref, Side: side, Class: vc, Attrs: attrs, Virtual: true}
+	c.objs[side][vc] = append(c.objs[side][vc], vo)
+	c.byRef[ref] = vo
+	virt[vc][key] = ref
+	return ref, nil
+}
+
+// conformConstraints re-expresses every constraint of a side in conformed
+// terms: re-allocation to virtual classes, attribute substitution, domain
+// conversion of literals, and aggregate-over renames (§4 subtasks 1–4).
+func (c *Conformed) conformConstraints(side Side, desc map[string]map[string]*DescRule) {
+	db := c.Spec.DB(side).Schema
+	dbName := db.Name
+	for _, cls := range db.Classes() {
+		for _, k := range cls.Constraints {
+			key := ConKey{dbName, cls.Name, k.Name}
+			status := c.Spec.Status[key]
+			node := k.Expr.(expr.Node)
+
+			// §4 subtask 1, hiding direction: constraints of a class that
+			// was cast into values are hidden with it.
+			if c.Hidden[side][cls.Name] {
+				c.Cons = append(c.Cons, CCon{
+					Key: key, Kind: k.Kind, Side: side, Class: cls.Name,
+					Expr: node, Status: status, Hidden: true,
+					Note: "hidden: " + cls.Name + " was cast into values (value view)",
+				})
+				continue
+			}
+
+			// Re-allocation (§4 subtask 1): a constraint touching only
+			// described value attributes moves to the virtual class.
+			moved := false
+			if byClass, ok := desc[cls.Name]; ok && len(byClass) > 0 {
+				// Consider only genuine attributes of the class: named
+				// constants (KNOWNPUBLISHERS) are not attributes.
+				var used []string
+				for a := range expr.AttrsUsed(node) {
+					if _, _, ok := db.ResolveAttr(cls.Name, a); ok {
+						used = append(used, a)
+					}
+				}
+				allDesc := len(used) > 0
+				var dr *DescRule
+				for _, a := range used {
+					d, ok := byClass[a]
+					if !ok {
+						allDesc = false
+						break
+					}
+					dr = d
+				}
+				if allDesc && dr != nil && !dr.ValueView {
+					vc := virtClassName(dr.ObjectClass)
+					rewritten := c.renameAttrsOnly(side, cls.Name, node)
+					c.Cons = append(c.Cons, CCon{
+						Key: key, Kind: k.Kind, Side: side, Class: vc,
+						Expr: rewritten, Status: status,
+						Note: fmt.Sprintf("re-allocated from %s to virtual class %s", cls.Name, vc),
+					})
+					moved = true
+				}
+			}
+			if moved {
+				continue
+			}
+			cf := &conformer{c: c, side: side, class: cls.Name, desc: desc}
+			rewritten := cf.node(node)
+			c.Cons = append(c.Cons, CCon{
+				Key: key, Kind: k.Kind, Side: side, Class: cls.Name,
+				Expr: rewritten, Status: status,
+				Imperfect: cf.imperfect, Note: strings.Join(cf.notes, "; "),
+			})
+		}
+	}
+	for _, k := range db.DBCons {
+		key := ConKey{dbName, "", k.Name}
+		node := k.Expr.(expr.Node)
+		// A database constraint quantifying over a hidden class is hidden
+		// with it (its extension no longer exists in the conformed view).
+		if cls, ok := c.quantifiesHidden(side, node); ok {
+			c.Cons = append(c.Cons, CCon{
+				Key: key, Kind: schema.DatabaseConstraint, Side: side, Class: "",
+				Expr: node, Status: c.Spec.Status[key], Hidden: true,
+				Note: "hidden: quantifies over " + cls + " which was cast into values (value view)",
+			})
+			continue
+		}
+		cf := &conformer{c: c, side: side, class: "", desc: desc}
+		rewritten := cf.node(node)
+		c.Cons = append(c.Cons, CCon{
+			Key: key, Kind: schema.DatabaseConstraint, Side: side, Class: "",
+			Expr: rewritten, Status: c.Spec.Status[key],
+			Imperfect: cf.imperfect, Note: strings.Join(cf.notes, "; "),
+		})
+	}
+}
+
+// quantifiesHidden reports whether a formula binds a variable over a
+// hidden class on the given side.
+func (c *Conformed) quantifiesHidden(side Side, n expr.Node) (string, bool) {
+	found := ""
+	expr.Walk(n, func(x expr.Node) bool {
+		if q, ok := x.(expr.Quant); ok {
+			for _, b := range q.Binders {
+				if c.Hidden[side][b.Class] {
+					found = b.Class
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found, found != ""
+}
+
+// renameAttrsOnly substitutes conformed attribute names without domain
+// conversion — used when moving constraints onto virtual classes whose
+// attribute values were already converted.
+func (c *Conformed) renameAttrsOnly(side Side, class string, n expr.Node) expr.Node {
+	return expr.Rewrite(n, func(x expr.Node) expr.Node {
+		if id, ok := x.(expr.Ident); ok {
+			if _, _, ok := c.Spec.DB(side).Schema.ResolveAttr(class, id.Name); ok {
+				name, _ := c.conformedAttrName(side, class, id.Name)
+				if name != id.Name {
+					return expr.Ident{Name: name}
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// collectTypes builds the path → conformed type map for the reasoner.
+// When both sides declare the same conformed attribute with different
+// range bounds, the bounds are widened to their union so that no type
+// assumption is unsound for either side's values.
+func (c *Conformed) collectTypes() {
+	put := func(path string, t object.Type) {
+		have, ok := c.Types[path]
+		if !ok {
+			c.Types[path] = t
+			return
+		}
+		hr, hok := have.(object.RangeType)
+		tr, tok := t.(object.RangeType)
+		switch {
+		case hok && tok:
+			if tr.Lo < hr.Lo {
+				hr.Lo = tr.Lo
+			}
+			if tr.Hi > hr.Hi {
+				hr.Hi = tr.Hi
+			}
+			c.Types[path] = hr
+		case have.EqualType(t):
+			// identical, keep
+		default:
+			// Conflicting declarations: drop the entry rather than risk
+			// an unsound bound.
+			delete(c.Types, path)
+		}
+	}
+	add := func(db *schema.Database) {
+		for _, cls := range db.Classes() {
+			for _, a := range db.AllAttrs(cls.Name) {
+				t := a.Type.(object.Type)
+				put(a.Name, t)
+				if ct, ok := t.(object.ClassType); ok {
+					if target, ok := db.Class(ct.Class); ok {
+						for _, ta := range db.AllAttrs(target.Name) {
+							put(a.Name+"."+ta.Name, ta.Type.(object.Type))
+						}
+					}
+				}
+			}
+		}
+	}
+	add(c.LocalSchema)
+	add(c.RemoteSchema)
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"fmt"
+
+	"interopdb/internal/expr"
+	"interopdb/internal/logic"
+	"interopdb/internal/object"
+)
+
+// conformer rewrites one constraint into conformed terms: attribute
+// substitution, literal domain conversion (flipping comparisons through
+// decreasing conversions), and aggregate-over renames. Conversions that
+// cannot be carried through exactly mark the result imperfect; imperfect
+// constraints are reported but excluded from derivation and entailment.
+type conformer struct {
+	c          *Conformed
+	side       Side
+	class      string // context class for self attributes ("" for db constraints)
+	desc       map[string]map[string]*DescRule
+	varClasses map[string]string
+	notes      []string
+	imperfect  bool
+}
+
+func (cf *conformer) note(format string, args ...any) {
+	cf.notes = append(cf.notes, fmt.Sprintf(format, args...))
+}
+
+func (cf *conformer) flaw(format string, args ...any) {
+	cf.imperfect = true
+	cf.note(format, args...)
+}
+
+// pathRes is the result of resolving a (possibly dotted) attribute path.
+type pathRes struct {
+	node  expr.Node
+	conv  ConvFunc // for value results
+	class string   // non-empty when the result is an object of this class
+	// descAttr names the virtual object's attribute to read when an
+	// objectified (descriptivity) attribute is consumed as a value:
+	// `publisher in KNOWNPUBLISHERS` becomes `publisher.name in ...`.
+	descAttr string
+	ok       bool
+}
+
+// node conforms an arbitrary formula node.
+func (cf *conformer) node(n expr.Node) expr.Node {
+	switch n := n.(type) {
+	case expr.Binary:
+		if n.Op.IsComparison() {
+			return cf.cmp(n)
+		}
+		if n.Op.IsBool() {
+			return expr.Binary{Op: n.Op, L: cf.node(n.L), R: cf.node(n.R)}
+		}
+		// Arithmetic at formula level: rename-only.
+		return cf.renameOnly(n)
+	case expr.Unary:
+		if n.Op == expr.OpNot {
+			return expr.Unary{Op: expr.OpNot, X: cf.node(n.X)}
+		}
+		return cf.renameOnly(n)
+	case expr.In:
+		return cf.member(n)
+	case expr.Ident, expr.Path:
+		// Bare boolean attribute used as a formula.
+		if r := cf.resolvePath(n); r.ok && r.conv != nil {
+			return r.node
+		}
+		return n
+	case expr.Quant:
+		inner := &conformer{
+			c: cf.c, side: cf.side, class: cf.class, desc: cf.desc,
+			varClasses: map[string]string{},
+		}
+		for k, v := range cf.varClasses {
+			inner.varClasses[k] = v
+		}
+		for _, b := range n.Binders {
+			inner.varClasses[b.Var] = b.Class
+		}
+		body := inner.node(n.Body)
+		cf.notes = append(cf.notes, inner.notes...)
+		cf.imperfect = cf.imperfect || inner.imperfect
+		return expr.Quant{Binders: append([]expr.Binder(nil), n.Binders...), Body: body}
+	case expr.Key:
+		attrs := make([]string, len(n.Attrs))
+		for i, a := range n.Attrs {
+			attrs[i], _ = cf.c.conformedAttrName(cf.side, cf.class, a)
+		}
+		return expr.Key{Attrs: attrs}
+	case expr.Call:
+		args := make([]expr.Node, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = cf.renameOnly(a)
+		}
+		return expr.Call{Fn: n.Fn, Args: args}
+	case expr.Agg:
+		agg, _ := cf.agg(n)
+		return agg
+	default:
+		return n
+	}
+}
+
+// cmp conforms a comparison, converting literals through the relevant
+// conversion function.
+func (cf *conformer) cmp(n expr.Binary) expr.Node {
+	lNode, lConv, lConst := cf.side3(n.L)
+	rNode, rConv, rConst := cf.side3(n.R)
+	op := n.Op
+	switch {
+	case lConv != nil && rConst != nil:
+		return cf.convertLit(op, lNode, lConv, rConst, false)
+	case rConv != nil && lConst != nil:
+		return cf.convertLit(op, rNode, rConv, lConst, true)
+	case lConv != nil && rConv != nil:
+		if lConv.Name() == rConv.Name() {
+			switch lConv.Monotone() {
+			case 1:
+				return expr.Binary{Op: op, L: lNode, R: rNode}
+			case -1:
+				return expr.Binary{Op: op.Flip(), L: lNode, R: rNode}
+			default:
+				cf.flaw("comparison through non-monotone conversion %s kept unconverted", lConv.Name())
+				return expr.Binary{Op: op, L: lNode, R: rNode}
+			}
+		}
+		if lConv.Name() != "id" || rConv.Name() != "id" {
+			cf.flaw("comparison between attributes with different conversions %s vs %s", lConv.Name(), rConv.Name())
+		}
+		return expr.Binary{Op: op, L: lNode, R: rNode}
+	default:
+		return expr.Binary{Op: op, L: lNode, R: rNode}
+	}
+}
+
+// convertLit rewrites attr ⊙ c into attr' ⊙ cf(c); constLeft places the
+// literal on the left side of the output.
+func (cf *conformer) convertLit(op expr.Op, attrNode expr.Node, conv ConvFunc, c object.Value, constLeft bool) expr.Node {
+	outOp := op
+	lit := c
+	if conv.Name() != "id" {
+		switch conv.Monotone() {
+		case 1, -1:
+			nv, err := conv.Apply(c)
+			if err != nil {
+				cf.flaw("cannot convert literal %s through %s: %v", c, conv.Name(), err)
+			} else {
+				lit = nv
+				if conv.Monotone() < 0 {
+					outOp = op.Flip()
+				}
+			}
+		default:
+			cf.flaw("non-monotone conversion %s: literal %s kept", conv.Name(), c)
+		}
+	}
+	if constLeft {
+		return expr.Binary{Op: outOp, L: expr.Lit{Val: lit}, R: attrNode}
+	}
+	return expr.Binary{Op: outOp, L: attrNode, R: expr.Lit{Val: lit}}
+}
+
+// member conforms x in S.
+func (cf *conformer) member(n expr.In) expr.Node {
+	xNode, xConv, _ := cf.side3(n.X)
+	if xConv == nil {
+		xNode = cf.renameOnly(n.X)
+		return expr.In{X: xNode, Set: cf.renameOnly(n.Set), Neg: n.Neg}
+	}
+	// Set side: literal sets convert elementwise; named constants only
+	// pass through id conversions.
+	if sv, ok := logic.FoldConst(n.Set); ok {
+		if set, isSet := sv.(object.Set); isSet && xConv.Name() != "id" {
+			elems := make([]expr.Node, 0, set.Len())
+			bad := false
+			for _, e := range set.Elems() {
+				nv, err := xConv.Apply(e)
+				if err != nil {
+					bad = true
+					break
+				}
+				elems = append(elems, expr.Lit{Val: nv})
+			}
+			if bad {
+				cf.flaw("cannot convert set literal through %s", xConv.Name())
+				return expr.In{X: xNode, Set: cf.renameOnly(n.Set), Neg: n.Neg}
+			}
+			return expr.In{X: xNode, Set: expr.SetLit{Elems: elems}, Neg: n.Neg}
+		}
+		return expr.In{X: xNode, Set: cf.renameOnly(n.Set), Neg: n.Neg}
+	}
+	if xConv.Name() != "id" {
+		cf.flaw("membership over non-literal set with conversion %s", xConv.Name())
+	}
+	return expr.In{X: xNode, Set: cf.renameOnly(n.Set), Neg: n.Neg}
+}
+
+// side3 classifies a comparison operand: (renamed node, conversion) for
+// attribute paths and aggregates, or a constant value.
+func (cf *conformer) side3(n expr.Node) (expr.Node, ConvFunc, object.Value) {
+	if v, ok := logic.FoldConst(n); ok {
+		return n, nil, v
+	}
+	if r := cf.resolvePath(n); r.ok {
+		if r.conv != nil {
+			return r.node, r.conv, nil
+		}
+		if r.descAttr != "" {
+			// Values of the virtual object were converted when it was
+			// created, so the access itself is identity-converted.
+			return expr.Path{Recv: r.node, Attr: r.descAttr}, ConvFunc(idFunc{}), nil
+		}
+	}
+	if agg, ok := n.(expr.Agg); ok {
+		nn, conv := cf.agg(agg)
+		return nn, conv, nil
+	}
+	return cf.renameOnly(n), nil, nil
+}
+
+// agg conforms an aggregate: the Over attribute is renamed, and the
+// aggregate's value conversion is returned when the conversion commutes
+// with the aggregate (sum with pure scaling; avg/min/max with increasing
+// linear maps).
+func (cf *conformer) agg(n expr.Agg) (expr.Node, ConvFunc) {
+	srcClass := cf.class
+	if id, ok := n.Src.(expr.Ident); ok && id.Name != "self" {
+		srcClass = id.Name
+	}
+	if n.Fn == "count" {
+		return n, idFunc{}
+	}
+	name, conv := cf.c.conformedAttrName(cf.side, srcClass, n.Over)
+	out := expr.Agg{Fn: n.Fn, Var: n.Var, Src: n.Src, Over: name}
+	if conv.Name() == "id" {
+		return out, idFunc{}
+	}
+	lf, ok := conv.(linearFunc)
+	if !ok {
+		cf.flaw("aggregate %s over %s: conversion %s does not commute", n.Fn, n.Over, conv.Name())
+		return out, idFunc{}
+	}
+	switch n.Fn {
+	case "sum":
+		if lf.b != 0 {
+			cf.flaw("sum over %s: offset conversion %s does not commute with sum", n.Over, conv.Name())
+			return out, idFunc{}
+		}
+		return out, conv
+	case "avg", "min", "max":
+		if lf.a <= 0 {
+			cf.flaw("%s over %s: decreasing conversion %s swaps min/max; kept unconverted", n.Fn, n.Over, conv.Name())
+			return out, idFunc{}
+		}
+		return out, conv
+	default:
+		cf.flaw("aggregate %s: unsupported conversion %s", n.Fn, conv.Name())
+		return out, idFunc{}
+	}
+}
+
+// renameOnly rewrites attribute names without literal conversion; any
+// non-identity conversion encountered makes the result imperfect.
+func (cf *conformer) renameOnly(n expr.Node) expr.Node {
+	switch n := n.(type) {
+	case expr.Lit:
+		return n
+	case expr.SetLit:
+		elems := make([]expr.Node, len(n.Elems))
+		for i, e := range n.Elems {
+			elems[i] = cf.renameOnly(e)
+		}
+		return expr.SetLit{Elems: elems}
+	case expr.Ident, expr.Path:
+		if r := cf.resolvePath(n); r.ok {
+			if r.conv != nil && r.conv.Name() != "id" {
+				cf.flaw("attribute with conversion %s used in an unconvertible context", r.conv.Name())
+			}
+			return r.node
+		}
+		return n
+	case expr.Binary:
+		return expr.Binary{Op: n.Op, L: cf.renameOnly(n.L), R: cf.renameOnly(n.R)}
+	case expr.Unary:
+		return expr.Unary{Op: n.Op, X: cf.renameOnly(n.X)}
+	case expr.In:
+		return expr.In{X: cf.renameOnly(n.X), Set: cf.renameOnly(n.Set), Neg: n.Neg}
+	case expr.Call:
+		args := make([]expr.Node, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = cf.renameOnly(a)
+		}
+		return expr.Call{Fn: n.Fn, Args: args}
+	case expr.Agg:
+		out, _ := cf.agg(n)
+		return out
+	default:
+		return n
+	}
+}
+
+// resolvePath resolves an Ident or Path in the current context, renaming
+// attributes and tracking class membership through reference attributes
+// and objectified (descriptivity) attributes.
+func (cf *conformer) resolvePath(n expr.Node) pathRes {
+	switch n := n.(type) {
+	case expr.Ident:
+		if n.Name == "self" {
+			if cf.class == "" {
+				return pathRes{}
+			}
+			return pathRes{node: n, class: cf.class, ok: true}
+		}
+		if cls, ok := cf.varClasses[n.Name]; ok {
+			return pathRes{node: n, class: cls, ok: true}
+		}
+		if cf.class == "" {
+			return pathRes{}
+		}
+		return cf.attrOn(cf.class, n.Name, nil)
+	case expr.Path:
+		recv := cf.resolvePath(n.Recv)
+		if !recv.ok {
+			return pathRes{}
+		}
+		if recv.class == "" {
+			// Attribute access on a converted value (tuple field): rename
+			// is not defined; keep as-is, flag if converted.
+			if recv.conv != nil && recv.conv.Name() != "id" {
+				cf.flaw("attribute access through converted value %s", n.Recv)
+			}
+			return pathRes{node: expr.Path{Recv: recv.node, Attr: n.Attr}, conv: idFunc{}, ok: true}
+		}
+		return cf.attrOn(recv.class, n.Attr, recv.node)
+	default:
+		return pathRes{}
+	}
+}
+
+// attrOn resolves attribute attr on class cls; base is the receiver node
+// (nil for implicit self).
+func (cf *conformer) attrOn(cls, attr string, base expr.Node) pathRes {
+	db := cf.c.Spec.DB(cf.side).Schema
+	a, owner, ok := db.ResolveAttr(cls, attr)
+	if !ok {
+		// A named constant or unknown: not a path.
+		return pathRes{}
+	}
+	mk := func(name string) expr.Node {
+		if base == nil {
+			return expr.Ident{Name: name}
+		}
+		return expr.Path{Recv: base, Attr: name}
+	}
+	// Objectified attribute: now a reference to the virtual class. When
+	// the rule describes a single value attribute, a value consumption of
+	// the attribute reads the virtual object's conformed attribute. Under
+	// a value view the attribute simply stays a value.
+	if byClass, ok := cf.desc[owner]; ok {
+		if dr, ok := byClass[attr]; ok {
+			if dr.ValueView {
+				return pathRes{node: mk(attr), conv: idFunc{}, ok: true}
+			}
+			res := pathRes{node: mk(attr), class: virtClassName(dr.ObjectClass), ok: true}
+			if len(dr.ValueAttrs) == 1 {
+				res.descAttr, _ = cf.c.conformedAttrName(cf.side, owner, attr)
+			}
+			return res
+		}
+	}
+	if ct, ok := a.Type.(object.ClassType); ok {
+		return pathRes{node: mk(attr), class: ct.Class, ok: true}
+	}
+	name, conv := cf.c.conformedAttrName(cf.side, cls, attr)
+	return pathRes{node: mk(name), conv: conv, ok: true}
+}

@@ -1,0 +1,395 @@
+// Package core implements the paper's contribution: instance-based
+// database interoperation driven by integrity constraints. It compiles
+// integration specifications (object comparison rules, property
+// equivalence assertions, constraint status marks) against two component
+// databases, runs the conformation and merging phases, derives the
+// integrated constraint set, detects conflicts between local constraints
+// and the integration specification, and proposes repairs.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"interopdb/internal/object"
+	"interopdb/internal/tm"
+)
+
+// DecisionKind is the paper's four-way classification of decision
+// functions (§5.1.2), which determines property subjectivity.
+type DecisionKind int
+
+// The classification. Ignoring → both properties objective; Avoiding →
+// the trusted one objective, the other subjective; Settling and
+// Eliminating → both subjective.
+const (
+	ConflictIgnoring DecisionKind = iota
+	ConflictAvoiding
+	ConflictSettling
+	ConflictEliminating
+)
+
+// String renders the kind as in the paper.
+func (k DecisionKind) String() string {
+	switch k {
+	case ConflictIgnoring:
+		return "conflict ignoring"
+	case ConflictAvoiding:
+		return "conflict avoiding"
+	case ConflictSettling:
+		return "conflict settling"
+	case ConflictEliminating:
+		return "conflict eliminating"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// DecisionFunc determines a global property value from a conformed local
+// and remote value, and (for constraint derivation) combines restrictions.
+// The required identity law df(a,a)=a holds for every implementation.
+type DecisionFunc interface {
+	Name() string
+	Kind() DecisionKind
+	// Combine fuses two present values; rng drives the non-determinism of
+	// conflict-ignoring functions.
+	Combine(local, remote object.Value, rng *rand.Rand) object.Value
+	// CombineVals lifts the function to restriction values: given the
+	// knowledge v∈{a} locally and v'∈{b} remotely it returns the global
+	// value df(a,b), or false when the function cannot combine them
+	// (e.g. any/trust, whose output doesn't depend on both inputs).
+	CombineVals(a, b object.Value) (object.Value, bool)
+	// CombineLower/CombineUpper lift the function to interval bounds:
+	// from v≥a ∧ v'≥b conclude df(v,v') ≥ CombineLower(a,b); likewise
+	// for upper bounds. false when no sound bound exists.
+	CombineLower(a, b float64) (float64, bool)
+	CombineUpper(a, b float64) (float64, bool)
+}
+
+// anyFunc is the conflict-ignoring decision function: non-deterministic
+// choice. Both properties stay objective, which is exactly what makes
+// implicit conflicts possible (§5.2.1).
+type anyFunc struct{}
+
+func (anyFunc) Name() string       { return "any" }
+func (anyFunc) Kind() DecisionKind { return ConflictIgnoring }
+func (anyFunc) Combine(l, r object.Value, rng *rand.Rand) object.Value {
+	if l == nil || l.Kind() == object.KindNull {
+		return r
+	}
+	if r == nil || r.Kind() == object.KindNull {
+		return l
+	}
+	if rng != nil && rng.Intn(2) == 1 {
+		return r
+	}
+	return l
+}
+func (anyFunc) CombineVals(a, b object.Value) (object.Value, bool) { return nil, false }
+func (anyFunc) CombineLower(a, b float64) (float64, bool)          { return 0, false }
+func (anyFunc) CombineUpper(a, b float64) (float64, bool)          { return 0, false }
+
+// trustFunc is the conflict-avoiding decision function: one database is
+// the authoritative source.
+type trustFunc struct {
+	db         string
+	trustLocal bool
+}
+
+func (f trustFunc) Name() string     { return "trust(" + f.db + ")" }
+func (trustFunc) Kind() DecisionKind { return ConflictAvoiding }
+func (f trustFunc) Combine(l, r object.Value, _ *rand.Rand) object.Value {
+	pick, other := r, l
+	if f.trustLocal {
+		pick, other = l, r
+	}
+	if pick == nil || pick.Kind() == object.KindNull {
+		return other
+	}
+	return pick
+}
+func (trustFunc) CombineVals(a, b object.Value) (object.Value, bool) { return nil, false }
+func (trustFunc) CombineLower(a, b float64) (float64, bool)          { return 0, false }
+func (trustFunc) CombineUpper(a, b float64) (float64, bool)          { return 0, false }
+
+// TrustsLocal reports whether a conflict-avoiding function trusts the
+// local database (used by subjectivity assignment).
+func TrustsLocal(df DecisionFunc) (bool, bool) {
+	t, ok := df.(trustFunc)
+	if !ok {
+		return false, false
+	}
+	return t.trustLocal, true
+}
+
+// minMaxFunc is the conflict-settling pair min/max.
+type minMaxFunc struct{ max bool }
+
+func (f minMaxFunc) Name() string {
+	if f.max {
+		return "max"
+	}
+	return "min"
+}
+func (minMaxFunc) Kind() DecisionKind { return ConflictSettling }
+func (f minMaxFunc) Combine(l, r object.Value, _ *rand.Rand) object.Value {
+	if l == nil || l.Kind() == object.KindNull {
+		return r
+	}
+	if r == nil || r.Kind() == object.KindNull {
+		return l
+	}
+	c, ok := object.Compare(l, r)
+	if !ok {
+		return l
+	}
+	if (f.max && c >= 0) || (!f.max && c <= 0) {
+		return l
+	}
+	return r
+}
+func (f minMaxFunc) CombineVals(a, b object.Value) (object.Value, bool) {
+	c, ok := object.Compare(a, b)
+	if !ok {
+		return nil, false
+	}
+	if (f.max && c >= 0) || (!f.max && c <= 0) {
+		return a, true
+	}
+	return b, true
+}
+func (f minMaxFunc) CombineLower(a, b float64) (float64, bool) {
+	if f.max {
+		return maxF(a, b), true
+	}
+	return minF(a, b), true
+}
+func (f minMaxFunc) CombineUpper(a, b float64) (float64, bool) {
+	if f.max {
+		return maxF(a, b), true
+	}
+	return minF(a, b), true
+}
+
+// avgFunc is the conflict-eliminating averaging function of the paper's
+// travel-reimbursement policy.
+type avgFunc struct{}
+
+func (avgFunc) Name() string       { return "avg" }
+func (avgFunc) Kind() DecisionKind { return ConflictEliminating }
+func (avgFunc) Combine(l, r object.Value, _ *rand.Rand) object.Value {
+	if l == nil || l.Kind() == object.KindNull {
+		return r
+	}
+	if r == nil || r.Kind() == object.KindNull {
+		return l
+	}
+	lf, lok := object.AsFloat(l)
+	rf, rok := object.AsFloat(r)
+	if !lok || !rok {
+		return l
+	}
+	m := (lf + rf) / 2
+	if l.Kind() == object.KindInt && r.Kind() == object.KindInt && m == float64(int64(m)) {
+		return object.Int(int64(m))
+	}
+	return object.Real(m)
+}
+func (f avgFunc) CombineVals(a, b object.Value) (object.Value, bool) {
+	if !object.IsNumeric(a) || !object.IsNumeric(b) {
+		return nil, false
+	}
+	return f.Combine(a, b, nil), true
+}
+func (avgFunc) CombineLower(a, b float64) (float64, bool) { return (a + b) / 2, true }
+func (avgFunc) CombineUpper(a, b float64) (float64, bool) { return (a + b) / 2, true }
+
+// unionFunc is the conflict-eliminating union for set-valued properties
+// (editors ∪ authors).
+type unionFunc struct{}
+
+func (unionFunc) Name() string       { return "union" }
+func (unionFunc) Kind() DecisionKind { return ConflictEliminating }
+func (unionFunc) Combine(l, r object.Value, _ *rand.Rand) object.Value {
+	ls, lok := l.(object.Set)
+	rs, rok := r.(object.Set)
+	switch {
+	case lok && rok:
+		return ls.Union(rs)
+	case lok:
+		return ls
+	case rok:
+		return rs
+	default:
+		if l != nil && l.Kind() != object.KindNull {
+			return l
+		}
+		return r
+	}
+}
+func (f unionFunc) CombineVals(a, b object.Value) (object.Value, bool) {
+	as, aok := a.(object.Set)
+	bs, bok := b.(object.Set)
+	if !aok || !bok {
+		return nil, false
+	}
+	return as.Union(bs), true
+}
+func (unionFunc) CombineLower(a, b float64) (float64, bool) { return 0, false }
+func (unionFunc) CombineUpper(a, b float64) (float64, bool) { return 0, false }
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CompileDecision resolves a decision function specification. localDB and
+// remoteDB resolve trust(...) targets.
+func CompileDecision(spec tm.ConvSpec, localDB, remoteDB string) (DecisionFunc, error) {
+	switch spec.Name {
+	case "any":
+		return anyFunc{}, nil
+	case "trust":
+		switch spec.StrArg {
+		case localDB:
+			return trustFunc{db: spec.StrArg, trustLocal: true}, nil
+		case remoteDB:
+			return trustFunc{db: spec.StrArg, trustLocal: false}, nil
+		default:
+			return nil, fmt.Errorf("trust(%s): not one of the component databases %s, %s", spec.StrArg, localDB, remoteDB)
+		}
+	case "max":
+		return minMaxFunc{max: true}, nil
+	case "min":
+		return minMaxFunc{max: false}, nil
+	case "avg":
+		return avgFunc{}, nil
+	case "union":
+		return unionFunc{}, nil
+	default:
+		return nil, fmt.Errorf("unknown decision function %q", spec.Name)
+	}
+}
+
+// ConvFunc is a conversion function mapping a property's domain to the
+// common (conformed) domain. Monotone conversions support rewriting of
+// constraint literals (§4's domain conversion).
+type ConvFunc interface {
+	Name() string
+	// Apply converts a value; sets convert elementwise.
+	Apply(object.Value) (object.Value, error)
+	// ApplyType converts the property's type.
+	ApplyType(object.Type) object.Type
+	// Monotone reports +1 (strictly increasing), -1 (strictly
+	// decreasing) or 0 (not monotone / unknown); comparisons rewritten
+	// through a decreasing conversion flip their operator.
+	Monotone() int
+}
+
+// idFunc is the identity conversion.
+type idFunc struct{}
+
+func (idFunc) Name() string                               { return "id" }
+func (idFunc) Apply(v object.Value) (object.Value, error) { return v, nil }
+func (idFunc) ApplyType(t object.Type) object.Type        { return t }
+func (idFunc) Monotone() int                              { return 1 }
+
+// linearFunc is x ↦ a·x + b over numerics (multiply(k) is linear(k,0),
+// add(k) is linear(1,k)).
+type linearFunc struct {
+	name string
+	a, b float64
+}
+
+func (f linearFunc) Name() string { return f.name }
+
+func (f linearFunc) Apply(v object.Value) (object.Value, error) {
+	switch v := v.(type) {
+	case object.Set:
+		elems := make([]object.Value, 0, v.Len())
+		for _, e := range v.Elems() {
+			c, err := f.Apply(e)
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, c)
+		}
+		return object.NewSet(elems...), nil
+	case object.Null:
+		return v, nil
+	default:
+		x, ok := object.AsFloat(v)
+		if !ok {
+			return nil, fmt.Errorf("%s: non-numeric value %s", f.name, v)
+		}
+		y := f.a*x + f.b
+		if v.Kind() == object.KindInt && y == float64(int64(y)) {
+			return object.Int(int64(y)), nil
+		}
+		return object.Real(y), nil
+	}
+}
+
+func (f linearFunc) ApplyType(t object.Type) object.Type {
+	switch t := t.(type) {
+	case object.RangeType:
+		lo := f.a*float64(t.Lo) + f.b
+		hi := f.a*float64(t.Hi) + f.b
+		if f.a < 0 {
+			lo, hi = hi, lo
+		}
+		if lo == float64(int64(lo)) && hi == float64(int64(hi)) {
+			return object.RangeType{Lo: int64(lo), Hi: int64(hi)}
+		}
+		return object.TReal
+	case object.SetType:
+		return object.SetType{Elem: f.ApplyType(t.Elem)}
+	default:
+		return t
+	}
+}
+
+func (f linearFunc) Monotone() int {
+	switch {
+	case f.a > 0:
+		return 1
+	case f.a < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// CompileConversion resolves a conversion function specification.
+func CompileConversion(spec tm.ConvSpec) (ConvFunc, error) {
+	switch spec.Name {
+	case "id":
+		return idFunc{}, nil
+	case "multiply":
+		if len(spec.NumArgs) != 1 || spec.NumArgs[0] == 0 {
+			return nil, fmt.Errorf("multiply needs one non-zero argument")
+		}
+		return linearFunc{name: spec.String(), a: spec.NumArgs[0]}, nil
+	case "add":
+		if len(spec.NumArgs) != 1 {
+			return nil, fmt.Errorf("add needs one argument")
+		}
+		return linearFunc{name: spec.String(), a: 1, b: spec.NumArgs[0]}, nil
+	case "linear":
+		if len(spec.NumArgs) != 2 || spec.NumArgs[0] == 0 {
+			return nil, fmt.Errorf("linear needs two arguments with a non-zero slope")
+		}
+		return linearFunc{name: spec.String(), a: spec.NumArgs[0], b: spec.NumArgs[1]}, nil
+	default:
+		return nil, fmt.Errorf("unknown conversion function %q", spec.Name)
+	}
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"interopdb/internal/object"
+	"interopdb/internal/tm"
+)
+
+func mustDF(t *testing.T, name, arg string) DecisionFunc {
+	t.Helper()
+	spec := tm.ConvSpec{Name: name, StrArg: arg}
+	df, err := CompileDecision(spec, "CSLibrary", "Bookseller")
+	if err != nil {
+		t.Fatalf("CompileDecision(%s): %v", name, err)
+	}
+	return df
+}
+
+func TestDecisionKinds(t *testing.T) {
+	cases := []struct {
+		name, arg string
+		want      DecisionKind
+	}{
+		{"any", "", ConflictIgnoring},
+		{"trust", "CSLibrary", ConflictAvoiding},
+		{"trust", "Bookseller", ConflictAvoiding},
+		{"max", "", ConflictSettling},
+		{"min", "", ConflictSettling},
+		{"avg", "", ConflictEliminating},
+		{"union", "", ConflictEliminating},
+	}
+	for _, c := range cases {
+		df := mustDF(t, c.name, c.arg)
+		if df.Kind() != c.want {
+			t.Errorf("%s kind = %v, want %v", c.name, df.Kind(), c.want)
+		}
+	}
+	if _, err := CompileDecision(tm.ConvSpec{Name: "nosuch"}, "A", "B"); err == nil {
+		t.Error("unknown decision function should fail")
+	}
+	if _, err := CompileDecision(tm.ConvSpec{Name: "trust", StrArg: "Other"}, "A", "B"); err == nil {
+		t.Error("trust of unknown database should fail")
+	}
+}
+
+func TestDecisionIdentityLaw(t *testing.T) {
+	// The paper requires df(a,a) = a for every decision function.
+	vals := []object.Value{object.Int(10), object.Real(2.5), object.Str("x"),
+		object.NewSet(object.Str("a"), object.Str("b"))}
+	rng := rand.New(rand.NewSource(7))
+	for _, name := range []string{"any", "max", "min", "avg", "union"} {
+		df := mustDF(t, name, "")
+		for _, v := range vals {
+			if name == "avg" && v.Kind() == object.KindString {
+				continue
+			}
+			if name == "union" && v.Kind() != object.KindSet {
+				continue
+			}
+			got := df.Combine(v, v, rng)
+			if !got.Equal(v) {
+				t.Errorf("%s(%v,%v) = %v, violates df(a,a)=a", name, v, v, got)
+			}
+		}
+	}
+	for _, arg := range []string{"CSLibrary", "Bookseller"} {
+		df := mustDF(t, "trust", arg)
+		if got := df.Combine(object.Int(3), object.Int(3), rng); !got.Equal(object.Int(3)) {
+			t.Errorf("trust identity law: %v", got)
+		}
+	}
+}
+
+func TestDecisionCombine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := mustDF(t, "avg", "").Combine(object.Int(10), object.Int(24), rng); !got.Equal(object.Int(17)) {
+		t.Errorf("avg(10,24) = %v", got)
+	}
+	if got := mustDF(t, "avg", "").Combine(object.Int(10), object.Int(11), rng); !got.Equal(object.Real(10.5)) {
+		t.Errorf("avg(10,11) = %v", got)
+	}
+	if got := mustDF(t, "max", "").Combine(object.Int(4), object.Int(9), rng); !got.Equal(object.Int(9)) {
+		t.Errorf("max = %v", got)
+	}
+	if got := mustDF(t, "min", "").Combine(object.Int(4), object.Int(9), rng); !got.Equal(object.Int(4)) {
+		t.Errorf("min = %v", got)
+	}
+	u := mustDF(t, "union", "").Combine(
+		object.NewSet(object.Str("a")), object.NewSet(object.Str("b")), rng)
+	if u.(object.Set).Len() != 2 {
+		t.Errorf("union = %v", u)
+	}
+	// trust picks its side.
+	if got := mustDF(t, "trust", "CSLibrary").Combine(object.Int(1), object.Int(2), rng); !got.Equal(object.Int(1)) {
+		t.Errorf("trust(local) = %v", got)
+	}
+	if got := mustDF(t, "trust", "Bookseller").Combine(object.Int(1), object.Int(2), rng); !got.Equal(object.Int(2)) {
+		t.Errorf("trust(remote) = %v", got)
+	}
+	// any picks one of the two.
+	got := mustDF(t, "any", "").Combine(object.Int(1), object.Int(2), rng)
+	if !got.Equal(object.Int(1)) && !got.Equal(object.Int(2)) {
+		t.Errorf("any = %v", got)
+	}
+	// Null handling: the present side wins.
+	for _, name := range []string{"any", "max", "min", "avg", "union"} {
+		df := mustDF(t, name, "")
+		if got := df.Combine(object.Null{}, object.Int(5), rng); !got.Equal(object.Int(5)) {
+			t.Errorf("%s(null,5) = %v", name, got)
+		}
+		if got := df.Combine(object.Int(5), object.Null{}, rng); !got.Equal(object.Int(5)) {
+			t.Errorf("%s(5,null) = %v", name, got)
+		}
+	}
+}
+
+func TestDecisionCombineValsAndBounds(t *testing.T) {
+	avg := mustDF(t, "avg", "")
+	if v, ok := avg.CombineVals(object.Int(10), object.Int(14)); !ok || !v.Equal(object.Int(12)) {
+		t.Errorf("avg.CombineVals = %v,%v", v, ok)
+	}
+	if lo, ok := avg.CombineLower(4, 6); !ok || lo != 5 {
+		t.Errorf("avg.CombineLower(4,6) = %v,%v", lo, ok)
+	}
+	mx := mustDF(t, "max", "")
+	if lo, ok := mx.CombineLower(4, 6); !ok || lo != 6 {
+		t.Errorf("max.CombineLower = %v,%v", lo, ok)
+	}
+	if hi, ok := mx.CombineUpper(4, 6); !ok || hi != 6 {
+		t.Errorf("max.CombineUpper = %v,%v", hi, ok)
+	}
+	mn := mustDF(t, "min", "")
+	if lo, ok := mn.CombineLower(4, 6); !ok || lo != 4 {
+		t.Errorf("min.CombineLower = %v,%v", lo, ok)
+	}
+	// Conflict-avoiding and -ignoring functions derive nothing
+	// (condition (1) of §5.2.1).
+	for _, df := range []DecisionFunc{mustDF(t, "any", ""), mustDF(t, "trust", "CSLibrary")} {
+		if _, ok := df.CombineVals(object.Int(1), object.Int(2)); ok {
+			t.Errorf("%s.CombineVals should not combine", df.Name())
+		}
+		if _, ok := df.CombineLower(1, 2); ok {
+			t.Errorf("%s.CombineLower should not combine", df.Name())
+		}
+	}
+	un := mustDF(t, "union", "")
+	if v, ok := un.CombineVals(object.NewSet(object.Str("a")), object.NewSet(object.Str("b"))); !ok || v.(object.Set).Len() != 2 {
+		t.Errorf("union.CombineVals = %v,%v", v, ok)
+	}
+	if _, ok := un.CombineVals(object.Int(1), object.Int(2)); ok {
+		t.Error("union of scalars should not combine")
+	}
+	if _, ok := un.CombineLower(1, 2); ok {
+		t.Error("union has no interval transformer")
+	}
+}
+
+func TestQuickMinMaxBoundsSound(t *testing.T) {
+	// Soundness of the settling transformers: if v≥a and v'≥b then
+	// max(v,v') ≥ max(a,b) and min(v,v') ≥ min(a,b).
+	mx := mustDF(t, "max", "")
+	mn := mustDF(t, "min", "")
+	f := func(a, b, dv, dw uint8) bool {
+		av, bv := float64(a), float64(b)
+		v, w := av+float64(dv), bv+float64(dw) // v≥a, w≥b
+		vmax, _ := mx.CombineVals(object.Real(v), object.Real(w))
+		vmin, _ := mn.CombineVals(object.Real(v), object.Real(w))
+		lomax, _ := mx.CombineLower(av, bv)
+		lomin, _ := mn.CombineLower(av, bv)
+		fmax, _ := object.AsFloat(vmax)
+		fmin, _ := object.AsFloat(vmin)
+		return fmax >= lomax && fmin >= lomin
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAvgBoundsSound(t *testing.T) {
+	avg := mustDF(t, "avg", "")
+	f := func(a, b, dv, dw uint8) bool {
+		av, bv := float64(a), float64(b)
+		v, w := av+float64(dv), bv+float64(dw)
+		lo, _ := avg.CombineLower(av, bv)
+		return (v+w)/2 >= lo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConversionFuncs(t *testing.T) {
+	id, err := CompileConversion(tm.ConvSpec{Name: "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := id.Apply(object.Str("x")); !v.Equal(object.Str("x")) {
+		t.Error("id")
+	}
+	if id.Monotone() != 1 {
+		t.Error("id monotone")
+	}
+
+	mul, err := CompileConversion(tm.ConvSpec{Name: "multiply", NumArgs: []float64{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := mul.Apply(object.Int(3)); !v.Equal(object.Int(6)) {
+		t.Errorf("multiply(2)(3) = %v", v)
+	}
+	if v, _ := mul.Apply(object.Real(2.5)); !v.Equal(object.Real(5)) {
+		t.Errorf("multiply(2)(2.5) = %v", v)
+	}
+	if mul.Monotone() != 1 {
+		t.Error("multiply(2) should be increasing")
+	}
+	// Range type conversion: 1..5 ×2 → 2..10.
+	rt := mul.ApplyType(object.RangeType{Lo: 1, Hi: 5})
+	if r, ok := rt.(object.RangeType); !ok || r.Lo != 2 || r.Hi != 10 {
+		t.Errorf("multiply(2) range type = %v", rt)
+	}
+	// Sets convert elementwise.
+	sv, _ := mul.Apply(object.NewSet(object.Int(1), object.Int(2)))
+	if !sv.Equal(object.NewSet(object.Int(2), object.Int(4))) {
+		t.Errorf("multiply over set = %v", sv)
+	}
+	if _, err := mul.Apply(object.Str("x")); err == nil {
+		t.Error("multiply of string should fail")
+	}
+	if v, _ := mul.Apply(object.Null{}); v.Kind() != object.KindNull {
+		t.Error("null passes through conversions")
+	}
+
+	neg, err := CompileConversion(tm.ConvSpec{Name: "linear", NumArgs: []float64{-1, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg.Monotone() != -1 {
+		t.Error("linear(-1,10) should be decreasing")
+	}
+	if v, _ := neg.Apply(object.Int(3)); !v.Equal(object.Int(7)) {
+		t.Errorf("linear(-1,10)(3) = %v", v)
+	}
+	// Decreasing linear flips range endpoints.
+	rt = neg.ApplyType(object.RangeType{Lo: 1, Hi: 5})
+	if r, ok := rt.(object.RangeType); !ok || r.Lo != 5 || r.Hi != 9 {
+		t.Errorf("linear(-1,10) range = %v", rt)
+	}
+
+	add, err := CompileConversion(tm.ConvSpec{Name: "add", NumArgs: []float64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := add.Apply(object.Int(1)); !v.Equal(object.Int(6)) {
+		t.Errorf("add(5)(1) = %v", v)
+	}
+
+	bad := []tm.ConvSpec{
+		{Name: "nosuch"},
+		{Name: "multiply"},
+		{Name: "multiply", NumArgs: []float64{0}},
+		{Name: "add"},
+		{Name: "linear", NumArgs: []float64{0, 1}},
+		{Name: "linear", NumArgs: []float64{1}},
+	}
+	for _, b := range bad {
+		if _, err := CompileConversion(b); err == nil {
+			t.Errorf("CompileConversion(%v) should fail", b)
+		}
+	}
+}
+
+func TestDecisionKindString(t *testing.T) {
+	if ConflictIgnoring.String() != "conflict ignoring" ||
+		ConflictAvoiding.String() != "conflict avoiding" ||
+		ConflictSettling.String() != "conflict settling" ||
+		ConflictEliminating.String() != "conflict eliminating" {
+		t.Error("kind strings")
+	}
+}

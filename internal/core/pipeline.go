@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"interopdb/internal/store"
+	"interopdb/internal/tm"
+)
+
+// Result bundles the artifacts of a full integration run — the stages of
+// the paper's Figure 3: compiled specification (with subjectivity
+// assignment), conformed schemas/objects/constraints, merged global view,
+// and the derived global constraint set with detected conflicts.
+type Result struct {
+	Spec       *Spec
+	Conformed  *Conformed
+	View       *GlobalView
+	Derivation *Derivation
+}
+
+// Integrate runs the full pipeline over two populated component stores.
+// seed drives the non-determinism of conflict-ignoring decision functions
+// (pass 1 for reproducible runs).
+func Integrate(localSpec, remoteSpec *tm.DatabaseSpec, ispec *tm.IntegrationSpec,
+	local, remote *store.Store, seed int64) (*Result, error) {
+	spec, err := Compile(localSpec, remoteSpec, ispec)
+	if err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	spec.Seed = seed
+	conf, err := Conform(spec, local, remote)
+	if err != nil {
+		return nil, fmt.Errorf("conform: %w", err)
+	}
+	view, err := Merge(conf)
+	if err != nil {
+		return nil, fmt.Errorf("merge: %w", err)
+	}
+	return &Result{
+		Spec:       spec,
+		Conformed:  conf,
+		View:       view,
+		Derivation: Derive(view),
+	}, nil
+}
+
+// Report renders a human-readable account of the run, stage by stage.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Integration: %s imports %s ===\n",
+		r.Spec.Local.Schema.Name, r.Spec.Remote.Schema.Name)
+
+	if len(r.Spec.Issues) > 0 {
+		b.WriteString("\n-- Specification issues (consistency law §5.1.3) --\n")
+		for _, i := range r.Spec.Issues {
+			fmt.Fprintf(&b, "  %s\n", i)
+		}
+	}
+
+	b.WriteString("\n-- Property subjectivity (§5.1.2) --\n")
+	for _, pe := range r.Spec.PropEqs {
+		fmt.Fprintf(&b, "  %s.%s ~ %s.%s via %s: local %s, remote %s\n",
+			pe.Raw.LocalClass, pe.Raw.LocalAttr, pe.Raw.RemoteClass, pe.Raw.RemoteAttr,
+			pe.DF.Name(), statusWord(pe.LocalSubjective), statusWord(pe.RemoteSubjective))
+	}
+
+	b.WriteString("\n-- Conformed constraints (§4) --\n")
+	for _, c := range r.Conformed.Cons {
+		fmt.Fprintf(&b, "  %s\n", c)
+	}
+
+	b.WriteString("\n-- Global classes and lattice (§2.3) --\n")
+	names := append([]string{}, r.View.ClassNames...)
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %s: %d objects\n", n, len(r.View.Extent(n)))
+	}
+	for _, e := range r.View.ISA {
+		fmt.Fprintf(&b, "  %s isa %s\n", e.Sub, e.Super)
+	}
+	for _, vs := range r.View.VirtualSubclasses {
+		fmt.Fprintf(&b, "  virtual subclass %s = %s ∩ %s (%d objects)\n",
+			vs.Name, vs.LocalClass, vs.RemoteClass, len(vs.MemberIDs))
+	}
+	for _, as := range r.View.ApproxSupers {
+		fmt.Fprintf(&b, "  virtual superclass %s ⊇ %s ∪ %s (%d objects)\n",
+			as.Name, as.LocalClass, as.RemoteClass, len(as.MemberIDs))
+	}
+
+	b.WriteString("\n-- Global constraints (§5.2) --\n")
+	for _, gc := range r.Derivation.Global {
+		fmt.Fprintf(&b, "  %s\n", gc)
+	}
+
+	if len(r.Derivation.Conflicts) > 0 {
+		b.WriteString("\n-- Conflicts --\n")
+		for _, c := range r.Derivation.Conflicts {
+			fmt.Fprintf(&b, "  %s\n", c)
+			for _, s := range c.Suggestions {
+				fmt.Fprintf(&b, "    option[%s]: %s\n", s.Kind, s.Text)
+				if s.NewRuleSrc != "" {
+					fmt.Fprintf(&b, "      %s\n", s.NewRuleSrc)
+				}
+			}
+		}
+	}
+	if len(r.Derivation.Notes) > 0 {
+		b.WriteString("\n-- Notes --\n")
+		for _, n := range r.Derivation.Notes {
+			fmt.Fprintf(&b, "  %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+func statusWord(subjective bool) string {
+	if subjective {
+		return "subjective"
+	}
+	return "objective"
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"interopdb/internal/fixture"
+	"interopdb/internal/store"
+	"interopdb/internal/tm"
+)
+
+// TestAutomatedRepairLoop drives the paper's envisioned design tool
+// (conclusion, Figure 3) fully programmatically: integrate, read the
+// strict-similarity conflicts, apply the engine's own suggestions through
+// the spec-rewriting API, and verify the re-run is conflict-free with the
+// previously withheld objective constraints restored.
+func TestAutomatedRepairLoop(t *testing.T) {
+	lib, bs := tm.Figure1Library(), tm.Figure1Bookseller()
+	spec := tm.Figure1Integration()
+
+	run := func(is *tm.IntegrationSpec) *Result {
+		local, remote := fixture.Figure1Stores(fixture.Options{})
+		res, err := Integrate(lib, bs, is, local, remote, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	res := run(spec)
+	if len(conflictsOfKind(res.Derivation, ConflictStrictSim)) == 0 {
+		t.Fatal("the original specification should carry strict-sim conflicts (r4, r5)")
+	}
+
+	// Apply suggestions: strengthen-rule where the suggested rule text
+	// type-checks against the source class (r4), approximate-similarity
+	// fallback otherwise (r5, whose target constraints mention attributes
+	// the source class does not have).
+	cur := spec
+	for iter := 0; iter < 5; iter++ {
+		res = run(cur)
+		cs := conflictsOfKind(res.Derivation, ConflictStrictSim)
+		if len(cs) == 0 {
+			break
+		}
+		c := cs[0]
+		ruleName := strings.TrimPrefix(c.Where, "rule ")
+		applied := false
+		for _, s := range c.Suggestions {
+			if s.Kind != SuggestStrengthenRule || s.NewRuleSrc == "" {
+				continue
+			}
+			next, err := cur.ReplaceRule(ruleName, s.NewRuleSrc)
+			if err != nil {
+				continue
+			}
+			if _, err := Compile(lib, bs, next); err != nil {
+				continue // suggestion references attributes the source lacks
+			}
+			cur = next
+			applied = true
+			break
+		}
+		if !applied {
+			// Fall back to turning the rule into approximate similarity.
+			var r *tm.Rule
+			for i := range cur.Rules {
+				if cur.Rules[i].Name == ruleName {
+					r = &cur.Rules[i]
+				}
+			}
+			if r == nil {
+				t.Fatalf("conflict names unknown rule %s", ruleName)
+			}
+			approx := *r
+			approx.Kind = tm.RuleSimApprox
+			approx.Virtual = r.Target + "Like"
+			next, err := cur.ReplaceRule(ruleName, approx.Print())
+			if err != nil {
+				t.Fatalf("approx rewrite failed: %v", err)
+			}
+			cur = next
+		}
+	}
+
+	final := run(cur)
+	if cs := conflictsOfKind(final.Derivation, ConflictStrictSim); len(cs) != 0 {
+		t.Fatalf("repair loop did not converge: %v", cs)
+	}
+	// The withheld objective constraint is restored.
+	found := false
+	for _, gc := range final.Derivation.Global {
+		if gc.Expr.String() == "publisher.name = 'IEEE' implies ref? = true" && gc.Scope == ScopeAll {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Proceedings.oc1 should be restored after repair; have:\n%s", globalDump(final.Derivation))
+	}
+	// And the headline derivations survived the repairs.
+	if hasGlobal(final.Derivation, "publisher.name = 'ACM' implies rating >= 5") == nil {
+		t.Error("E6 derivation lost during repair")
+	}
+}
+
+// TestRepairBySubjectiveMark covers the remaining §5.2.1 option for
+// equality conflicts: re-marking a constraint subjective dissolves the
+// explicit conflict.
+func TestRepairBySubjectiveMark(t *testing.T) {
+	localSpec := tm.MustParseDatabase(`
+Database L
+Class C
+  attributes
+    k : string
+    flag : bool
+  object constraints
+    oc1: flag = true
+end C
+`)
+	remoteSpec := tm.MustParseDatabase(`
+Database R
+Class D
+  attributes
+    k : string
+    flag : bool
+  object constraints
+    oc1: flag = false
+end D
+`)
+	ispec := tm.MustParseIntegration(`
+integration L imports R
+rule r1: Eq(A:C, B:D) <= A.k = B.k
+propeq(C.k, D.k, id, id, any)
+`)
+	run := func(is *tm.IntegrationSpec) *Result {
+		res, err := Integrate(localSpec, remoteSpec, is,
+			store.New(localSpec.Schema, nil), store.New(remoteSpec.Schema, nil), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run(ispec)
+	if len(conflictsOfKind(res.Derivation, ConflictExplicit)) == 0 {
+		t.Fatal("expected an explicit conflict")
+	}
+	// Apply the mark-subjective option via the spec API.
+	repaired := ispec.SetMark("D", "oc1", false)
+	res = run(repaired)
+	if len(conflictsOfKind(res.Derivation, ConflictExplicit)) != 0 {
+		t.Errorf("marking D.oc1 subjective should dissolve the conflict: %v", res.Derivation.Conflicts)
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"interopdb/internal/tm"
+)
+
+func fig1Spec(t testing.TB) *Spec {
+	s, err := Compile(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1Integration())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return s
+}
+
+func TestCompileFigure1(t *testing.T) {
+	s := fig1Spec(t)
+	if len(s.EqRules) != 1 {
+		t.Fatalf("EqRules = %d", len(s.EqRules))
+	}
+	r1 := s.EqRules[0]
+	if r1.LocalClass != "Publication" || r1.RemoteClass != "Item" {
+		t.Errorf("r1 = %+v", r1)
+	}
+	if len(r1.Inter) != 1 || len(r1.IntraLocal) != 0 || len(r1.IntraRemote) != 0 {
+		t.Errorf("r1 condition split: inter=%d intraL=%d intraR=%d", len(r1.Inter), len(r1.IntraLocal), len(r1.IntraRemote))
+	}
+	if len(s.DescRules) != 1 {
+		t.Fatalf("DescRules = %d", len(s.DescRules))
+	}
+	d := s.DescRules[0]
+	if d.ValueSide != LocalSide || d.ValueClass != "Publication" || d.ObjectClass != "Publisher" {
+		t.Errorf("desc rule = %+v", d)
+	}
+	if len(s.SimRules) != 3 {
+		t.Fatalf("SimRules = %d", len(s.SimRules))
+	}
+	if s.SimRules[0].SrcSide != RemoteSide || s.SimRules[0].Target != "RefereedPubl" {
+		t.Errorf("r3 = %+v", s.SimRules[0])
+	}
+	if s.SimRules[2].SrcSide != LocalSide || s.SimRules[2].Target != "Proceedings" {
+		t.Errorf("r5 = %+v", s.SimRules[2])
+	}
+}
+
+// TestSubjectivityTable checks the §5.1.2 assignments on the Figure 1
+// specification, exactly as discussed in the paper:
+//   - any on publisher/name: both objective
+//   - trust(CSLibrary) on ourprice/libprice: local objective, remote subjective
+//   - trust(Bookseller) on shopprice: local subjective, remote objective
+//   - avg on rating: both subjective
+//   - union on editors/authors: both subjective
+func TestSubjectivityTable(t *testing.T) {
+	s := fig1Spec(t)
+	cases := []struct {
+		side        Side
+		class, attr string
+		want        bool
+	}{
+		{LocalSide, "Publication", "publisher", false},
+		{RemoteSide, "Publisher", "name", false},
+		{LocalSide, "Publication", "ourprice", false},
+		{RemoteSide, "Item", "libprice", true},
+		{LocalSide, "Publication", "shopprice", true},
+		{RemoteSide, "Item", "shopprice", false},
+		{LocalSide, "ScientificPubl", "rating", true},
+		{RemoteSide, "Proceedings", "rating", true},
+		{LocalSide, "ScientificPubl", "editors", true},
+		{RemoteSide, "Item", "authors", true},
+		// Inheritance: rating on RefereedPubl is the ScientificPubl property.
+		{LocalSide, "RefereedPubl", "rating", true},
+		// Uncovered attributes are single-source, hence objective.
+		{LocalSide, "RefereedPubl", "avgAccRate", false},
+		{RemoteSide, "Proceedings", "ref?", false},
+	}
+	for _, c := range cases {
+		if got := s.PropSubjective(c.side, c.class, c.attr); got != c.want {
+			t.Errorf("PropSubjective(%v, %s, %s) = %v, want %v", c.side, c.class, c.attr, got, c.want)
+		}
+	}
+}
+
+// TestConstraintStatusFigure1 checks the constraint-status assignment:
+// the consistency law (§5.1.3) downgrades every rating- or price-involving
+// object constraint, while Proceedings.oc1 stays objective.
+func TestConstraintStatusFigure1(t *testing.T) {
+	s := fig1Spec(t)
+	cases := []struct {
+		key  ConKey
+		want Status
+	}{
+		{ConKey{"Bookseller", "Proceedings", "oc1"}, Objective},  // IEEE ⇒ ref?
+		{ConKey{"Bookseller", "Proceedings", "oc2"}, Subjective}, // involves rating
+		{ConKey{"Bookseller", "Proceedings", "oc3"}, Subjective},
+		{ConKey{"CSLibrary", "RefereedPubl", "oc1"}, Subjective},
+		{ConKey{"CSLibrary", "NonRefereedPubl", "oc1"}, Subjective},
+		{ConKey{"CSLibrary", "Publication", "oc1"}, Subjective}, // ourprice<=shopprice: shopprice subjective
+		{ConKey{"Bookseller", "Item", "oc1"}, Subjective},       // libprice subjective
+		{ConKey{"CSLibrary", "Publication", "oc2"}, Subjective}, // marked
+		{ConKey{"CSLibrary", "Publication", "cc2"}, Subjective}, // marked (class)
+		{ConKey{"CSLibrary", "Publication", "cc1"}, Subjective}, // class default
+		{ConKey{"Bookseller", "", "db1"}, Subjective},           // §5.2.3
+	}
+	for _, c := range cases {
+		if got := s.Status[c.key]; got != c.want {
+			t.Errorf("Status[%s] = %v, want %v", c.key, got, c.want)
+		}
+	}
+	// The downgrades surface as notes, not errors (nothing was marked
+	// objective in violation of the law).
+	for _, i := range s.Issues {
+		if i.Severity == "error" {
+			t.Errorf("unexpected error issue: %s", i)
+		}
+	}
+}
+
+// TestConsistencyLawViolation (E5): declaring libprice<=shopprice
+// objective while trust functions make the prices subjective must raise
+// the §5.1.3 law violation.
+func TestConsistencyLawViolation(t *testing.T) {
+	ispec := tm.MustParseIntegration(tm.FigureOneIntegration + "\nobjective Item.oc1\n")
+	s, err := Compile(tm.Figure1Library(), tm.Figure1Bookseller(), ispec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found *SpecIssue
+	for i := range s.Issues {
+		if s.Issues[i].Code == "subjectivity-law" && s.Issues[i].Key.Name == "oc1" && s.Issues[i].Key.Class == "Item" {
+			found = &s.Issues[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("expected subjectivity-law issue; got %v", s.Issues)
+	}
+	if found.Severity != "error" {
+		t.Errorf("law violation severity = %s", found.Severity)
+	}
+	if !strings.Contains(found.Message, "libprice") {
+		t.Errorf("issue should name the subjective property: %s", found.Message)
+	}
+	// The engine still downgrades so the derivation stays sound.
+	if s.Status[ConKey{"Bookseller", "Item", "oc1"}] != Subjective {
+		t.Error("violating constraint must be downgraded to subjective")
+	}
+}
+
+func TestCompilePersonnel(t *testing.T) {
+	s, err := Compile(tm.Personnel1(), tm.Personnel2(), tm.PersonnelIntegration())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if len(s.EqRules) != 1 {
+		t.Fatalf("rules: %d", len(s.EqRules))
+	}
+	// Same class name on both sides resolves by the paper's convention.
+	r := s.EqRules[0]
+	if r.LocalClass != "Employee" || r.RemoteClass != "Employee" {
+		t.Errorf("rule classes: %+v", r)
+	}
+	if !s.PropSubjective(LocalSide, "Employee", "trav_reimb") {
+		t.Error("trav_reimb should be subjective under avg")
+	}
+	if s.PropSubjective(LocalSide, "Employee", "ssn") {
+		t.Error("ssn should be objective under any")
+	}
+	if s.Status[ConKey{"DB1", "Employee", "oc2"}] != Subjective {
+		t.Error("salary rule is subjective")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	lib, bs := tm.Figure1Library(), tm.Figure1Bookseller()
+	cases := []struct{ src, wantSub string }{
+		{"integration Wrong imports Bookseller\nrule r: Eq(O:Publication, R:Item) <= O.isbn = R.isbn", "does not match"},
+		{"integration CSLibrary imports Bookseller\nrule r: Eq(O:NoClass, R:Item) <= true", "does not resolve"},
+		{"integration CSLibrary imports Bookseller\nrule r: Sim(R:Proceedings, NoClass) <= true", "does not resolve"},
+		{"integration CSLibrary imports Bookseller\nrule r: Eq(O:Publication, R:Item) <= O.nosuch = R.isbn", "no attribute"},
+		{"integration CSLibrary imports Bookseller\npropeq(Publication.nosuch, Item.libprice, id, id, any)", "no attribute"},
+		{"integration CSLibrary imports Bookseller\npropeq(Publication.ourprice, Item.libprice, nosuch, id, any)", "unknown conversion"},
+		{"integration CSLibrary imports Bookseller\npropeq(Publication.ourprice, Item.libprice, id, id, nosuch)", "unknown decision"},
+		{"integration CSLibrary imports Bookseller\npropeq(Publication.title, Item.libprice, id, id, any)", "incompatible"},
+		{"integration CSLibrary imports Bookseller\nobjective NoClass.oc9", "does not match any constraint"},
+		{"integration CSLibrary imports Bookseller\nrule r: Eq(O:Publication.{publisher}, R:Publisher.{name}) <= true", "both arguments"},
+		{"integration CSLibrary imports Bookseller\npropeq(Publication.ourprice, Item.libprice, id, id, trust(Elsewhere))", "not one of the component databases"},
+	}
+	for _, c := range cases {
+		ispec, err := tm.ParseIntegration(c.src)
+		if err != nil {
+			t.Fatalf("fixture parse error for %q: %v", c.src, err)
+		}
+		_, err = Compile(lib, bs, ispec)
+		if err == nil {
+			t.Errorf("Compile(%q) should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Compile(%q) error %q should mention %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestSideAndStatusStrings(t *testing.T) {
+	if LocalSide.String() != "local" || RemoteSide.String() != "remote" {
+		t.Error("side strings")
+	}
+	if LocalSide.Other() != RemoteSide || RemoteSide.Other() != LocalSide {
+		t.Error("Other")
+	}
+	if Objective.String() != "objective" || Subjective.String() != "subjective" {
+		t.Error("status strings")
+	}
+	k := ConKey{"DB", "C", "oc1"}
+	if k.String() != "DB.C.oc1" {
+		t.Errorf("ConKey = %s", k)
+	}
+	if (ConKey{"DB", "", "db1"}).String() != "DB.db1" {
+		t.Error("database ConKey")
+	}
+}

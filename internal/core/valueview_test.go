@@ -1,0 +1,237 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"interopdb/internal/expr"
+	"interopdb/internal/fixture"
+	"interopdb/internal/object"
+	"interopdb/internal/schema"
+	"interopdb/internal/store"
+	"interopdb/internal/tm"
+)
+
+// valueViewSpec is the Figure 1 integration with the object-value
+// conflict settled the other way (§2.3): instead of objectifying the
+// library's publisher values, the bookseller's Publisher objects are cast
+// into complex values.
+func valueViewSpec(t testing.TB) *tm.IntegrationSpec {
+	t.Helper()
+	src := tm.FigureOneIntegration + "\nvalueview r2\n"
+	is, err := tm.ParseIntegration(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return is
+}
+
+func valueViewResult(t testing.TB) *Result {
+	t.Helper()
+	local, remote := fixture.Figure1Stores(fixture.Options{})
+	res, err := Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), valueViewSpec(t), local, remote, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestValueViewHidesPublisherClass: under the value view there is no
+// VirtPublisher, the Publisher class is hidden, and Item.publisher is a
+// tuple-typed complex value.
+func TestValueViewHidesPublisherClass(t *testing.T) {
+	res := valueViewResult(t)
+	c := res.Conformed
+	if _, ok := c.LocalSchema.Class("VirtPublisher"); ok {
+		t.Error("value view must not create a virtual class")
+	}
+	if !c.Hidden[RemoteSide]["Publisher"] {
+		t.Error("Publisher should be hidden on the remote side")
+	}
+	if n := len(c.Extent(RemoteSide, "Publisher")); n != 0 {
+		t.Errorf("hidden class extent = %d, want 0", n)
+	}
+	a, _, ok := c.RemoteSchema.ResolveAttr("Item", "publisher")
+	if !ok {
+		t.Fatal("Item.publisher missing")
+	}
+	tt, ok := a.Type.(object.TupleType)
+	if !ok {
+		t.Fatalf("Item.publisher conformed type = %v, want tuple", a.Type)
+	}
+	if _, ok := tt.Fields["name"]; !ok {
+		t.Errorf("tuple type fields = %v", tt)
+	}
+	// Local Publication.publisher stays the declared string value.
+	la, _, _ := c.LocalSchema.ResolveAttr("Publication", "publisher")
+	if !la.Type.(object.Type).EqualType(object.TString) {
+		t.Errorf("local publisher type = %v, want string", la.Type)
+	}
+}
+
+// TestValueViewInlinesValues: remote items carry the publisher as an
+// inline tuple; paths through it still evaluate.
+func TestValueViewInlinesValues(t *testing.T) {
+	res := valueViewResult(t)
+	c := res.Conformed
+	var vldb *CObj
+	for _, o := range c.Extent(RemoteSide, "Proceedings") {
+		if ttl, _ := o.Get("title"); ttl.Equal(object.Str("Proceedings of the 22nd VLDB Conference")) {
+			vldb = o
+		}
+	}
+	if vldb == nil {
+		t.Fatal("remote vldb96 missing")
+	}
+	pv, _ := vldb.Get("publisher")
+	tup, ok := pv.(object.Tuple)
+	if !ok {
+		t.Fatalf("publisher value = %v, want tuple", pv)
+	}
+	if !tup.Field("name").Equal(object.Str("IEEE")) {
+		t.Errorf("tuple name = %v", tup.Field("name"))
+	}
+	if !tup.Field("location").Equal(object.Str("New York")) {
+		t.Errorf("tuple location = %v", tup.Field("location"))
+	}
+	// Conformed constraint evaluation through the tuple: oc1 of
+	// Proceedings references publisher.name.
+	env := c.Env(vldb)
+	holds, err := env.EvalBool(expr.MustParse("publisher.name = 'IEEE' implies ref? = true"))
+	if err != nil || !holds {
+		t.Errorf("constraint through tuple: %v %v", holds, err)
+	}
+}
+
+// TestValueViewHidesConstraints: db1 quantifies over the hidden Publisher
+// class and is hidden with it (§4 subtask 1, hiding direction).
+func TestValueViewHidesConstraints(t *testing.T) {
+	res := valueViewResult(t)
+	var db1 *CCon
+	for i := range res.Conformed.Cons {
+		if res.Conformed.Cons[i].Key == (ConKey{"Bookseller", "", "db1"}) {
+			db1 = &res.Conformed.Cons[i]
+		}
+	}
+	if db1 == nil {
+		t.Fatal("db1 missing from conformed constraints")
+	}
+	if !db1.Hidden {
+		t.Errorf("db1 should be hidden: %+v", *db1)
+	}
+	if !strings.Contains(db1.Note, "cast into values") {
+		t.Errorf("note = %q", db1.Note)
+	}
+	// Hidden constraints never reach derivation.
+	for _, gc := range res.Derivation.Global {
+		if strings.Contains(gc.Expr.String(), "forall") {
+			t.Errorf("hidden constraint leaked: %v", gc)
+		}
+	}
+}
+
+// TestValueViewConstraintsOfHiddenClass: constraints declared on a hidden
+// class are themselves hidden.
+func TestValueViewConstraintsOfHiddenClass(t *testing.T) {
+	localSpec := tm.MustParseDatabase(`
+Database L
+Class Doc
+  attributes
+    pub : string
+end Doc
+`)
+	remoteSpec := tm.MustParseDatabase(`
+Database R
+Class Pub
+  attributes
+    name : string
+    rank : int
+  object constraints
+    oc1: rank >= 1
+end Pub
+Class Doc2
+  attributes
+    pub : Pub
+end Doc2
+`)
+	ispec := tm.MustParseIntegration(`
+integration L imports R
+rule r1: Eq(D:Doc.{pub}, P:Pub) <= D.pub = P.name
+propeq(Doc.pub, Pub.name, id, id, any)
+valueview r1
+`)
+	ls := store.New(localSpec.Schema, nil)
+	rs := store.New(remoteSpec.Schema, nil)
+	pub := rs.MustInsert("Pub", map[string]object.Value{"name": object.Str("X"), "rank": object.Int(3)})
+	rs.MustInsert("Doc2", map[string]object.Value{"pub": object.Ref{DB: "R", OID: pub}})
+	ls.MustInsert("Doc", map[string]object.Value{"pub": object.Str("X")})
+	res, err := Integrate(localSpec, remoteSpec, ispec, ls, rs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oc1 *CCon
+	for i := range res.Conformed.Cons {
+		if res.Conformed.Cons[i].Key == (ConKey{"R", "Pub", "oc1"}) {
+			oc1 = &res.Conformed.Cons[i]
+		}
+	}
+	if oc1 == nil || !oc1.Hidden {
+		t.Errorf("hidden class's constraint should be hidden: %+v", oc1)
+	}
+	// The doc carries the inlined tuple.
+	doc := res.Conformed.Extent(RemoteSide, "Doc2")[0]
+	pv, _ := doc.Get("pub")
+	if tup, ok := pv.(object.Tuple); !ok || !tup.Field("rank").Equal(object.Int(3)) {
+		t.Errorf("inlined tuple = %v", pv)
+	}
+}
+
+// TestValueViewGlobalView: the merged view has no publisher objects; the
+// E6 derivation is unaffected by the conformation direction.
+func TestValueViewGlobalView(t *testing.T) {
+	res := valueViewResult(t)
+	if ext := res.View.Extent("Publisher"); len(ext) != 0 {
+		t.Errorf("Publisher global extent = %d, want 0", len(ext))
+	}
+	if ext := res.View.Extent("VirtPublisher"); len(ext) != 0 {
+		t.Errorf("VirtPublisher global extent = %d, want 0", len(ext))
+	}
+	// Object count: 13 (objectify view) minus 4 virtual publishers minus
+	// 3 remote publishers plus 0 = 6 locals + 4 remote items merged into
+	// 9 global objects... compute directly: 6 local + 4 remote - 1 merge.
+	if len(res.View.Objects) != 9 {
+		t.Errorf("global objects = %d, want 9", len(res.View.Objects))
+	}
+	// The §5.2.1 equality derivation still happens.
+	found := false
+	for _, gc := range res.Derivation.Global {
+		if gc.Expr.String() == "publisher.name = 'ACM' implies rating >= 5" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("E6 derivation should be independent of the conformation direction")
+	}
+}
+
+// TestValueViewUnknownRule rejects valueview marks naming no rule.
+func TestValueViewUnknownRule(t *testing.T) {
+	src := tm.FigureOneIntegration + "\nvalueview nosuch\n"
+	is, err := tm.ParseIntegration(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(tm.Figure1Library(), tm.Figure1Bookseller(), is); err == nil ||
+		!strings.Contains(err.Error(), "valueview") {
+		t.Errorf("expected valueview compile error, got %v", err)
+	}
+}
+
+// schemaOfHelper ensures hidden classes remain addressable for reports.
+func TestValueViewSchemaStillListsHiddenClass(t *testing.T) {
+	res := valueViewResult(t)
+	if _, ok := res.Conformed.RemoteSchema.Class("Publisher"); !ok {
+		t.Error("hidden classes stay in the schema for reporting")
+	}
+	_ = schema.DatabaseConstraint // keep the import honest
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllScenarioReproductionsPass locks the E-series: every worked
+// example and figure of the paper must reproduce. This is the same check
+// cmd/interopbench runs, kept in the test suite so a regression anywhere
+// in the pipeline fails CI, not just the bench harness.
+func TestAllScenarioReproductionsPass(t *testing.T) {
+	results, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(results))
+	}
+	for _, r := range results {
+		if !r.Passed() {
+			t.Errorf("reproduction failed:\n%s", r)
+		}
+		if len(r.Checks) == 0 {
+			t.Errorf("%s has no checks", r.ID)
+		}
+		// Every check documents both sides of the comparison.
+		for _, c := range r.Checks {
+			if c.Expected == "" || c.Measured == "" {
+				t.Errorf("%s/%s: missing expected/measured text", r.ID, c.Name)
+			}
+		}
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := Result{ID: "EX", Title: "demo", Checks: []Check{
+		{Name: "a", Expected: "1", Measured: "1", Pass: true},
+		{Name: "b", Expected: "2", Measured: "3", Pass: false},
+	}}
+	s := r.String()
+	if !strings.Contains(s, "EX FAIL") || !strings.Contains(s, "[FAIL] b") || !strings.Contains(s, "[ok] a") {
+		t.Errorf("rendering: %q", s)
+	}
+	if r.Passed() {
+		t.Error("Passed with a failing check")
+	}
+}
+
+func TestB1Shapes(t *testing.T) {
+	rows, err := B1(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The refuted query prunes; answers were verified equal inside B1.
+	if !rows[0].Pruned || rows[0].OptScanned != 0 {
+		t.Errorf("first query should prune: %+v", rows[0])
+	}
+	if rows[2].Pruned {
+		t.Errorf("unconstrained query must not prune: %+v", rows[2])
+	}
+}
+
+func TestB2Shapes(t *testing.T) {
+	rows, err := B2(40, []float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].RejectedEarly != 0 {
+		t.Errorf("zero violation rate: %+v", rows[0])
+	}
+	if rows[1].RejectedEarly != 20 {
+		t.Errorf("half violation rate should reject 20/40: %+v", rows[1])
+	}
+	// Everything that shipped was accepted locally: validation is exact
+	// on this workload.
+	for _, r := range rows {
+		if r.LocalRejects != 0 {
+			t.Errorf("shipped inserts rejected locally: %+v", r)
+		}
+	}
+}
+
+func TestB3Monotone(t *testing.T) {
+	rows, err := B3([]int{100, 400}, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Objects >= rows[1].Objects {
+		t.Errorf("object counts should grow with size: %+v", rows)
+	}
+	// Overlap 0.5 on equal sides: merged ≈ books/2 (+publishers).
+	if rows[1].Merged < 200 || rows[1].Merged > 215 {
+		t.Errorf("merged count off: %+v", rows[1])
+	}
+}
+
+func TestB4DerivedCounts(t *testing.T) {
+	rows, err := B4([]int{3, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each avg-paired bound derives exactly one global constraint.
+	if rows[0].Derived != 3 || rows[1].Derived != 9 {
+		t.Errorf("derived counts: %+v", rows)
+	}
+}
+
+func TestB5Shapes(t *testing.T) {
+	r, err := B5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ClassBasedPrecision >= 1 || r.ClassBasedPrecision <= 0 {
+		t.Errorf("precision = %v", r.ClassBasedPrecision)
+	}
+	if r.UnionAllFalseRej == 0 || r.UnionAllFalseRej > r.UnionAllTotal {
+		t.Errorf("union-all: %d/%d", r.UnionAllFalseRej, r.UnionAllTotal)
+	}
+}
+
+func TestB6AlwaysSuggestsRepairs(t *testing.T) {
+	rows, err := B6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Conflicts > 0 && r.Suggestions == 0 {
+			t.Errorf("conflicts without repairs: %+v", r)
+		}
+	}
+	// Weakening oc2 below the obligation adds a conflict vs. baseline.
+	if rows[1].Conflicts <= rows[0].Conflicts-1 {
+		t.Errorf("weakened oc2 should add a conflict: %+v", rows[:2])
+	}
+}

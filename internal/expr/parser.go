@@ -1,0 +1,464 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+
+	"interopdb/internal/object"
+)
+
+// ParseError reports a syntax error with its byte offset.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) peek() token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+func (p *parser) eat(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(k, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", k)
+		}
+		return t, &ParseError{t.pos, fmt.Sprintf("expected %q, found %s", want, t)}
+	}
+	p.i++
+	return t, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Parse parses a constraint body: either a key constraint (`key isbn`) or
+// a boolean formula.
+func Parse(src string) (Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var n Node
+	if p.at(tKw, "key") {
+		p.i++
+		n, err = p.parseKey()
+	} else {
+		n, err = p.parseExpr()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tEOF, "") {
+		return nil, &ParseError{p.cur().pos, fmt.Sprintf("trailing input starting at %s", p.cur())}
+	}
+	return n, nil
+}
+
+// MustParse parses src and panics on error; for tests and embedded specs.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("expr.MustParse(%q): %v", src, err))
+	}
+	return n
+}
+
+func (p *parser) parseKey() (Node, error) {
+	var attrs []string
+	for {
+		t, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, t.text)
+		if !p.eat(tPunct, ",") {
+			break
+		}
+	}
+	return Key{Attrs: attrs}, nil
+}
+
+// parseExpr is the entry point; quantifiers bind loosest.
+func (p *parser) parseExpr() (Node, error) {
+	if p.at(tKw, "forall") || p.at(tKw, "exists") {
+		return p.parseQuant()
+	}
+	return p.parseImplies()
+}
+
+func (p *parser) parseQuant() (Node, error) {
+	var binders []Binder
+	for p.at(tKw, "forall") || p.at(tKw, "exists") {
+		all := p.cur().text == "forall"
+		p.i++
+		v, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tKw, "in"); err != nil {
+			return nil, err
+		}
+		cls, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		binders = append(binders, Binder{All: all, Var: v.text, Class: cls.text})
+	}
+	if _, err := p.expect(tPunct, "|"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return Quant{Binders: binders, Body: body}, nil
+}
+
+// parseImplies is right-associative: a implies b implies c = a→(b→c).
+func (p *parser) parseImplies() (Node, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.eat(tKw, "implies") {
+		r, err := p.parseImplies()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: OpImplies, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseOr() (Node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat(tKw, "or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat(tKw, "and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Node, error) {
+	if p.eat(tKw, "not") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: OpNot, X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]Op{
+	"=": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parseCmp() (Node, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tOp {
+		if op, ok := cmpOps[p.cur().text]; ok {
+			p.i++
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	if p.at(tKw, "in") {
+		p.i++
+		s, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return In{X: l, Set: s}, nil
+	}
+	// `x not in S` — `not` here is the infix negated membership.
+	if p.at(tKw, "not") && p.peek().kind == tKw && p.peek().text == "in" {
+		p.i += 2
+		s, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return In{X: l, Set: s, Neg: true}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Node, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tOp && (p.cur().text == "+" || p.cur().text == "-") {
+		op := OpAdd
+		if p.cur().text == "-" {
+			op = OpSub
+		}
+		p.i++
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Node, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tOp && (p.cur().text == "*" || p.cur().text == "/") {
+		op := OpMul
+		if p.cur().text == "/" {
+			op = OpDiv
+		}
+		p.i++
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	if p.cur().kind == tOp && p.cur().text == "-" {
+		p.i++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: OpNeg, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Node, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tPunct, ".") {
+		p.i++
+		t, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		x = Path{Recv: x, Attr: t.text}
+	}
+	return x, nil
+}
+
+// aggFns are the aggregate function names of the TM collect syntax.
+var aggFns = map[string]bool{"sum": true, "avg": true, "min": true, "max": true, "count": true}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tInt:
+		p.i++
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, &ParseError{t.pos, "bad integer literal: " + t.text}
+		}
+		return Lit{object.Int(v)}, nil
+	case t.kind == tReal:
+		p.i++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, &ParseError{t.pos, "bad real literal: " + t.text}
+		}
+		return Lit{object.Real(v)}, nil
+	case t.kind == tString:
+		p.i++
+		return Lit{object.Str(t.text)}, nil
+	case t.kind == tKw && t.text == "true":
+		p.i++
+		return Lit{object.Bool(true)}, nil
+	case t.kind == tKw && t.text == "false":
+		p.i++
+		return Lit{object.Bool(false)}, nil
+	case t.kind == tKw && t.text == "self":
+		p.i++
+		return Ident{"self"}, nil
+	case t.kind == tPunct && t.text == "{":
+		p.i++
+		var elems []Node
+		if !p.at(tPunct, "}") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, e)
+				if !p.eat(tPunct, ",") {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(tPunct, "}"); err != nil {
+			return nil, err
+		}
+		return SetLit{Elems: elems}, nil
+	case t.kind == tPunct && t.text == "(":
+		// Lookahead for the aggregate form: "(" fn "(" "collect" ...
+		if p.peek().kind == tIdent && aggFns[p.peek().text] &&
+			p.i+2 < len(p.toks) && p.toks[p.i+2].kind == tPunct && p.toks[p.i+2].text == "(" &&
+			p.i+3 < len(p.toks) && p.toks[p.i+3].kind == tKw && p.toks[p.i+3].text == "collect" {
+			return p.parseAgg()
+		}
+		p.i++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tIdent:
+		p.i++
+		if p.at(tPunct, "(") { // builtin call
+			p.i++
+			var args []Node
+			if !p.at(tPunct, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.eat(tPunct, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tPunct, ")"); err != nil {
+				return nil, err
+			}
+			return Call{Fn: t.text, Args: args}, nil
+		}
+		return Ident{t.text}, nil
+	}
+	return nil, &ParseError{t.pos, fmt.Sprintf("unexpected %s", t)}
+}
+
+// parseAgg parses "(" fn "(" collect v for v in src ")" [over attr] ")".
+func (p *parser) parseAgg() (Node, error) {
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	fn, err := p.expect(tIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tKw, "collect"); err != nil {
+		return nil, err
+	}
+	v1, err := p.expect(tIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tKw, "for"); err != nil {
+		return nil, err
+	}
+	v2, err := p.expect(tIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if v1.text != v2.text {
+		return nil, &ParseError{v2.pos, fmt.Sprintf("collect variable mismatch: %s vs %s", v1.text, v2.text)}
+	}
+	if _, err := p.expect(tKw, "in"); err != nil {
+		return nil, err
+	}
+	var src Node
+	if p.eat(tKw, "self") {
+		src = Ident{"self"}
+	} else {
+		cls, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		src = Ident{cls.text}
+	}
+	if _, err := p.expect(tPunct, ")"); err != nil {
+		return nil, err
+	}
+	over := ""
+	if p.eat(tKw, "over") {
+		a, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		over = a.text
+	}
+	if _, err := p.expect(tPunct, ")"); err != nil {
+		return nil, err
+	}
+	if fn.text == "count" && over != "" {
+		return nil, &ParseError{fn.pos, "count does not take an over clause"}
+	}
+	if fn.text != "count" && over == "" {
+		return nil, &ParseError{fn.pos, fn.text + " requires an over clause"}
+	}
+	return Agg{Fn: fn.text, Var: v1.text, Src: src, Over: over}, nil
+}

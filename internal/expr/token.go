@@ -1,0 +1,164 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tReal
+	tString
+	tPunct // ( ) { } , . |
+	tOp    // = != < <= > >= + - * /
+	tKw    // keyword
+)
+
+// keywords recognised by the constraint language.
+var keywords = map[string]bool{
+	"and": true, "or": true, "not": true, "implies": true, "in": true,
+	"forall": true, "exists": true, "key": true, "true": true, "false": true,
+	"self": true, "over": true, "collect": true, "for": true,
+}
+
+// token is one lexical token.
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// LexError reports a lexical error with its byte offset.
+type LexError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *LexError) Error() string { return fmt.Sprintf("lex error at offset %d: %s", e.Pos, e.Msg) }
+
+// lex scans the whole input into tokens. Identifiers may contain letters,
+// digits, '_' and a trailing '?' (TM's boolean-attribute convention).
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-': // line comment
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case isLetter(rune(c)):
+			start := i
+			for i < n && (isLetter(rune(src[i])) || isDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			if i < n && src[i] == '?' {
+				i++
+			}
+			word := src[start:i]
+			kind := tIdent
+			if keywords[word] {
+				kind = tKw
+			}
+			toks = append(toks, token{kind, word, start})
+		case isDigit(rune(c)):
+			start := i
+			for i < n && isDigit(rune(src[i])) {
+				i++
+			}
+			kind := tInt
+			// A real literal has '.' followed by a digit; "1..5" stays two ints.
+			if i+1 < n && src[i] == '.' && isDigit(rune(src[i+1])) {
+				i++
+				for i < n && isDigit(rune(src[i])) {
+					i++
+				}
+				kind = tReal
+			}
+			toks = append(toks, token{kind, src[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' { // escaped quote
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, &LexError{start, "unterminated string literal"}
+			}
+			toks = append(toks, token{tString, b.String(), start})
+		case strings.ContainsRune("(){},.|", rune(c)):
+			toks = append(toks, token{tPunct, string(c), i})
+			i++
+		case c == '<':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tOp, "<=", i})
+				i += 2
+			} else if i+1 < n && src[i+1] == '>' {
+				toks = append(toks, token{tOp, "!=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tOp, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tOp, "!=", i})
+				i += 2
+			} else {
+				return nil, &LexError{i, "unexpected '!'"}
+			}
+		case c == '=':
+			toks = append(toks, token{tOp, "=", i})
+			i++
+		case c == '+' || c == '-' || c == '*' || c == '/':
+			toks = append(toks, token{tOp, string(c), i})
+			i++
+		default:
+			return nil, &LexError{i, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tEOF, "", n})
+	return toks, nil
+}
+
+func isLetter(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isDigit(r rune) bool  { return r >= '0' && r <= '9' }

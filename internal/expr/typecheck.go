@@ -1,0 +1,387 @@
+package expr
+
+import (
+	"fmt"
+
+	"interopdb/internal/object"
+	"interopdb/internal/schema"
+)
+
+// CheckCtx provides the symbols visible while type checking a constraint:
+// the schema it lives in, the class whose attributes the implicit self
+// exposes ("" for database constraints), the named constants with their
+// types, and any pre-bound object variables (name → class).
+type CheckCtx struct {
+	DB     *schema.Database
+	Class  string
+	Consts map[string]object.Type
+	Vars   map[string]string
+}
+
+// TypeError reports a type-checking failure.
+type TypeError struct{ Msg string }
+
+// Error implements error.
+func (e *TypeError) Error() string { return "type error: " + e.Msg }
+
+func typeErrf(format string, args ...any) error {
+	return &TypeError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Check type-checks the constraint body and returns its type. Constraint
+// bodies must be boolean; use CheckConstraint for that additional check.
+func Check(n Node, ctx *CheckCtx) (object.Type, error) {
+	c := &checker{ctx: ctx, vars: map[string]string{}}
+	for k, v := range ctx.Vars {
+		c.vars[k] = v
+	}
+	return c.check(n)
+}
+
+// CheckConstraint type-checks a full constraint: the body must be boolean
+// (Key nodes are boolean by construction).
+func CheckConstraint(n Node, ctx *CheckCtx) error {
+	t, err := Check(n, ctx)
+	if err != nil {
+		return err
+	}
+	if b, ok := t.(object.BasicType); !ok || b.K != object.KindBool {
+		return typeErrf("constraint is not boolean: %s has type %s", n, t)
+	}
+	return nil
+}
+
+type checker struct {
+	ctx  *CheckCtx
+	vars map[string]string // object variable → class
+}
+
+func (c *checker) attrType(class, attr string) (object.Type, error) {
+	a, _, ok := c.ctx.DB.ResolveAttr(class, attr)
+	if !ok {
+		return nil, typeErrf("class %s has no attribute %q", class, attr)
+	}
+	t, ok := a.Type.(object.Type)
+	if !ok {
+		return nil, typeErrf("attribute %s.%s has no resolved type", class, attr)
+	}
+	return t, nil
+}
+
+func (c *checker) check(n Node) (object.Type, error) {
+	switch n := n.(type) {
+	case Lit:
+		return litType(n.Val), nil
+	case SetLit:
+		var elem object.Type
+		for _, e := range n.Elems {
+			t, err := c.check(e)
+			if err != nil {
+				return nil, err
+			}
+			if elem == nil {
+				elem = t
+			} else if !sameFamily(elem, t) {
+				return nil, typeErrf("mixed element types in set literal: %s vs %s", elem, t)
+			}
+		}
+		if elem == nil {
+			elem = object.TString // empty set; element type is irrelevant
+		}
+		return object.SetType{Elem: elem}, nil
+	case Ident:
+		return c.checkIdent(n.Name)
+	case Path:
+		rt, err := c.check(n.Recv)
+		if err != nil {
+			return nil, err
+		}
+		switch rt := rt.(type) {
+		case object.ClassType:
+			return c.attrType(rt.Class, n.Attr)
+		case object.TupleType:
+			ft, ok := rt.Fields[n.Attr]
+			if !ok {
+				return nil, typeErrf("tuple has no field %q", n.Attr)
+			}
+			return ft, nil
+		default:
+			return nil, typeErrf("cannot access attribute %q of a value of type %s", n.Attr, rt)
+		}
+	case Unary:
+		t, err := c.check(n.X)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == OpNot {
+			if !isBool(t) {
+				return nil, typeErrf("not applied to non-boolean %s", t)
+			}
+			return object.TBool, nil
+		}
+		if !object.Numeric(t) {
+			return nil, typeErrf("unary minus applied to non-numeric %s", t)
+		}
+		return numUnify(t, t), nil
+	case Binary:
+		return c.checkBinary(n)
+	case In:
+		xt, err := c.check(n.X)
+		if err != nil {
+			return nil, err
+		}
+		st, err := c.check(n.Set)
+		if err != nil {
+			return nil, err
+		}
+		set, ok := st.(object.SetType)
+		if !ok {
+			return nil, typeErrf("right side of in is %s, not a set", st)
+		}
+		if !sameFamily(xt, set.Elem) {
+			return nil, typeErrf("in: element type %s vs set of %s", xt, set.Elem)
+		}
+		return object.TBool, nil
+	case Call:
+		return c.checkCall(n)
+	case Agg:
+		return c.checkAgg(n)
+	case Quant:
+		for _, b := range n.Binders {
+			if _, ok := c.ctx.DB.Class(b.Class); !ok {
+				return nil, typeErrf("quantifier over unknown class %s", b.Class)
+			}
+			c.vars[b.Var] = b.Class
+		}
+		defer func() {
+			for _, b := range n.Binders {
+				delete(c.vars, b.Var)
+			}
+		}()
+		bt, err := c.check(n.Body)
+		if err != nil {
+			return nil, err
+		}
+		if !isBool(bt) {
+			return nil, typeErrf("quantifier body is not boolean")
+		}
+		return object.TBool, nil
+	case Key:
+		if c.ctx.Class == "" {
+			return nil, typeErrf("key constraint outside a class")
+		}
+		for _, a := range n.Attrs {
+			if _, err := c.attrType(c.ctx.Class, a); err != nil {
+				return nil, err
+			}
+		}
+		return object.TBool, nil
+	default:
+		return nil, typeErrf("internal: unknown node %T", n)
+	}
+}
+
+func (c *checker) checkIdent(name string) (object.Type, error) {
+	if cls, ok := c.vars[name]; ok {
+		return object.ClassType{Class: cls}, nil
+	}
+	if name == "self" {
+		if c.ctx.Class == "" {
+			return nil, typeErrf("self used outside a class context")
+		}
+		return object.ClassType{Class: c.ctx.Class}, nil
+	}
+	if c.ctx.Class != "" {
+		if t, err := c.attrType(c.ctx.Class, name); err == nil {
+			return t, nil
+		}
+	}
+	if t, ok := c.ctx.Consts[name]; ok {
+		return t, nil
+	}
+	return nil, typeErrf("unknown identifier %q in class %q", name, c.ctx.Class)
+}
+
+func (c *checker) checkBinary(n Binary) (object.Type, error) {
+	lt, err := c.check(n.L)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := c.check(n.R)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case n.Op.IsBool():
+		if !isBool(lt) || !isBool(rt) {
+			return nil, typeErrf("%s requires boolean operands, got %s and %s", n.Op, lt, rt)
+		}
+		return object.TBool, nil
+	case n.Op.IsComparison():
+		if n.Op == OpEq || n.Op == OpNe {
+			if !sameFamily(lt, rt) {
+				return nil, typeErrf("cannot compare %s with %s", lt, rt)
+			}
+			return object.TBool, nil
+		}
+		if !(object.Numeric(lt) && object.Numeric(rt)) && !bothStrings(lt, rt) {
+			return nil, typeErrf("ordering %s requires numeric or string operands, got %s and %s", n.Op, lt, rt)
+		}
+		return object.TBool, nil
+	default: // arithmetic
+		if _, ok := lt.(object.SetType); ok && n.Op == OpAdd {
+			if !lt.EqualType(rt) {
+				return nil, typeErrf("set union requires equal set types, got %s and %s", lt, rt)
+			}
+			return lt, nil
+		}
+		if !object.Numeric(lt) || !object.Numeric(rt) {
+			return nil, typeErrf("arithmetic %s requires numeric operands, got %s and %s", n.Op, lt, rt)
+		}
+		if n.Op == OpDiv {
+			return object.TReal, nil
+		}
+		return numUnify(lt, rt), nil
+	}
+}
+
+func (c *checker) checkCall(n Call) (object.Type, error) {
+	var args []object.Type
+	for _, a := range n.Args {
+		t, err := c.check(a)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, t)
+	}
+	switch n.Fn {
+	case "contains":
+		if len(args) != 2 || !isString(args[0]) || !isString(args[1]) {
+			return nil, typeErrf("contains requires (string, string)")
+		}
+		return object.TBool, nil
+	case "length":
+		if len(args) != 1 {
+			return nil, typeErrf("length requires 1 argument")
+		}
+		if _, ok := args[0].(object.SetType); !ok && !isString(args[0]) {
+			return nil, typeErrf("length requires a string or set, got %s", args[0])
+		}
+		return object.TInt, nil
+	case "abs":
+		if len(args) != 1 || !object.Numeric(args[0]) {
+			return nil, typeErrf("abs requires a numeric argument")
+		}
+		return numUnify(args[0], args[0]), nil
+	default:
+		return nil, typeErrf("unknown function %q", n.Fn)
+	}
+}
+
+func (c *checker) checkAgg(n Agg) (object.Type, error) {
+	var class string
+	if id, ok := n.Src.(Ident); ok {
+		if id.Name == "self" {
+			if c.ctx.Class == "" {
+				return nil, typeErrf("aggregate over self outside a class context")
+			}
+			class = c.ctx.Class
+		} else {
+			if _, ok := c.ctx.DB.Class(id.Name); !ok {
+				return nil, typeErrf("aggregate over unknown class %s", id.Name)
+			}
+			class = id.Name
+		}
+	} else {
+		return nil, typeErrf("unsupported aggregate source %s", n.Src)
+	}
+	if n.Fn == "count" {
+		return object.TInt, nil
+	}
+	ot, err := c.attrType(class, n.Over)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Fn {
+	case "sum", "avg":
+		if !object.Numeric(ot) {
+			return nil, typeErrf("%s over non-numeric attribute %s.%s", n.Fn, class, n.Over)
+		}
+		return object.TReal, nil
+	case "min", "max":
+		return ot, nil
+	default:
+		return nil, typeErrf("unknown aggregate %q", n.Fn)
+	}
+}
+
+func litType(v object.Value) object.Type {
+	switch v.Kind() {
+	case object.KindInt:
+		return object.TInt
+	case object.KindReal:
+		return object.TReal
+	case object.KindString:
+		return object.TString
+	case object.KindBool:
+		return object.TBool
+	case object.KindSet:
+		s := v.(object.Set)
+		if s.Len() > 0 {
+			return object.SetType{Elem: litType(s.Elems()[0])}
+		}
+		return object.SetType{Elem: object.TString}
+	default:
+		return object.TString
+	}
+}
+
+func isBool(t object.Type) bool {
+	b, ok := t.(object.BasicType)
+	return ok && b.K == object.KindBool
+}
+
+func isString(t object.Type) bool {
+	b, ok := t.(object.BasicType)
+	return ok && b.K == object.KindString
+}
+
+func bothStrings(a, b object.Type) bool { return isString(a) && isString(b) }
+
+// sameFamily reports whether values of the two types are meaningfully
+// comparable with = and in: numerics with numerics, strings with strings,
+// bools with bools, refs of any classes (identity compare), equal set
+// element families.
+func sameFamily(a, b object.Type) bool {
+	if object.Numeric(a) && object.Numeric(b) {
+		return true
+	}
+	switch a := a.(type) {
+	case object.BasicType:
+		bb, ok := b.(object.BasicType)
+		return ok && a.K == bb.K
+	case object.ClassType:
+		_, ok := b.(object.ClassType)
+		return ok
+	case object.SetType:
+		bs, ok := b.(object.SetType)
+		return ok && sameFamily(a.Elem, bs.Elem)
+	case object.TupleType:
+		_, ok := b.(object.TupleType)
+		return ok
+	}
+	return false
+}
+
+// numUnify joins two numeric types: any real makes the result real; range
+// types decay to int.
+func numUnify(a, b object.Type) object.Type {
+	isReal := func(t object.Type) bool {
+		bt, ok := t.(object.BasicType)
+		return ok && bt.K == object.KindReal
+	}
+	if isReal(a) || isReal(b) {
+		return object.TReal
+	}
+	return object.TInt
+}

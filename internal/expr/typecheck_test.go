@@ -1,0 +1,194 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"interopdb/internal/object"
+	"interopdb/internal/schema"
+)
+
+// booksellerSchema builds the Bookseller half of Figure 1.
+func booksellerSchema(t *testing.T) *schema.Database {
+	t.Helper()
+	d := schema.NewDatabase("Bookseller")
+	add := func(c *schema.Class) {
+		if err := d.AddClass(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&schema.Class{Name: "Item", Attrs: []schema.Attribute{
+		{Name: "title", Type: object.TString},
+		{Name: "isbn", Type: object.TString},
+		{Name: "publisher", Type: object.ClassType{Class: "Publisher"}},
+		{Name: "authors", Type: object.SetType{Elem: object.TString}},
+		{Name: "shopprice", Type: object.TReal},
+		{Name: "libprice", Type: object.TReal},
+	}})
+	add(&schema.Class{Name: "Proceedings", Super: "Item", Attrs: []schema.Attribute{
+		{Name: "ref?", Type: object.TBool},
+		{Name: "rating", Type: object.RangeType{Lo: 1, Hi: 10}},
+	}})
+	add(&schema.Class{Name: "Monograph", Super: "Item", Attrs: []schema.Attribute{
+		{Name: "subjects", Type: object.SetType{Elem: object.TString}},
+	}})
+	add(&schema.Class{Name: "Publisher", Attrs: []schema.Attribute{
+		{Name: "name", Type: object.TString},
+		{Name: "location", Type: object.TString},
+	}})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func checkIn(t *testing.T, d *schema.Database, class, src string) error {
+	t.Helper()
+	ctx := &CheckCtx{
+		DB:    d,
+		Class: class,
+		Consts: map[string]object.Type{
+			"MAX":             object.TReal,
+			"KNOWNPUBLISHERS": object.SetType{Elem: object.TString},
+		},
+	}
+	return CheckConstraint(MustParse(src), ctx)
+}
+
+func TestCheckFigure1Bookseller(t *testing.T) {
+	d := booksellerSchema(t)
+	good := []struct{ class, src string }{
+		{"Item", "libprice <= shopprice"},
+		{"Item", "key isbn"},
+		{"Proceedings", "publisher.name='IEEE' implies ref?=true"},
+		{"Proceedings", "ref?=true implies rating >= 7"},
+		{"Proceedings", "publisher.name='ACM' implies rating >= 6"},
+		{"Proceedings", "rating in {6,7,8}"},
+		{"Monograph", "'db' in subjects"},
+		{"Item", "contains(title, 'Proceed')"},
+		{"Item", "(sum (collect x for x in self) over shopprice) < MAX"},
+		{"Proceedings", "(avg (collect x for x in self) over rating) < 4"},
+		{"Item", "(count (collect x for x in self)) >= 0"},
+		{"Item", "(min (collect x for x in self) over title) = 'a'"},
+		{"", "forall p in Publisher exists i in Item | i.publisher = p"},
+		{"Proceedings", "rating * 2 >= 2"},
+		{"Item", "length(authors) >= 0"},
+		{"Item", "abs(libprice - shopprice) < 100"},
+		{"Proceedings", "key isbn, rating"}, // inherited + own attr
+	}
+	for _, c := range good {
+		if err := checkIn(t, d, c.class, c.src); err != nil {
+			t.Errorf("CheckConstraint(%q in %s): %v", c.src, c.class, err)
+		}
+	}
+}
+
+func TestCheckRejectsIllTyped(t *testing.T) {
+	d := booksellerSchema(t)
+	bad := []struct{ class, src, wantSub string }{
+		{"Item", "title + 1 = 2", "arithmetic"},
+		{"Item", "title < 5", "ordering"},
+		{"Item", "libprice = title", "compare"},
+		{"Item", "nosuch = 1", "unknown identifier"},
+		{"Item", "publisher.nosuch = 1", "no attribute"},
+		{"Item", "title.name = 'x'", "cannot access attribute"},
+		{"Proceedings", "rating in {'a','b'}", "element type"},
+		{"Item", "rating >= 2", "unknown identifier"}, // rating is on Proceedings
+		{"Item", "libprice in shopprice", "not a set"},
+		{"Item", "title implies isbn = 'x'", "boolean"},
+		{"Item", "not title", "non-boolean"},
+		{"Item", "contains(libprice, 'x')", "contains"},
+		{"Item", "length(libprice) = 1", "length"},
+		{"Item", "abs(title) = 1", "abs"},
+		{"Item", "nosuchfn(1)", "unknown function"},
+		{"Item", "(sum (collect x for x in self) over title) < 1", "non-numeric"},
+		{"Item", "(sum (collect x for x in NoClass) over title) < 1", "unknown class"},
+		{"", "forall p in NoClass | true", "unknown class"},
+		{"", "key isbn", "outside a class"},
+		{"Item", "key nosuch", "no attribute"},
+		{"Item", "libprice", "not boolean"},
+		{"Item", "{1,'a'}=x", "mixed element types"},
+		{"", "self = self", "outside a class"},
+		{"Item", "authors + {1}", "set union requires equal set types"},
+	}
+	for _, c := range bad {
+		err := checkIn(t, d, c.class, c.src)
+		if err == nil {
+			t.Errorf("CheckConstraint(%q in %s) should fail", c.src, c.class)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("CheckConstraint(%q) error %q should mention %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestCheckInheritedAttrs(t *testing.T) {
+	d := booksellerSchema(t)
+	// Proceedings sees Item's attributes.
+	if err := checkIn(t, d, "Proceedings", "libprice <= shopprice"); err != nil {
+		t.Errorf("inherited attributes should resolve: %v", err)
+	}
+}
+
+func TestCheckResultTypes(t *testing.T) {
+	d := booksellerSchema(t)
+	ctx := &CheckCtx{DB: d, Class: "Proceedings", Consts: map[string]object.Type{}}
+	cases := []struct {
+		src  string
+		want object.Type
+	}{
+		{"rating", object.RangeType{Lo: 1, Hi: 10}},
+		{"rating + 1", object.TInt},
+		{"rating + 0.5", object.TReal},
+		{"rating / 2", object.TReal},
+		{"libprice", object.TReal},
+		{"title", object.TString},
+		{"ref?", object.TBool},
+		{"-rating", object.TInt},
+		{"{1,2}", object.SetType{Elem: object.TInt}},
+		{"(min (collect x for x in self) over rating)", object.RangeType{Lo: 1, Hi: 10}},
+		{"(avg (collect x for x in self) over rating)", object.TReal},
+		{"(count (collect x for x in self))", object.TInt},
+		{"authors + authors", object.SetType{Elem: object.TString}},
+		{"publisher", object.ClassType{Class: "Publisher"}},
+		{"abs(rating)", object.TInt},
+		{"length(title)", object.TInt},
+	}
+	for _, c := range cases {
+		got, err := Check(MustParse(c.src), ctx)
+		if err != nil {
+			t.Errorf("Check(%q): %v", c.src, err)
+			continue
+		}
+		if !got.EqualType(c.want) {
+			t.Errorf("Check(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestCheckVarBindings(t *testing.T) {
+	d := booksellerSchema(t)
+	ctx := &CheckCtx{DB: d, Class: "", Vars: map[string]string{"o": "Proceedings"}}
+	if err := CheckConstraint(MustParse("o.rating >= 7"), ctx); err != nil {
+		t.Errorf("pre-bound variable: %v", err)
+	}
+	if err := CheckConstraint(MustParse("o.nosuch >= 7"), ctx); err == nil {
+		t.Error("bad attribute on bound var should fail")
+	}
+	// Ref equality between class-typed expressions.
+	ctx2 := &CheckCtx{DB: d, Class: "", Vars: map[string]string{"a": "Publisher", "b": "Publisher"}}
+	if err := CheckConstraint(MustParse("a = b"), ctx2); err != nil {
+		t.Errorf("ref equality: %v", err)
+	}
+}
+
+func TestCheckQuantifierScoping(t *testing.T) {
+	d := booksellerSchema(t)
+	ctx := &CheckCtx{DB: d}
+	// p escapes its quantifier: must fail.
+	src := "(forall p in Publisher | p.name != '') and p.name = 'x'"
+	if err := CheckConstraint(MustParse(src), ctx); err == nil {
+		t.Error("quantifier variable should not escape")
+	}
+}

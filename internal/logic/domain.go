@@ -1,0 +1,522 @@
+package logic
+
+import (
+	"math"
+
+	"interopdb/internal/expr"
+	"interopdb/internal/object"
+)
+
+// domain is the abstract value set of one attribute path within a literal
+// conjunction: a numeric interval, an optional finite set of allowed
+// values, and a list of excluded values.
+type domain struct {
+	lo, hi             float64
+	loStrict, hiStrict bool
+	allowed            *object.Set // nil means unrestricted
+	excluded           []object.Value
+	integer            bool // integer-valued attribute (int or range type)
+}
+
+func newDomain() *domain {
+	return &domain{lo: math.Inf(-1), hi: math.Inf(1)}
+}
+
+func (d *domain) clone() *domain {
+	nd := *d
+	if d.allowed != nil {
+		s := *d.allowed
+		nd.allowed = &s
+	}
+	nd.excluded = append([]object.Value(nil), d.excluded...)
+	return &nd
+}
+
+// tightenLo raises the lower bound; returns true if anything changed.
+func (d *domain) tightenLo(v float64, strict bool) bool {
+	if v > d.lo || (v == d.lo && strict && !d.loStrict) {
+		d.lo = v
+		d.loStrict = strict
+		return true
+	}
+	return false
+}
+
+// tightenHi lowers the upper bound; returns true if anything changed.
+func (d *domain) tightenHi(v float64, strict bool) bool {
+	if v < d.hi || (v == d.hi && strict && !d.hiStrict) {
+		d.hi = v
+		d.hiStrict = strict
+		return true
+	}
+	return false
+}
+
+// restrictAllowed intersects the allowed set.
+func (d *domain) restrictAllowed(s object.Set) {
+	if d.allowed == nil {
+		d.allowed = &s
+		return
+	}
+	ns := d.allowed.Intersect(s)
+	d.allowed = &ns
+}
+
+// exclude removes a single value.
+func (d *domain) exclude(v object.Value) {
+	for _, have := range d.excluded {
+		if have.Equal(v) {
+			return
+		}
+	}
+	d.excluded = append(d.excluded, v)
+}
+
+// applyCmp applies `path op val` to the domain. Unsupported combinations
+// (ordering against non-numeric constants is handled for strings by
+// allowed-set filtering only at emptiness time) are recorded exactly when
+// representable; string ordering atoms return false (not representable).
+func (d *domain) applyCmp(op expr.Op, val object.Value) bool {
+	switch op {
+	case expr.OpEq:
+		d.restrictAllowed(object.NewSet(val))
+		if f, ok := object.AsFloat(val); ok {
+			d.tightenLo(f, false)
+			d.tightenHi(f, false)
+		}
+		return true
+	case expr.OpNe:
+		d.exclude(val)
+		return true
+	}
+	f, ok := object.AsFloat(val)
+	if !ok {
+		return false // e.g. string ordering: outside the theory
+	}
+	switch op {
+	case expr.OpLt:
+		d.tightenHi(f, true)
+	case expr.OpLe:
+		d.tightenHi(f, false)
+	case expr.OpGt:
+		d.tightenLo(f, true)
+	case expr.OpGe:
+		d.tightenLo(f, false)
+	default:
+		return false
+	}
+	return true
+}
+
+// intAdjust narrows fractional/strict bounds to integral closed bounds for
+// integer-typed attributes: x > 2.5 becomes x >= 3.
+func (d *domain) intAdjust() {
+	if !d.integer {
+		return
+	}
+	if !math.IsInf(d.lo, -1) {
+		lo := math.Ceil(d.lo)
+		if lo == d.lo && d.loStrict {
+			lo++
+		}
+		d.lo, d.loStrict = lo, false
+	}
+	if !math.IsInf(d.hi, 1) {
+		hi := math.Floor(d.hi)
+		if hi == d.hi && d.hiStrict {
+			hi--
+		}
+		d.hi, d.hiStrict = hi, false
+	}
+}
+
+// syncBounds tightens the numeric interval to the hull of the still-
+// admissible allowed-set elements, so attribute-to-attribute propagation
+// sees finite-domain information. Reports whether anything changed.
+func (d *domain) syncBounds() bool {
+	if d.allowed == nil {
+		return false
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	allNumeric := true
+	any := false
+	for _, v := range d.allowed.Elems() {
+		if !d.inBounds(v) || d.isExcluded(v) {
+			continue
+		}
+		any = true
+		f, ok := object.AsFloat(v)
+		if !ok {
+			allNumeric = false
+			break
+		}
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if !allNumeric || !any {
+		return false
+	}
+	changed := d.tightenLo(lo, false)
+	if d.tightenHi(hi, false) {
+		changed = true
+	}
+	return changed
+}
+
+// isExcluded reports whether v is excluded.
+func (d *domain) isExcluded(v object.Value) bool {
+	for _, e := range d.excluded {
+		if e.Equal(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// inBounds reports whether a value satisfies the numeric interval (non-
+// numeric values trivially do).
+func (d *domain) inBounds(v object.Value) bool {
+	f, ok := object.AsFloat(v)
+	if !ok {
+		return true
+	}
+	if f < d.lo || (f == d.lo && d.loStrict) {
+		return false
+	}
+	if f > d.hi || (f == d.hi && d.hiStrict) {
+		return false
+	}
+	return true
+}
+
+// empty decides whether the domain admits no value. Complete for finite
+// allowed sets; for pure intervals it is complete over the reals, and over
+// the integers it additionally counts small excluded ranges.
+func (d *domain) empty() bool {
+	d.intAdjust()
+	if d.allowed != nil {
+		for _, v := range d.allowed.Elems() {
+			if d.inBounds(v) && !d.isExcluded(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if d.lo > d.hi {
+		return true
+	}
+	if d.lo == d.hi {
+		if d.loStrict || d.hiStrict {
+			return true
+		}
+		return d.isExcluded(numValue(d.lo, d.integer))
+	}
+	if d.integer && !math.IsInf(d.lo, -1) && !math.IsInf(d.hi, 1) {
+		span := int64(d.hi) - int64(d.lo) + 1
+		if span <= 4096 { // enumerate small integer ranges exactly
+			for n := int64(d.lo); n <= int64(d.hi); n++ {
+				if !d.isExcluded(object.Int(n)) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func numValue(f float64, integer bool) object.Value {
+	if integer && f == math.Trunc(f) {
+		return object.Int(int64(f))
+	}
+	return object.Real(f)
+}
+
+// varCmp is an attribute-to-attribute comparison within a conjunction.
+type varCmp struct {
+	l, r string
+	op   expr.Op
+}
+
+// theory checks satisfiability of a literal conjunction. It returns
+// (satisfiable, exact): exact is false when some literal fell outside the
+// theory (opaque atoms, string ordering), in which case a true result must
+// be downgraded to Unknown by the caller.
+func theory(lits []lit, types map[string]object.Type) (bool, bool) {
+	doms := map[string]*domain{}
+	var rels []varCmp
+	exact := true
+
+	dom := func(p string) *domain {
+		d, ok := doms[p]
+		if !ok {
+			d = newDomain()
+			if t, ok := types[p]; ok {
+				if lo, hi, ok := object.Bounds(t); ok {
+					d.tightenLo(lo, false)
+					d.tightenHi(hi, false)
+				}
+				switch tt := t.(type) {
+				case object.RangeType:
+					d.integer = true
+				case object.BasicType:
+					switch tt.K {
+					case object.KindInt:
+						d.integer = true
+					case object.KindBool:
+						d.restrictAllowed(object.NewSet(object.Bool(false), object.Bool(true)))
+					}
+				}
+			}
+			doms[p] = d
+		}
+		return d
+	}
+
+	// Opaque atoms: a conjunction containing both A and ¬A for the same
+	// key is propositionally unsat; otherwise they are unconstrained.
+	opaque := map[string]bool{}
+
+	for _, l := range lits {
+		switch l.a.kind {
+		case atomOpaque:
+			if have, ok := opaque[l.a.key]; ok && have != !l.neg {
+				return false, exact
+			}
+			opaque[l.a.key] = !l.neg
+			exact = false
+		case atomCmp:
+			op := l.a.op
+			if l.neg {
+				op = op.Negate()
+			}
+			if !dom(l.a.path).applyCmp(op, l.a.val) {
+				exact = false
+			}
+		case atomMember:
+			d := dom(l.a.path)
+			if !l.neg {
+				d.restrictAllowed(l.a.set)
+			} else {
+				for _, e := range l.a.set.Elems() {
+					d.exclude(e)
+				}
+			}
+		case atomVarCmp:
+			op := l.a.op
+			if l.neg {
+				op = op.Negate()
+			}
+			rels = append(rels, varCmp{l: l.a.path, r: l.a.rhs, op: op})
+			dom(l.a.path)
+			dom(l.a.rhs)
+			// Ordering between attributes is interpreted numerically; if
+			// either side is not known to be numeric the propagation may
+			// under-constrain, so a Sat answer must not be definitive.
+			if op != expr.OpEq && op != expr.OpNe {
+				lt, lok := types[l.a.path]
+				rt, rok := types[l.a.rhs]
+				if !lok || !rok || !object.Numeric(lt) || !object.Numeric(rt) {
+					exact = false
+				}
+			}
+		}
+	}
+
+	// Bound propagation over attribute-to-attribute comparisons, to a
+	// fixpoint (bounded by a generous iteration cap). Finite allowed sets
+	// feed their numeric hull into the interval reasoning each round.
+	for iter := 0; iter < len(rels)*4+8; iter++ {
+		changed := false
+		for _, d := range doms {
+			if d.syncBounds() {
+				changed = true
+			}
+		}
+		for _, rc := range rels {
+			ld, rd := doms[rc.l], doms[rc.r]
+			switch rc.op {
+			case expr.OpLe, expr.OpLt:
+				strict := rc.op == expr.OpLt
+				if ld.tightenHi(rd.hi, rd.hiStrict || strict) {
+					changed = true
+				}
+				if rd.tightenLo(ld.lo, ld.loStrict || strict) {
+					changed = true
+				}
+			case expr.OpGe, expr.OpGt:
+				strict := rc.op == expr.OpGt
+				if ld.tightenLo(rd.lo, rd.loStrict || strict) {
+					changed = true
+				}
+				if rd.tightenHi(ld.hi, ld.hiStrict || strict) {
+					changed = true
+				}
+			case expr.OpEq:
+				if ld.tightenLo(rd.lo, rd.loStrict) {
+					changed = true
+				}
+				if ld.tightenHi(rd.hi, rd.hiStrict) {
+					changed = true
+				}
+				if rd.tightenLo(ld.lo, ld.loStrict) {
+					changed = true
+				}
+				if rd.tightenHi(ld.hi, ld.hiStrict) {
+					changed = true
+				}
+				// Intersect allowed sets both ways.
+				if rd.allowed != nil {
+					before := -1
+					if ld.allowed != nil {
+						before = ld.allowed.Len()
+					}
+					ld.restrictAllowed(*rd.allowed)
+					if ld.allowed.Len() != before {
+						changed = changed || before != ld.allowed.Len()
+					}
+				}
+				if ld.allowed != nil {
+					before := -1
+					if rd.allowed != nil {
+						before = rd.allowed.Len()
+					}
+					rd.restrictAllowed(*ld.allowed)
+					if rd.allowed.Len() != before {
+						changed = changed || before != rd.allowed.Len()
+					}
+				}
+			case expr.OpNe:
+				// Handled after propagation (needs singleton detection).
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for _, d := range doms {
+		if d.empty() {
+			return false, exact
+		}
+	}
+
+	// Order-cycle analysis over the attribute comparison graph: a ≤-cycle
+	// containing a strict edge is unsatisfiable (x < y ≤ ... ≤ x), and a
+	// two-way ≤ reachability pins two attributes equal, contradicting any
+	// disequality between them.
+	if len(rels) > 0 {
+		idx := map[string]int{}
+		id := func(p string) int {
+			if i, ok := idx[p]; ok {
+				return i
+			}
+			idx[p] = len(idx)
+			return len(idx) - 1
+		}
+		type edge struct {
+			from, to int
+			strict   bool
+		}
+		var edges []edge
+		for _, rc := range rels {
+			l, r := id(rc.l), id(rc.r)
+			switch rc.op {
+			case expr.OpLe:
+				edges = append(edges, edge{l, r, false})
+			case expr.OpLt:
+				edges = append(edges, edge{l, r, true})
+			case expr.OpGe:
+				edges = append(edges, edge{r, l, false})
+			case expr.OpGt:
+				edges = append(edges, edge{r, l, true})
+			case expr.OpEq:
+				edges = append(edges, edge{l, r, false}, edge{r, l, false})
+			}
+		}
+		n := len(idx)
+		reach := make([][]bool, n)
+		for i := range reach {
+			reach[i] = make([]bool, n)
+			reach[i][i] = true
+		}
+		for _, e := range edges {
+			reach[e.from][e.to] = true
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				if !reach[i][k] {
+					continue
+				}
+				for j := 0; j < n; j++ {
+					if reach[k][j] {
+						reach[i][j] = true
+					}
+				}
+			}
+		}
+		for _, e := range edges {
+			if e.strict && reach[e.to][e.from] {
+				return false, exact
+			}
+		}
+		for _, rc := range rels {
+			if rc.op != expr.OpNe {
+				continue
+			}
+			l, r := id(rc.l), id(rc.r)
+			if reach[l][r] && reach[r][l] {
+				return false, exact
+			}
+		}
+	}
+
+	// Disequalities: unsat when both sides are pinned to the same single
+	// value.
+	for _, rc := range rels {
+		if rc.op != expr.OpNe {
+			continue
+		}
+		lv, lok := singleton(doms[rc.l])
+		rv, rok := singleton(doms[rc.r])
+		if lok && rok && lv.Equal(rv) {
+			return false, exact
+		}
+	}
+	// Attribute-to-attribute equality between non-numeric paths whose
+	// allowed sets are disjoint: unsat (caught above by intersection →
+	// empty). Nothing further to do.
+	return true, exact
+}
+
+// singleton extracts the single admissible value of a domain, if pinned.
+func singleton(d *domain) (object.Value, bool) {
+	if d == nil {
+		return nil, false
+	}
+	if d.allowed != nil {
+		var only object.Value
+		n := 0
+		for _, v := range d.allowed.Elems() {
+			if d.inBounds(v) && !d.isExcluded(v) {
+				only = v
+				n++
+			}
+		}
+		if n == 1 {
+			return only, true
+		}
+		return nil, false
+	}
+	if d.lo == d.hi && !d.loStrict && !d.hiStrict && !math.IsInf(d.lo, 0) {
+		v := numValue(d.lo, d.integer)
+		if !d.isExcluded(v) {
+			return v, true
+		}
+	}
+	return nil, false
+}

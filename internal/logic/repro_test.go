@@ -1,0 +1,71 @@
+package logic
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"interopdb/internal/expr"
+	"interopdb/internal/object"
+)
+
+// TestModelCheckingSoak is a heavier randomized completeness soak of the
+// theory core against brute-force model enumeration (fixed seeds so CI is
+// deterministic; TestQuickModelChecking covers fresh seeds per run).
+func TestModelCheckingSoak(t *testing.T) {
+	types := map[string]object.Type{"x": object.RangeType{Lo: 0, Hi: 7}, "y": object.RangeType{Lo: 0, Hi: 7}}
+	c := &Checker{Types: types}
+	ops := []string{">=", "<=", "=", "!=", "<", ">"}
+	for seed := int64(0); seed < 3000; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		var nodes []expr.Node
+		n := r.Intn(5) + 1
+		for i := 0; i < n; i++ {
+			v := "x"
+			if r.Intn(2) == 0 {
+				v = "y"
+			}
+			switch r.Intn(4) {
+			case 0:
+				nodes = append(nodes, expr.MustParse(fmt.Sprintf("%s %s %d", v, ops[r.Intn(len(ops))], r.Intn(8))))
+			case 1:
+				nodes = append(nodes, expr.MustParse(fmt.Sprintf("x %s y", ops[r.Intn(len(ops))])))
+			case 2:
+				nodes = append(nodes, expr.MustParse(fmt.Sprintf("%s in {%d,%d}", v, r.Intn(8), r.Intn(8))))
+			default:
+				nodes = append(nodes, expr.MustParse(fmt.Sprintf("%s not in {%d,%d}", v, r.Intn(8), r.Intn(8))))
+			}
+		}
+		got := c.Satisfiable(nodes...)
+		bruteSat := false
+		for x := int64(0); x <= 7 && !bruteSat; x++ {
+			for y := int64(0); y <= 7; y++ {
+				env := &expr.Env{Vars: map[string]expr.Object{"self": expr.MapObject{
+					"x": object.Int(x), "y": object.Int(y),
+				}}}
+				all := true
+				for _, nd := range nodes {
+					ok, err := env.EvalBool(nd)
+					if err != nil || !ok {
+						all = false
+						break
+					}
+				}
+				if all {
+					bruteSat = true
+					break
+				}
+			}
+		}
+		want := No
+		if bruteSat {
+			want = Yes
+		}
+		if got != want {
+			t.Errorf("seed %d: solver=%v brute=%v for %v", seed, got, want, nodes)
+			if seed > 100 && t.Failed() {
+				return
+			}
+		}
+	}
+}

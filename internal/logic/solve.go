@@ -1,0 +1,324 @@
+package logic
+
+import (
+	"interopdb/internal/expr"
+	"interopdb/internal/object"
+)
+
+// Checker carries the reasoning configuration: attribute types (path →
+// object.Type) that sharpen the theory (range bounds, integrality,
+// booleans), and a branch budget bounding the DNF enumeration.
+type Checker struct {
+	// Types maps self-rooted attribute paths ("rating",
+	// "publisher.name") to their types.
+	Types map[string]object.Type
+	// MaxBranches caps DNF enumeration; exceeded → Unknown. Zero means
+	// the default (20000).
+	MaxBranches int
+}
+
+func (c *Checker) maxBranches() int {
+	if c == nil || c.MaxBranches <= 0 {
+		return 20000
+	}
+	return c.MaxBranches
+}
+
+func (c *Checker) types() map[string]object.Type {
+	if c == nil {
+		return nil
+	}
+	return c.Types
+}
+
+// Satisfiable decides whether the conjunction of the given formulas admits
+// a model. Yes/No are definitive; Unknown arises outside the fragment or
+// past the work limit.
+func (c *Checker) Satisfiable(ns ...expr.Node) Verdict {
+	conv := &converter{}
+	parts := make(conj, 0, len(ns))
+	for _, n := range ns {
+		f, err := conv.toForm(n, false)
+		if err != nil {
+			return Unknown
+		}
+		parts = append(parts, f)
+	}
+	return c.satForm(parts, conv.sawOpaque)
+}
+
+// satForm enumerates DNF branches of f and theory-checks each.
+func (c *Checker) satForm(f form, sawOpaque bool) Verdict {
+	budget := c.maxBranches()
+	exhausted := false
+	anyInexact := sawOpaque
+	var found bool
+
+	var rec func(stack []form, lits []lit) bool // returns true when sat found
+	rec = func(stack []form, lits []lit) bool {
+		if budget <= 0 {
+			exhausted = true
+			return false
+		}
+		if len(stack) == 0 {
+			budget--
+			ok, exact := theory(lits, c.types())
+			if !exact {
+				anyInexact = true
+			}
+			if ok {
+				found = true
+				if exact && !sawOpaque {
+					return true // definitive model
+				}
+				// Inexact model: keep whether any exact one exists? A sat
+				// answer from an inexact branch is only "maybe"; continue
+				// searching for an exact branch.
+				return false
+			}
+			return false
+		}
+		top := stack[len(stack)-1]
+		rest := stack[:len(stack)-1]
+		switch top := top.(type) {
+		case conj:
+			ns := append(append([]form{}, rest...), top...)
+			return rec(ns, lits)
+		case disj:
+			for _, alt := range top {
+				ns := append(append([]form{}, rest...), alt)
+				if rec(ns, append([]lit{}, lits...)) {
+					return true
+				}
+				if exhausted {
+					return false
+				}
+			}
+			return false
+		case leaf:
+			return rec(rest, append(lits, lit(top)))
+		}
+		return false
+	}
+
+	definitive := rec([]form{f}, nil)
+	switch {
+	case definitive:
+		return Yes
+	case exhausted:
+		return Unknown
+	case found: // only inexact models found
+		return Unknown
+	case anyInexact:
+		// All branches refuted, but some refutations involved inexact
+		// literals. Refutation is still sound: every constraint the theory
+		// did apply is a true consequence, and opaque contradictions are
+		// propositional. So No stands.
+		return No
+	default:
+		return No
+	}
+}
+
+// Entails decides premises ⊨ conclusion by refuting premises ∧ ¬conclusion.
+func (c *Checker) Entails(premises []expr.Node, conclusion expr.Node) Verdict {
+	conv := &converter{}
+	parts := make(conj, 0, len(premises)+1)
+	for _, p := range premises {
+		f, err := conv.toForm(p, false)
+		if err != nil {
+			return Unknown
+		}
+		parts = append(parts, f)
+	}
+	negConc, err := conv.toForm(conclusion, true)
+	if err != nil {
+		return Unknown
+	}
+	parts = append(parts, negConc)
+	switch c.satForm(parts, conv.sawOpaque) {
+	case No:
+		return Yes // premises ∧ ¬conclusion unsat ⇒ entailment
+	case Yes:
+		return No
+	default:
+		return Unknown
+	}
+}
+
+// EntailsAll reports whether premises entail every conclusion; the verdict
+// is the weakest individual verdict (No dominates Unknown dominates Yes).
+func (c *Checker) EntailsAll(premises []expr.Node, conclusions []expr.Node) Verdict {
+	out := Yes
+	for _, cc := range conclusions {
+		switch c.Entails(premises, cc) {
+		case No:
+			return No
+		case Unknown:
+			out = Unknown
+		}
+	}
+	return out
+}
+
+// Equivalent decides mutual entailment.
+func (c *Checker) Equivalent(a, b expr.Node) Verdict {
+	ab := c.Entails([]expr.Node{a}, b)
+	if ab == No {
+		return No
+	}
+	ba := c.Entails([]expr.Node{b}, a)
+	if ba == No {
+		return No
+	}
+	if ab == Yes && ba == Yes {
+		return Yes
+	}
+	return Unknown
+}
+
+// Conflicting decides whether the conjunction of the formulas is
+// inconsistent (⊨ false): Yes means a definitive explicit conflict.
+func (c *Checker) Conflicting(ns ...expr.Node) Verdict {
+	switch c.Satisfiable(ns...) {
+	case No:
+		return Yes
+	case Yes:
+		return No
+	default:
+		return Unknown
+	}
+}
+
+// Normalize splits a constraint into the paper's normalised form: a list
+// of constraints none of which is a top-level conjunction. Implications
+// with conjunctive consequents distribute: g→(a∧b) becomes g→a, g→b.
+// Double negations are eliminated.
+func Normalize(n expr.Node) []expr.Node {
+	n = stripNotNot(n)
+	switch b := n.(type) {
+	case expr.Binary:
+		switch b.Op {
+		case expr.OpAnd:
+			return append(Normalize(b.L), Normalize(b.R)...)
+		case expr.OpImplies:
+			var out []expr.Node
+			for _, c := range Normalize(b.R) {
+				out = append(out, expr.Binary{Op: expr.OpImplies, L: b.L, R: c})
+			}
+			return out
+		}
+	}
+	return []expr.Node{n}
+}
+
+func stripNotNot(n expr.Node) expr.Node {
+	u, ok := n.(expr.Unary)
+	if !ok || u.Op != expr.OpNot {
+		return n
+	}
+	if uu, ok := u.X.(expr.Unary); ok && uu.Op == expr.OpNot {
+		return stripNotNot(uu.X)
+	}
+	return n
+}
+
+// Restriction is the shape that global-constraint derivation (§5.2.1)
+// consumes: an optional guard, an attribute path, and either an interval
+// restriction (Op against Val) or a finite-set restriction (Set non-nil).
+type Restriction struct {
+	Guard expr.Node // nil when unconditional
+	Path  string
+	Op    expr.Op
+	Val   object.Value
+	Set   *object.Set
+}
+
+// IsSet reports whether the restriction is finite-set membership.
+func (r *Restriction) IsSet() bool { return r.Set != nil }
+
+// ToExpr rebuilds the constraint expression for the restriction.
+func (r *Restriction) ToExpr() expr.Node {
+	var body expr.Node
+	if r.IsSet() {
+		body = expr.In{X: pathNode(r.Path), Set: setLitOf(*r.Set)}
+	} else {
+		body = expr.Binary{Op: r.Op, L: pathNode(r.Path), R: expr.Lit{Val: r.Val}}
+	}
+	if r.Guard == nil {
+		return body
+	}
+	return expr.Binary{Op: expr.OpImplies, L: r.Guard, R: body}
+}
+
+func pathNode(p string) expr.Node {
+	segs := splitPath(p)
+	var n expr.Node = expr.Ident{Name: segs[0]}
+	for _, s := range segs[1:] {
+		n = expr.Path{Recv: n, Attr: s}
+	}
+	return n
+}
+
+func splitPath(p string) []string {
+	var segs []string
+	start := 0
+	for i := 0; i < len(p); i++ {
+		if p[i] == '.' {
+			segs = append(segs, p[start:i])
+			start = i + 1
+		}
+	}
+	return append(segs, p[start:])
+}
+
+func setLitOf(s object.Set) expr.SetLit {
+	elems := make([]expr.Node, 0, s.Len())
+	for _, v := range s.Elems() {
+		elems = append(elems, expr.Lit{Val: v})
+	}
+	return expr.SetLit{Elems: elems}
+}
+
+// ExtractRestriction recognises a normalised constraint of the shape
+//
+//	[guard implies] path ⊙ const        (⊙ ∈ {=, !=, <, <=, >, >=})
+//	[guard implies] path in {v1,...,vn}
+//
+// and returns its parts. It returns false for anything else (the general
+// derivation problem is out of scope, as in the paper).
+func ExtractRestriction(n expr.Node) (*Restriction, bool) {
+	var guard expr.Node
+	if b, ok := n.(expr.Binary); ok && b.Op == expr.OpImplies {
+		guard = b.L
+		n = b.R
+	}
+	switch b := n.(type) {
+	case expr.Binary:
+		if !b.Op.IsComparison() {
+			return nil, false
+		}
+		if p, ok := expr.PathString(b.L); ok {
+			if v, ok := FoldConst(b.R); ok {
+				return &Restriction{Guard: guard, Path: p, Op: b.Op, Val: v}, true
+			}
+		}
+		if p, ok := expr.PathString(b.R); ok {
+			if v, ok := FoldConst(b.L); ok {
+				return &Restriction{Guard: guard, Path: p, Op: b.Op.Flip(), Val: v}, true
+			}
+		}
+	case expr.In:
+		if b.Neg {
+			return nil, false
+		}
+		if p, ok := expr.PathString(b.X); ok {
+			if v, ok := FoldConst(b.Set); ok {
+				if s, ok := v.(object.Set); ok {
+					return &Restriction{Guard: guard, Path: p, Set: &s}, true
+				}
+			}
+		}
+	}
+	return nil, false
+}

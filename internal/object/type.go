@@ -1,0 +1,226 @@
+package object
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Type describes the static type of an attribute. The fragment implemented
+// covers Figure 1 of the paper: basic types, integer range types such as
+// 1..5, set types (TM's "Pstring"), and references to classes.
+type Type interface {
+	// String renders the type in TM syntax.
+	String() string
+	// Accepts reports whether the value is a member of the type.
+	Accepts(Value) bool
+	// EqualType reports structural type equality.
+	EqualType(Type) bool
+}
+
+// BasicType is one of int, real, string, bool.
+type BasicType struct{ K Kind }
+
+// Predefined basic types.
+var (
+	TInt    = BasicType{KindInt}
+	TReal   = BasicType{KindReal}
+	TString = BasicType{KindString}
+	TBool   = BasicType{KindBool}
+)
+
+// String implements Type.
+func (t BasicType) String() string { return t.K.String() }
+
+// Accepts implements Type. Ints are accepted where reals are expected.
+func (t BasicType) Accepts(v Value) bool {
+	if t.K == KindReal && v.Kind() == KindInt {
+		return true
+	}
+	return v.Kind() == t.K
+}
+
+// EqualType implements Type.
+func (t BasicType) EqualType(o Type) bool {
+	b, ok := o.(BasicType)
+	return ok && b.K == t.K
+}
+
+// RangeType is an inclusive integer range such as 1..5.
+type RangeType struct{ Lo, Hi int64 }
+
+// String implements Type.
+func (t RangeType) String() string { return fmt.Sprintf("%d..%d", t.Lo, t.Hi) }
+
+// Accepts implements Type.
+func (t RangeType) Accepts(v Value) bool {
+	f, ok := AsFloat(v)
+	if !ok || f != math.Trunc(f) {
+		return false
+	}
+	n := int64(f)
+	return n >= t.Lo && n <= t.Hi
+}
+
+// EqualType implements Type.
+func (t RangeType) EqualType(o Type) bool {
+	r, ok := o.(RangeType)
+	return ok && r == t
+}
+
+// SetType is a finite set over an element type (TM's P-constructor).
+type SetType struct{ Elem Type }
+
+// String implements Type.
+func (t SetType) String() string { return "P" + t.Elem.String() }
+
+// Accepts implements Type.
+func (t SetType) Accepts(v Value) bool {
+	s, ok := v.(Set)
+	if !ok {
+		return false
+	}
+	for _, e := range s.Elems() {
+		if !t.Elem.Accepts(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualType implements Type.
+func (t SetType) EqualType(o Type) bool {
+	s, ok := o.(SetType)
+	return ok && t.Elem.EqualType(s.Elem)
+}
+
+// ClassType is a reference to objects of a named class.
+type ClassType struct{ Class string }
+
+// String implements Type.
+func (t ClassType) String() string { return t.Class }
+
+// Accepts implements Type. Class extension membership is checked by the
+// store; at the type level any Ref (or Null) is accepted.
+func (t ClassType) Accepts(v Value) bool {
+	k := v.Kind()
+	return k == KindRef || k == KindNull
+}
+
+// EqualType implements Type.
+func (t ClassType) EqualType(o Type) bool {
+	c, ok := o.(ClassType)
+	return ok && c.Class == t.Class
+}
+
+// TupleType describes a record of named fields, produced when objects are
+// hidden into complex values during conformation.
+type TupleType struct {
+	Fields map[string]Type
+}
+
+// String implements Type.
+func (t TupleType) String() string {
+	names := make([]string, 0, len(t.Fields))
+	for n := range t.Fields {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = n + ":" + t.Fields[n].String()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Accepts implements Type.
+func (t TupleType) Accepts(v Value) bool {
+	tup, ok := v.(Tuple)
+	if !ok {
+		return false
+	}
+	for n, ft := range t.Fields {
+		if !ft.Accepts(tup.Field(n)) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualType implements Type.
+func (t TupleType) EqualType(o Type) bool {
+	s, ok := o.(TupleType)
+	if !ok || len(s.Fields) != len(t.Fields) {
+		return false
+	}
+	for n, ft := range t.Fields {
+		st, ok := s.Fields[n]
+		if !ok || !ft.EqualType(st) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Numeric reports whether the type holds numeric values (int, real or a
+// range type).
+func Numeric(t Type) bool {
+	switch t := t.(type) {
+	case BasicType:
+		return t.K == KindInt || t.K == KindReal
+	case RangeType:
+		return true
+	default:
+		return false
+	}
+}
+
+// Bounds returns the numeric bounds implied by the type itself: range
+// types yield their endpoints; plain int/real yield ±inf. ok is false for
+// non-numeric types.
+func Bounds(t Type) (lo, hi float64, ok bool) {
+	switch t := t.(type) {
+	case RangeType:
+		return float64(t.Lo), float64(t.Hi), true
+	case BasicType:
+		if t.K == KindInt || t.K == KindReal {
+			return math.Inf(-1), math.Inf(1), true
+		}
+	}
+	return 0, 0, false
+}
+
+// ZeroOf returns a default value belonging to the type, used when
+// synthesising objects in the workload generator.
+func ZeroOf(t Type) Value {
+	switch t := t.(type) {
+	case BasicType:
+		switch t.K {
+		case KindInt:
+			return Int(0)
+		case KindReal:
+			return Real(0)
+		case KindString:
+			return Str("")
+		case KindBool:
+			return Bool(false)
+		}
+	case RangeType:
+		return Int(t.Lo)
+	case SetType:
+		return NewSet()
+	case ClassType:
+		return Null{}
+	case TupleType:
+		return NewTuple(nil)
+	}
+	return Null{}
+}

@@ -1,0 +1,158 @@
+package object
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBasicTypeAccepts(t *testing.T) {
+	if !TInt.Accepts(Int(5)) || TInt.Accepts(Real(1.5)) || TInt.Accepts(Str("x")) {
+		t.Error("TInt accepts")
+	}
+	if !TReal.Accepts(Real(1.5)) || !TReal.Accepts(Int(2)) {
+		t.Error("TReal should accept ints (numeric subsumption)")
+	}
+	if !TString.Accepts(Str("x")) || TString.Accepts(Int(1)) {
+		t.Error("TString accepts")
+	}
+	if !TBool.Accepts(Bool(true)) || TBool.Accepts(Int(1)) {
+		t.Error("TBool accepts")
+	}
+}
+
+func TestRangeType(t *testing.T) {
+	r := RangeType{1, 5}
+	if r.String() != "1..5" {
+		t.Errorf("String() = %q", r.String())
+	}
+	for n := int64(1); n <= 5; n++ {
+		if !r.Accepts(Int(n)) {
+			t.Errorf("range should accept %d", n)
+		}
+	}
+	if r.Accepts(Int(0)) || r.Accepts(Int(6)) {
+		t.Error("range bounds")
+	}
+	if !r.Accepts(Real(3.0)) {
+		t.Error("range should accept integral reals")
+	}
+	if r.Accepts(Real(3.5)) {
+		t.Error("range should reject fractional reals")
+	}
+}
+
+func TestSetType(t *testing.T) {
+	st := SetType{TString}
+	if st.String() != "Pstring" {
+		t.Errorf("String() = %q", st.String())
+	}
+	if !st.Accepts(NewSet(Str("a"), Str("b"))) {
+		t.Error("set of strings")
+	}
+	if st.Accepts(NewSet(Str("a"), Int(1))) {
+		t.Error("mixed set should be rejected")
+	}
+	if st.Accepts(Str("a")) {
+		t.Error("non-set rejected")
+	}
+	if !st.Accepts(NewSet()) {
+		t.Error("empty set accepted by any set type")
+	}
+}
+
+func TestClassType(t *testing.T) {
+	ct := ClassType{"Publisher"}
+	if ct.String() != "Publisher" {
+		t.Error("String")
+	}
+	if !ct.Accepts(Ref{"B", 1}) || !ct.Accepts(Null{}) || ct.Accepts(Int(1)) {
+		t.Error("Accepts")
+	}
+}
+
+func TestTupleType(t *testing.T) {
+	tt := TupleType{Fields: map[string]Type{"name": TString, "loc": TString}}
+	if got := tt.String(); got != "(loc:string,name:string)" {
+		t.Errorf("String() = %q", got)
+	}
+	ok := NewTuple(map[string]Value{"name": Str("IEEE"), "loc": Str("NY")})
+	if !tt.Accepts(ok) {
+		t.Error("accepting tuple")
+	}
+	bad := NewTuple(map[string]Value{"name": Int(3), "loc": Str("NY")})
+	if tt.Accepts(bad) {
+		t.Error("field type mismatch should be rejected")
+	}
+}
+
+func TestEqualType(t *testing.T) {
+	cases := []struct {
+		a, b Type
+		want bool
+	}{
+		{TInt, TInt, true},
+		{TInt, TReal, false},
+		{RangeType{1, 5}, RangeType{1, 5}, true},
+		{RangeType{1, 5}, RangeType{1, 10}, false},
+		{SetType{TString}, SetType{TString}, true},
+		{SetType{TString}, SetType{TInt}, false},
+		{ClassType{"A"}, ClassType{"A"}, true},
+		{ClassType{"A"}, ClassType{"B"}, false},
+		{TInt, RangeType{1, 5}, false},
+		{TupleType{map[string]Type{"a": TInt}}, TupleType{map[string]Type{"a": TInt}}, true},
+		{TupleType{map[string]Type{"a": TInt}}, TupleType{map[string]Type{"b": TInt}}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.EqualType(c.b); got != c.want {
+			t.Errorf("EqualType(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNumericAndBounds(t *testing.T) {
+	if !Numeric(TInt) || !Numeric(TReal) || !Numeric(RangeType{1, 5}) {
+		t.Error("Numeric positives")
+	}
+	if Numeric(TString) || Numeric(SetType{TInt}) {
+		t.Error("Numeric negatives")
+	}
+	lo, hi, ok := Bounds(RangeType{1, 10})
+	if !ok || lo != 1 || hi != 10 {
+		t.Errorf("Bounds(1..10) = %v,%v,%v", lo, hi, ok)
+	}
+	lo, hi, ok = Bounds(TReal)
+	if !ok || !math.IsInf(lo, -1) || !math.IsInf(hi, 1) {
+		t.Error("Bounds(real) should be infinite")
+	}
+	if _, _, ok := Bounds(TString); ok {
+		t.Error("Bounds(string) should fail")
+	}
+}
+
+func TestZeroOf(t *testing.T) {
+	cases := []struct {
+		t Type
+		k Kind
+	}{
+		{TInt, KindInt},
+		{TReal, KindReal},
+		{TString, KindString},
+		{TBool, KindBool},
+		{RangeType{2, 5}, KindInt},
+		{SetType{TInt}, KindSet},
+		{ClassType{"X"}, KindNull},
+		{TupleType{nil}, KindTuple},
+	}
+	for _, c := range cases {
+		v := ZeroOf(c.t)
+		if v.Kind() != c.k {
+			t.Errorf("ZeroOf(%v).Kind() = %v, want %v", c.t, v.Kind(), c.k)
+		}
+		if !c.t.Accepts(v) {
+			t.Errorf("ZeroOf(%v) = %v not accepted by its own type", c.t, v)
+		}
+	}
+	if v := ZeroOf(RangeType{2, 5}); !v.Equal(Int(2)) {
+		t.Errorf("ZeroOf(range) should be lower bound, got %v", v)
+	}
+}

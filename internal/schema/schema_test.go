@@ -1,0 +1,257 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"interopdb/internal/object"
+)
+
+// libSchema builds the CSLibrary half of Figure 1 (structure only).
+func libSchema(t *testing.T) *Database {
+	t.Helper()
+	d := NewDatabase("CSLibrary")
+	add := func(c *Class) {
+		if err := d.AddClass(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&Class{Name: "Publication", Attrs: []Attribute{
+		{"title", object.TString}, {"isbn", object.TString},
+		{"publisher", object.TString}, {"shopprice", object.TReal},
+		{"ourprice", object.TReal},
+	}, Constraints: []Constraint{
+		{Name: "oc1", Kind: ObjectConstraint, Class: "Publication"},
+		{Name: "oc2", Kind: ObjectConstraint, Class: "Publication"},
+		{Name: "cc1", Kind: ClassConstraint, Class: "Publication"},
+		{Name: "cc2", Kind: ClassConstraint, Class: "Publication"},
+	}})
+	add(&Class{Name: "ScientificPubl", Super: "Publication", Attrs: []Attribute{
+		{"editors", object.SetType{Elem: object.TString}},
+		{"rating", object.RangeType{Lo: 1, Hi: 5}},
+	}, Constraints: []Constraint{
+		{Name: "cc1", Kind: ClassConstraint, Class: "ScientificPubl"},
+	}})
+	add(&Class{Name: "RefereedPubl", Super: "ScientificPubl", Attrs: []Attribute{
+		{"avgAccRate", object.TReal},
+	}, Constraints: []Constraint{
+		{Name: "oc1", Kind: ObjectConstraint, Class: "RefereedPubl"},
+	}})
+	add(&Class{Name: "NonRefereedPubl", Super: "ScientificPubl", Attrs: []Attribute{
+		{"authAffil", object.TString},
+	}, Constraints: []Constraint{
+		{Name: "oc1", Kind: ObjectConstraint, Class: "NonRefereedPubl"},
+	}})
+	add(&Class{Name: "ProfessionalPubl", Super: "Publication", Attrs: []Attribute{
+		{"authors", object.SetType{Elem: object.TString}},
+	}})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSupersChain(t *testing.T) {
+	d := libSchema(t)
+	got := d.Supers("RefereedPubl")
+	want := []string{"RefereedPubl", "ScientificPubl", "Publication"}
+	if len(got) != len(want) {
+		t.Fatalf("Supers = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Supers = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIsA(t *testing.T) {
+	d := libSchema(t)
+	cases := []struct {
+		sub, super string
+		want       bool
+	}{
+		{"RefereedPubl", "Publication", true},
+		{"RefereedPubl", "ScientificPubl", true},
+		{"RefereedPubl", "RefereedPubl", true},
+		{"Publication", "RefereedPubl", false},
+		{"ProfessionalPubl", "ScientificPubl", false},
+		{"NonRefereedPubl", "Publication", true},
+	}
+	for _, c := range cases {
+		if got := d.IsA(c.sub, c.super); got != c.want {
+			t.Errorf("IsA(%s,%s) = %v, want %v", c.sub, c.super, got, c.want)
+		}
+	}
+}
+
+func TestSubclasses(t *testing.T) {
+	d := libSchema(t)
+	got := d.Subclasses("ScientificPubl")
+	if len(got) != 2 || got[0] != "RefereedPubl" || got[1] != "NonRefereedPubl" {
+		t.Errorf("Subclasses = %v", got)
+	}
+	if got := d.Subclasses("Publication"); len(got) != 4 {
+		t.Errorf("Subclasses(Publication) = %v", got)
+	}
+}
+
+func TestAllAttrsInheritance(t *testing.T) {
+	d := libSchema(t)
+	attrs := d.AllAttrs("RefereedPubl")
+	names := map[string]bool{}
+	for _, a := range attrs {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"avgAccRate", "editors", "rating", "title", "isbn", "publisher", "shopprice", "ourprice"} {
+		if !names[want] {
+			t.Errorf("RefereedPubl should inherit attribute %s; have %v", want, names)
+		}
+	}
+	if len(attrs) != 8 {
+		t.Errorf("expected 8 attributes, got %d", len(attrs))
+	}
+}
+
+func TestResolveAttr(t *testing.T) {
+	d := libSchema(t)
+	a, cls, ok := d.ResolveAttr("RefereedPubl", "isbn")
+	if !ok || cls != "Publication" || a.Name != "isbn" {
+		t.Errorf("ResolveAttr(isbn) = %v %q %v", a, cls, ok)
+	}
+	a, cls, ok = d.ResolveAttr("RefereedPubl", "rating")
+	if !ok || cls != "ScientificPubl" {
+		t.Errorf("ResolveAttr(rating) = %v %q %v", a, cls, ok)
+	}
+	if _, _, ok := d.ResolveAttr("RefereedPubl", "nope"); ok {
+		t.Error("ResolveAttr should fail for unknown attribute")
+	}
+}
+
+func TestAttributeOverride(t *testing.T) {
+	d := NewDatabase("D")
+	_ = d.AddClass(&Class{Name: "A", Attrs: []Attribute{{"x", object.TReal}}})
+	_ = d.AddClass(&Class{Name: "B", Super: "A", Attrs: []Attribute{{"x", object.RangeType{Lo: 1, Hi: 5}}}})
+	a, cls, ok := d.ResolveAttr("B", "x")
+	if !ok || cls != "B" {
+		t.Fatalf("nearest declaration should win: got class %q", cls)
+	}
+	if _, isRange := a.Type.(object.RangeType); !isRange {
+		t.Error("override type should be the refined range")
+	}
+	if n := len(d.AllAttrs("B")); n != 1 {
+		t.Errorf("AllAttrs should dedup overridden names, got %d", n)
+	}
+}
+
+func TestObjectConstraintInheritance(t *testing.T) {
+	d := libSchema(t)
+	ocs := d.AllObjectConstraints("RefereedPubl")
+	// own oc1 + Publication's oc1,oc2 (ScientificPubl has only a class constraint)
+	if len(ocs) != 3 {
+		t.Fatalf("AllObjectConstraints(RefereedPubl) = %d constraints", len(ocs))
+	}
+	// Class constraints are not inherited:
+	for _, c := range ocs {
+		if c.Kind != ObjectConstraint {
+			t.Errorf("non-object constraint leaked: %v", c)
+		}
+	}
+}
+
+func TestOwnConstraints(t *testing.T) {
+	d := libSchema(t)
+	if got := d.OwnConstraints("Publication", ClassConstraint); len(got) != 2 {
+		t.Errorf("Publication class constraints = %d", len(got))
+	}
+	if got := d.OwnConstraints("RefereedPubl", ClassConstraint); len(got) != 0 {
+		t.Errorf("RefereedPubl class constraints = %d", len(got))
+	}
+	if got := d.OwnConstraints("Nope", ObjectConstraint); got != nil {
+		t.Error("unknown class should yield nil")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	d := NewDatabase("Bad")
+	_ = d.AddClass(&Class{Name: "A", Super: "Missing"})
+	_ = d.AddClass(&Class{Name: "B", Attrs: []Attribute{{"x", object.TInt}, {"x", object.TReal}}})
+	_ = d.AddClass(&Class{Name: "C", Constraints: []Constraint{{Name: "db1", Kind: DatabaseConstraint}}})
+	err := d.Validate()
+	if err == nil {
+		t.Fatal("expected validation errors")
+	}
+	msg := err.Error()
+	for _, want := range []string{"unknown superclass", "duplicate attribute", "database constraint"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error should mention %q: %s", want, msg)
+		}
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	d := NewDatabase("Cyc")
+	_ = d.AddClass(&Class{Name: "A", Super: "B"})
+	_ = d.AddClass(&Class{Name: "B", Super: "A"})
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("expected cycle error, got %v", err)
+	}
+}
+
+func TestRedeclaredClass(t *testing.T) {
+	d := NewDatabase("D")
+	if err := d.AddClass(&Class{Name: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddClass(&Class{Name: "A"}); err == nil {
+		t.Fatal("redeclaration should error")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := libSchema(t)
+	c := d.Clone()
+	cc := c.MustClass("Publication")
+	cc.Attrs[0].Name = "renamed"
+	cc.Constraints = cc.Constraints[:1]
+	if d.MustClass("Publication").Attrs[0].Name != "title" {
+		t.Error("clone should not share attribute slices")
+	}
+	if len(d.MustClass("Publication").Constraints) != 4 {
+		t.Error("clone should not share constraint slices")
+	}
+	if got := c.ClassNames(); len(got) != 5 {
+		t.Errorf("clone class order: %v", got)
+	}
+}
+
+func TestRootsAndNames(t *testing.T) {
+	d := libSchema(t)
+	roots := d.Roots()
+	if len(roots) != 1 || roots[0] != "Publication" {
+		t.Errorf("Roots = %v", roots)
+	}
+	if names := d.ClassNames(); names[0] != "Publication" || len(names) != 5 {
+		t.Errorf("ClassNames = %v", names)
+	}
+}
+
+func TestMustClassPanics(t *testing.T) {
+	d := libSchema(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustClass should panic on unknown class")
+		}
+	}()
+	d.MustClass("Nope")
+}
+
+func TestConstraintKindString(t *testing.T) {
+	if ObjectConstraint.String() != "object" || ClassConstraint.String() != "class" ||
+		DatabaseConstraint.String() != "database" {
+		t.Error("kind names")
+	}
+	if ConstraintKind(9).String() != "kind(9)" {
+		t.Error("unknown kind")
+	}
+}

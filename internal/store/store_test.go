@@ -1,0 +1,340 @@
+package store
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"interopdb/internal/expr"
+	"interopdb/internal/object"
+	"interopdb/internal/schema"
+)
+
+// booksellerDB builds the Bookseller schema of Figure 1 with its real
+// constraints.
+func booksellerDB(t testing.TB) *schema.Database {
+	d := schema.NewDatabase("Bookseller")
+	add := func(c *schema.Class) {
+		if err := d.AddClass(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	con := func(name string, kind schema.ConstraintKind, class, src string) schema.Constraint {
+		return schema.Constraint{Name: name, Kind: kind, Class: class, Expr: expr.MustParse(src), Src: src}
+	}
+	add(&schema.Class{Name: "Publisher", Attrs: []schema.Attribute{
+		{Name: "name", Type: object.TString},
+		{Name: "location", Type: object.TString},
+	}})
+	add(&schema.Class{Name: "Item", Attrs: []schema.Attribute{
+		{Name: "title", Type: object.TString},
+		{Name: "isbn", Type: object.TString},
+		{Name: "publisher", Type: object.ClassType{Class: "Publisher"}},
+		{Name: "authors", Type: object.SetType{Elem: object.TString}},
+		{Name: "shopprice", Type: object.TReal},
+		{Name: "libprice", Type: object.TReal},
+	}, Constraints: []schema.Constraint{
+		con("oc1", schema.ObjectConstraint, "Item", "libprice <= shopprice"),
+		con("cc1", schema.ClassConstraint, "Item", "key isbn"),
+	}})
+	add(&schema.Class{Name: "Proceedings", Super: "Item", Attrs: []schema.Attribute{
+		{Name: "ref?", Type: object.TBool},
+		{Name: "rating", Type: object.RangeType{Lo: 1, Hi: 10}},
+	}, Constraints: []schema.Constraint{
+		con("oc1", schema.ObjectConstraint, "Proceedings", "publisher.name='IEEE' implies ref?=true"),
+		con("oc2", schema.ObjectConstraint, "Proceedings", "ref?=true implies rating >= 7"),
+		con("oc3", schema.ObjectConstraint, "Proceedings", "publisher.name='ACM' implies rating >= 6"),
+	}})
+	add(&schema.Class{Name: "Monograph", Super: "Item", Attrs: []schema.Attribute{
+		{Name: "subjects", Type: object.SetType{Elem: object.TString}},
+	}})
+	d.DBCons = append(d.DBCons,
+		con("db1", schema.DatabaseConstraint, "", "forall p in Publisher exists i in Item | i.publisher = p"))
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func newBookseller(t testing.TB) *Store {
+	return New(booksellerDB(t), nil)
+}
+
+// seedPublisher inserts a publisher and an item referring to it (so that
+// db1 is satisfiable from the start).
+func seedPublisher(t testing.TB, s *Store, name string) object.OID {
+	t.Helper()
+	s.Enforce = false
+	pub := s.MustInsert("Publisher", map[string]object.Value{
+		"name": object.Str(name), "location": object.Str("somewhere"),
+	})
+	s.MustInsert("Item", map[string]object.Value{
+		"title": object.Str("seed for " + name), "isbn": object.Str("seed-" + name),
+		"publisher": object.Ref{DB: s.Name(), OID: pub},
+		"shopprice": object.Real(10), "libprice": object.Real(10),
+	})
+	s.Enforce = true
+	return pub
+}
+
+func TestInsertAndExtent(t *testing.T) {
+	s := newBookseller(t)
+	pub := seedPublisher(t, s, "IEEE")
+	oid := s.MustInsert("Proceedings", map[string]object.Value{
+		"title": object.Str("Proc. VLDB"), "isbn": object.Str("p1"),
+		"publisher": object.Ref{DB: "Bookseller", OID: pub},
+		"shopprice": object.Real(80), "libprice": object.Real(75),
+		"ref?": object.Bool(true), "rating": object.Int(8),
+	})
+	o, ok := s.Get(oid)
+	if !ok || o.Class() != "Proceedings" {
+		t.Fatalf("Get: %v %v", o, ok)
+	}
+	// Proceedings objects are in the Item extension but not in Monograph's.
+	if n := len(s.Extent("Item")); n != 2 { // seed item + proceedings
+		t.Errorf("Extent(Item) = %d", n)
+	}
+	if n := len(s.Extent("Proceedings")); n != 1 {
+		t.Errorf("Extent(Proceedings) = %d", n)
+	}
+	if n := len(s.Extent("Monograph")); n != 0 {
+		t.Errorf("Extent(Monograph) = %d", n)
+	}
+	if n := len(s.DirectExtent("Item")); n != 1 {
+		t.Errorf("DirectExtent(Item) = %d", n)
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d", s.Count())
+	}
+}
+
+func TestObjectConstraintEnforced(t *testing.T) {
+	s := newBookseller(t)
+	pub := seedPublisher(t, s, "ACM")
+	// libprice > shopprice violates Item.oc1.
+	_, err := s.Insert("Item", map[string]object.Value{
+		"title": object.Str("x"), "isbn": object.Str("i2"),
+		"publisher": object.Ref{DB: "Bookseller", OID: pub},
+		"shopprice": object.Real(10), "libprice": object.Real(20),
+	})
+	var verr *ViolationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("expected ViolationError, got %v", err)
+	}
+	if verr.Violations[0].Constraint.Name != "oc1" {
+		t.Errorf("violated constraint: %+v", verr.Violations[0])
+	}
+	if s.Count() != 2 {
+		t.Errorf("failed insert must roll back, count = %d", s.Count())
+	}
+}
+
+func TestInheritedObjectConstraintEnforced(t *testing.T) {
+	s := newBookseller(t)
+	pub := seedPublisher(t, s, "ACM")
+	// Proceedings inherits Item.oc1.
+	_, err := s.Insert("Proceedings", map[string]object.Value{
+		"title": object.Str("x"), "isbn": object.Str("p9"),
+		"publisher": object.Ref{DB: "Bookseller", OID: pub},
+		"shopprice": object.Real(10), "libprice": object.Real(20),
+		"ref?": object.Bool(false), "rating": object.Int(6),
+	})
+	if err == nil || !strings.Contains(err.Error(), "oc1") {
+		t.Fatalf("inherited constraint should be enforced: %v", err)
+	}
+}
+
+func TestConditionalConstraints(t *testing.T) {
+	s := newBookseller(t)
+	ieee := seedPublisher(t, s, "IEEE")
+	acm := seedPublisher(t, s, "ACM")
+	mk := func(pub object.OID, isbn string, ref bool, rating int64) error {
+		_, err := s.Insert("Proceedings", map[string]object.Value{
+			"title": object.Str("t"), "isbn": object.Str(isbn),
+			"publisher": object.Ref{DB: "Bookseller", OID: pub},
+			"shopprice": object.Real(50), "libprice": object.Real(40),
+			"ref?": object.Bool(ref), "rating": object.Int(rating),
+		})
+		return err
+	}
+	// IEEE implies ref?=true (oc1): violating it fails.
+	if err := mk(ieee, "a", false, 8); err == nil || !strings.Contains(err.Error(), "oc1") {
+		t.Errorf("IEEE with ref?=false should violate oc1: %v", err)
+	}
+	// ref?=true implies rating>=7 (oc2).
+	if err := mk(ieee, "b", true, 6); err == nil || !strings.Contains(err.Error(), "oc2") {
+		t.Errorf("refereed with rating 6 should violate oc2: %v", err)
+	}
+	// ACM implies rating>=6 (oc3).
+	if err := mk(acm, "c", false, 5); err == nil || !strings.Contains(err.Error(), "oc3") {
+		t.Errorf("ACM with rating 5 should violate oc3: %v", err)
+	}
+	// Valid ones succeed.
+	if err := mk(ieee, "d", true, 8); err != nil {
+		t.Errorf("valid IEEE proceedings: %v", err)
+	}
+	if err := mk(acm, "e", false, 6); err != nil {
+		t.Errorf("valid ACM proceedings: %v", err)
+	}
+}
+
+func TestKeyConstraint(t *testing.T) {
+	s := newBookseller(t)
+	pub := seedPublisher(t, s, "ACM")
+	ins := func(isbn string) error {
+		_, err := s.Insert("Item", map[string]object.Value{
+			"title": object.Str("t"), "isbn": object.Str(isbn),
+			"publisher": object.Ref{DB: "Bookseller", OID: pub},
+			"shopprice": object.Real(10), "libprice": object.Real(5),
+		})
+		return err
+	}
+	if err := ins("k1"); err != nil {
+		t.Fatal(err)
+	}
+	err := ins("k1")
+	if err == nil || !strings.Contains(err.Error(), "cc1") {
+		t.Fatalf("duplicate isbn should violate the key: %v", err)
+	}
+	// Key applies across the whole Item extension including Proceedings.
+	_, err = s.Insert("Proceedings", map[string]object.Value{
+		"title": object.Str("t"), "isbn": object.Str("k1"),
+		"publisher": object.Ref{DB: "Bookseller", OID: pub},
+		"shopprice": object.Real(10), "libprice": object.Real(5),
+		"ref?": object.Bool(false), "rating": object.Int(7),
+	})
+	if err == nil {
+		t.Fatal("key must cover subclass instances")
+	}
+}
+
+func TestDatabaseConstraint(t *testing.T) {
+	s := newBookseller(t)
+	// A publisher without any item violates db1.
+	_, err := s.Insert("Publisher", map[string]object.Value{
+		"name": object.Str("Lonely"), "location": object.Str("x"),
+	})
+	if err == nil || !strings.Contains(err.Error(), "db1") {
+		t.Fatalf("publisher without item should violate db1: %v", err)
+	}
+	// Deleting the only item of a publisher violates db1 too.
+	pub := seedPublisher(t, s, "ACM")
+	_ = pub
+	items := s.Extent("Item")
+	if len(items) != 1 {
+		t.Fatal("seed")
+	}
+	if err := s.Delete(items[0].OID()); err == nil || !strings.Contains(err.Error(), "db1") {
+		t.Fatalf("deleting the publisher's only item should violate db1: %v", err)
+	}
+	if s.Count() != 2 {
+		t.Error("failed delete must restore the object")
+	}
+}
+
+func TestTypeValidation(t *testing.T) {
+	s := newBookseller(t)
+	cases := []map[string]object.Value{
+		{"rating": object.Int(11)},                // outside 1..10
+		{"rating": object.Real(7.5)},              // non-integral
+		{"ref?": object.Str("yes")},               // wrong kind
+		{"nosuch": object.Int(1)},                 // undeclared
+		{"authors": object.NewSet(object.Int(1))}, // wrong element type
+	}
+	for _, attrs := range cases {
+		attrs["isbn"] = object.Str("t1")
+		if _, err := s.Insert("Proceedings", attrs); err == nil {
+			t.Errorf("Insert(%v) should fail type validation", attrs)
+		}
+	}
+	if _, err := s.Insert("NoClass", nil); err == nil {
+		t.Error("unknown class should fail")
+	}
+}
+
+func TestUpdateRollsBackOnViolation(t *testing.T) {
+	s := newBookseller(t)
+	pub := seedPublisher(t, s, "IEEE")
+	oid := s.MustInsert("Proceedings", map[string]object.Value{
+		"title": object.Str("t"), "isbn": object.Str("u1"),
+		"publisher": object.Ref{DB: "Bookseller", OID: pub},
+		"shopprice": object.Real(50), "libprice": object.Real(40),
+		"ref?": object.Bool(true), "rating": object.Int(8),
+	})
+	err := s.Update(oid, map[string]object.Value{"rating": object.Int(3)})
+	if err == nil {
+		t.Fatal("rating 3 with ref?=true should violate oc2")
+	}
+	o, _ := s.Get(oid)
+	if v, _ := o.Get("rating"); !v.Equal(object.Int(8)) {
+		t.Errorf("failed update must roll back, rating = %v", v)
+	}
+	if err := s.Update(oid, map[string]object.Value{"rating": object.Int(9)}); err != nil {
+		t.Errorf("valid update: %v", err)
+	}
+	if err := s.Update(999, map[string]object.Value{"rating": object.Int(9)}); err == nil {
+		t.Error("updating a missing object should fail")
+	}
+}
+
+func TestCheckAllFindsLatentViolations(t *testing.T) {
+	s := newBookseller(t)
+	s.Enforce = false
+	pub := s.MustInsert("Publisher", map[string]object.Value{"name": object.Str("Ghost")})
+	_ = pub
+	s.MustInsert("Item", map[string]object.Value{
+		"isbn": object.Str("x"), "shopprice": object.Real(1), "libprice": object.Real(2),
+	})
+	s.MustInsert("Item", map[string]object.Value{
+		"isbn": object.Str("x"), "shopprice": object.Real(1), "libprice": object.Real(1),
+	})
+	vs := s.CheckAll()
+	names := map[string]bool{}
+	for _, v := range vs {
+		names[v.Constraint.Name] = true
+	}
+	for _, want := range []string{"oc1", "cc1", "db1"} {
+		if !names[want] {
+			t.Errorf("CheckAll should report %s; got %v", want, vs)
+		}
+	}
+}
+
+func TestFindByAttr(t *testing.T) {
+	s := newBookseller(t)
+	seedPublisher(t, s, "IEEE")
+	got := s.FindByAttr("Item", "isbn", object.Str("seed-IEEE"))
+	if len(got) != 1 {
+		t.Fatalf("FindByAttr = %v", got)
+	}
+	if got := s.FindByAttr("Item", "isbn", object.Str("nope")); len(got) != 0 {
+		t.Errorf("FindByAttr(nope) = %v", got)
+	}
+}
+
+func TestObjString(t *testing.T) {
+	s := newBookseller(t)
+	s.Enforce = false
+	oid := s.MustInsert("Publisher", map[string]object.Value{"name": object.Str("IEEE")})
+	o, _ := s.Get(oid)
+	if got := o.String(); !strings.Contains(got, "Publisher") || !strings.Contains(got, "'IEEE'") {
+		t.Errorf("String() = %q", got)
+	}
+	if a := o.Attrs(); len(a) != 1 {
+		t.Errorf("Attrs() = %v", a)
+	}
+}
+
+func TestViolationErrorFormat(t *testing.T) {
+	v := Violation{
+		Constraint: schema.Constraint{Name: "oc1", Kind: schema.ObjectConstraint, Class: "Item"},
+		Class:      "Item", OID: 3, Detail: "bad",
+	}
+	if !strings.Contains(v.Error(), "Item.oc1") || !strings.Contains(v.Error(), "#3") {
+		t.Errorf("Violation.Error() = %q", v.Error())
+	}
+	e := &ViolationError{Violations: []Violation{v, v}}
+	if !strings.Contains(e.Error(), ";") {
+		t.Errorf("ViolationError joins with ;: %q", e.Error())
+	}
+}

@@ -1,0 +1,195 @@
+package store
+
+import (
+	"fmt"
+
+	"interopdb/internal/object"
+)
+
+// Tx is a deferred-validation transaction: mutations are staged and the
+// whole batch is constraint-checked atomically at Commit. This is the
+// "local transaction manager" whose rejections the paper's global
+// transaction validation wants to predict (§1).
+type Tx struct {
+	s    *Store
+	done bool
+	ops  []txOp
+}
+
+type txOpKind int
+
+const (
+	opInsert txOpKind = iota
+	opUpdate
+	opDelete
+)
+
+type txOp struct {
+	kind  txOpKind
+	class string
+	oid   object.OID
+	attrs map[string]object.Value
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() *Tx { return &Tx{s: s} }
+
+// Insert stages an insert and returns the OID the object will get if the
+// transaction commits.
+func (t *Tx) Insert(class string, attrs map[string]object.Value) (object.OID, error) {
+	if t.done {
+		return 0, fmt.Errorf("transaction already finished")
+	}
+	if err := t.s.validateAttrs(class, attrs); err != nil {
+		return 0, err
+	}
+	cp := make(map[string]object.Value, len(attrs))
+	for k, v := range attrs {
+		cp[k] = v
+	}
+	oid := t.s.nextOID + object.OID(t.pendingInserts())
+	t.ops = append(t.ops, txOp{kind: opInsert, class: class, oid: oid, attrs: cp})
+	return oid, nil
+}
+
+// Update stages a partial update.
+func (t *Tx) Update(oid object.OID, attrs map[string]object.Value) error {
+	if t.done {
+		return fmt.Errorf("transaction already finished")
+	}
+	class, ok := t.classOf(oid)
+	if !ok {
+		return fmt.Errorf("store %s: no object %s", t.s.Name(), oid)
+	}
+	if err := t.s.validateAttrs(class, attrs); err != nil {
+		return err
+	}
+	cp := make(map[string]object.Value, len(attrs))
+	for k, v := range attrs {
+		cp[k] = v
+	}
+	t.ops = append(t.ops, txOp{kind: opUpdate, class: class, oid: oid, attrs: cp})
+	return nil
+}
+
+// Delete stages a deletion.
+func (t *Tx) Delete(oid object.OID) error {
+	if t.done {
+		return fmt.Errorf("transaction already finished")
+	}
+	class, ok := t.classOf(oid)
+	if !ok {
+		return fmt.Errorf("store %s: no object %s", t.s.Name(), oid)
+	}
+	t.ops = append(t.ops, txOp{kind: opDelete, class: class, oid: oid})
+	return nil
+}
+
+func (t *Tx) pendingInserts() int {
+	n := 0
+	for _, op := range t.ops {
+		if op.kind == opInsert {
+			n++
+		}
+	}
+	return n
+}
+
+// classOf resolves the class of an object visible to the transaction
+// (staged inserts included).
+func (t *Tx) classOf(oid object.OID) (string, bool) {
+	for i := len(t.ops) - 1; i >= 0; i-- {
+		op := t.ops[i]
+		if op.oid == oid {
+			if op.kind == opDelete {
+				return "", false
+			}
+			return op.class, true
+		}
+	}
+	if o, ok := t.s.objs[oid]; ok {
+		return o.class, true
+	}
+	return "", false
+}
+
+// Rollback discards the staged operations.
+func (t *Tx) Rollback() {
+	t.done = true
+	t.ops = nil
+}
+
+// Commit applies the staged operations with constraint enforcement
+// deferred to the end: the final state is validated in full and the store
+// is restored untouched if any constraint fails.
+func (t *Tx) Commit() error {
+	if t.done {
+		return fmt.Errorf("transaction already finished")
+	}
+	t.done = true
+	s := t.s
+	savedEnforce := s.Enforce
+	s.Enforce = false
+
+	type undo func()
+	var undos []undo
+	fail := func(err error) error {
+		for i := len(undos) - 1; i >= 0; i-- {
+			undos[i]()
+		}
+		s.Enforce = savedEnforce
+		return err
+	}
+
+	for _, op := range t.ops {
+		switch op.kind {
+		case opInsert:
+			oid, err := s.Insert(op.class, op.attrs)
+			if err != nil {
+				return fail(err)
+			}
+			undos = append(undos, func() { s.removeObj(oid); s.nextOID-- })
+		case opUpdate:
+			o, ok := s.objs[op.oid]
+			if !ok {
+				return fail(fmt.Errorf("store %s: no object %s at commit", s.Name(), op.oid))
+			}
+			saved := make(map[string]object.Value)
+			had := make(map[string]bool)
+			for k := range op.attrs {
+				saved[k], had[k] = o.attrs[k]
+			}
+			if err := s.Update(op.oid, op.attrs); err != nil {
+				return fail(err)
+			}
+			undos = append(undos, func() {
+				for k := range op.attrs {
+					if had[k] {
+						o.attrs[k] = saved[k]
+					} else {
+						delete(o.attrs, k)
+					}
+				}
+			})
+		case opDelete:
+			o, ok := s.objs[op.oid]
+			if !ok {
+				return fail(fmt.Errorf("store %s: no object %s at commit", s.Name(), op.oid))
+			}
+			saved := o
+			if err := s.Delete(op.oid); err != nil {
+				return fail(err)
+			}
+			undos = append(undos, func() {
+				s.objs[saved.oid] = saved
+				s.byClass[saved.class] = append(s.byClass[saved.class], saved.oid)
+			})
+		}
+	}
+
+	if vs := s.CheckAll(); len(vs) > 0 {
+		return fail(&ViolationError{vs})
+	}
+	s.Enforce = savedEnforce
+	return nil
+}

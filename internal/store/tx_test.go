@@ -1,0 +1,168 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"interopdb/internal/object"
+)
+
+func TestTxCommitAppliesAll(t *testing.T) {
+	s := newBookseller(t)
+	tx := s.Begin()
+	pub, err := tx.Insert("Publisher", map[string]object.Value{"name": object.Str("IEEE")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within the transaction the publisher has no item yet; deferring
+	// validation to commit lets us add both atomically — impossible with
+	// immediate enforcement (db1 would reject the lone publisher).
+	if _, err := tx.Insert("Item", map[string]object.Value{
+		"title": object.Str("t"), "isbn": object.Str("i1"),
+		"publisher": object.Ref{DB: "Bookseller", OID: pub},
+		"shopprice": object.Real(10), "libprice": object.Real(9),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if s.Count() != 2 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if len(s.CheckAll()) != 0 {
+		t.Error("committed state must be consistent")
+	}
+}
+
+func TestTxCommitRollsBackAtomically(t *testing.T) {
+	s := newBookseller(t)
+	seedPublisher(t, s, "IEEE")
+	before := s.Count()
+	tx := s.Begin()
+	pub2, _ := tx.Insert("Publisher", map[string]object.Value{"name": object.Str("ACM")})
+	if _, err := tx.Insert("Item", map[string]object.Value{
+		"title": object.Str("t"), "isbn": object.Str("i2"),
+		"publisher": object.Ref{DB: "Bookseller", OID: pub2},
+		"shopprice": object.Real(10), "libprice": object.Real(99), // violates oc1
+	}); err != nil {
+		t.Fatal(err) // staged: type-valid, constraint checked only at commit
+	}
+	err := tx.Commit()
+	if err == nil || !strings.Contains(err.Error(), "oc1") {
+		t.Fatalf("commit should fail on oc1: %v", err)
+	}
+	if s.Count() != before {
+		t.Errorf("failed commit must leave the store unchanged: %d vs %d", s.Count(), before)
+	}
+	if len(s.CheckAll()) != 0 {
+		t.Error("store must remain consistent after failed commit")
+	}
+}
+
+func TestTxUpdateAndDelete(t *testing.T) {
+	s := newBookseller(t)
+	pub := seedPublisher(t, s, "IEEE")
+	oid := s.MustInsert("Proceedings", map[string]object.Value{
+		"title": object.Str("t"), "isbn": object.Str("p1"),
+		"publisher": object.Ref{DB: "Bookseller", OID: pub},
+		"shopprice": object.Real(50), "libprice": object.Real(40),
+		"ref?": object.Bool(true), "rating": object.Int(8),
+	})
+	tx := s.Begin()
+	if err := tx.Update(oid, map[string]object.Value{"rating": object.Int(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := s.Get(oid)
+	if v, _ := o.Get("rating"); !v.Equal(object.Int(9)) {
+		t.Errorf("rating after tx = %v", v)
+	}
+
+	// A transaction that deletes the proceedings and its seed item and the
+	// publisher keeps db1 satisfied.
+	tx = s.Begin()
+	for _, o := range s.Extent("Item") {
+		if err := tx.Delete(o.OID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Delete(pub); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("deleting publisher with all items: %v", err)
+	}
+	if s.Count() != 0 {
+		t.Errorf("Count = %d", s.Count())
+	}
+}
+
+func TestTxCommitFailedUpdateRestoresState(t *testing.T) {
+	s := newBookseller(t)
+	pub := seedPublisher(t, s, "IEEE")
+	oid := s.MustInsert("Proceedings", map[string]object.Value{
+		"title": object.Str("t"), "isbn": object.Str("p1"),
+		"publisher": object.Ref{DB: "Bookseller", OID: pub},
+		"shopprice": object.Real(50), "libprice": object.Real(40),
+		"ref?": object.Bool(true), "rating": object.Int(8),
+	})
+	tx := s.Begin()
+	if err := tx.Update(oid, map[string]object.Value{"rating": object.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("rating 2 with ref?=true must fail at commit")
+	}
+	o, _ := s.Get(oid)
+	if v, _ := o.Get("rating"); !v.Equal(object.Int(8)) {
+		t.Errorf("rating must be restored, got %v", v)
+	}
+}
+
+func TestTxFinishedGuards(t *testing.T) {
+	s := newBookseller(t)
+	tx := s.Begin()
+	tx.Rollback()
+	if _, err := tx.Insert("Publisher", nil); err == nil {
+		t.Error("insert after rollback should fail")
+	}
+	if err := tx.Commit(); err == nil {
+		t.Error("commit after rollback should fail")
+	}
+	tx2 := s.Begin()
+	if err := tx2.Update(42, nil); err == nil {
+		t.Error("update of unknown oid should fail")
+	}
+	if err := tx2.Delete(42); err == nil {
+		t.Error("delete of unknown oid should fail")
+	}
+}
+
+func TestTxStagedObjectVisibleToLaterOps(t *testing.T) {
+	s := newBookseller(t)
+	tx := s.Begin()
+	pub, _ := tx.Insert("Publisher", map[string]object.Value{"name": object.Str("X")})
+	// Updating a staged object by its provisional OID works.
+	if err := tx.Update(pub, map[string]object.Value{"location": object.Str("NY")}); err != nil {
+		t.Fatalf("update staged insert: %v", err)
+	}
+	if _, err := tx.Insert("Item", map[string]object.Value{
+		"isbn": object.Str("i1"), "publisher": object.Ref{DB: "Bookseller", OID: pub},
+		"shopprice": object.Real(2), "libprice": object.Real(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	o, ok := s.Get(pub)
+	if !ok {
+		t.Fatal("publisher missing after commit")
+	}
+	if v, _ := o.Get("location"); !v.Equal(object.Str("NY")) {
+		t.Errorf("staged update lost: %v", v)
+	}
+}

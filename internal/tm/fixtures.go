@@ -1,0 +1,239 @@
+package tm
+
+// This file embeds the paper's running examples as canonical TM sources:
+// Figure 1's CSLibrary and Bookseller databases, the §2.2 integration
+// specification, and the §1 introduction's personnel databases. They are
+// exported so that tests, examples, benchmarks and the CLI all integrate
+// the exact scenario of the paper.
+
+// FigureOneCSLibrary is the CSLibrary database of Figure 1.
+const FigureOneCSLibrary = `
+Database CSLibrary
+
+const KNOWNPUBLISHERS = {'IEEE','ACM','Springer','Addison-Wesley','North-Holland'}
+const MAX = 100000.0
+
+Class Publication
+  attributes
+    title : string
+    isbn : string
+    publisher : string
+    shopprice : real
+    ourprice : real
+  object constraints
+    oc1: ourprice <= shopprice
+    oc2: publisher in KNOWNPUBLISHERS
+  class constraints
+    cc1: key isbn
+    cc2: (sum (collect x for x in self) over ourprice) < MAX
+end Publication
+
+Class ScientificPubl isa Publication
+  attributes
+    editors : Pstring
+    rating : 1..5
+  class constraints
+    cc1: (avg (collect x for x in self) over rating) < 4
+end ScientificPubl
+
+Class RefereedPubl isa ScientificPubl
+  attributes
+    avgAccRate : real
+  object constraints
+    oc1: rating >= 2
+end RefereedPubl
+
+Class NonRefereedPubl isa ScientificPubl
+  attributes
+    authAffil : string
+  object constraints
+    oc1: rating <= 3
+end NonRefereedPubl
+
+Class ProfessionalPubl isa Publication
+  attributes
+    authors : Pstring
+end ProfessionalPubl
+`
+
+// FigureOneBookseller is the Bookseller database of Figure 1.
+const FigureOneBookseller = `
+Database Bookseller
+
+Class Publisher
+  attributes
+    name : string
+    location : string
+end Publisher
+
+Class Item
+  attributes
+    title : string
+    isbn : string
+    publisher : Publisher
+    authors : Pstring
+    shopprice : real
+    libprice : real
+  object constraints
+    oc1: libprice <= shopprice
+  class constraints
+    cc1: key isbn
+end Item
+
+Class Proceedings isa Item
+  attributes
+    ref? : bool
+    rating : 1..10
+  object constraints
+    oc1: publisher.name = 'IEEE' implies ref? = true
+    oc2: ref? = true implies rating >= 7
+    oc3: publisher.name = 'ACM' implies rating >= 6
+end Proceedings
+
+Class Monograph isa Item
+  attributes
+    subjects : Pstring
+end Monograph
+
+Database constraints
+  db1: forall p in Publisher exists i in Item | i.publisher = p
+`
+
+// FigureOneIntegration is the §2.2 integration specification: CSLibrary
+// (local) imports Bookseller (remote). Constraint marks follow the
+// paper's discussion: Proceedings.oc1 is the worked example of an
+// objective constraint (§5.1.1); Publication.cc2 of a subjective one.
+// Rating-involving constraints (Proceedings.oc2/oc3, RefereedPubl.oc1,
+// NonRefereedPubl.oc1) are left unmarked: rating is subjective under the
+// avg decision function, so the §5.1.3 consistency law makes the engine
+// classify them subjective automatically.
+const FigureOneIntegration = `
+integration CSLibrary imports Bookseller
+
+rule r1: Eq(O:Publication, R:Item) <= O.isbn = R.isbn
+rule r2: Eq(O:Publication.{publisher}, R:Publisher) <= O.publisher = R.name
+rule r3: Sim(R:Proceedings, RefereedPubl) <= R.ref? = true
+rule r4: Sim(R:Proceedings, NonRefereedPubl) <= R.ref? = false
+rule r5: Sim(O:ScientificPubl, Proceedings) <= contains(O.title, 'Proceed')
+
+propeq(Publication.ourprice, Item.libprice, id, id, trust(CSLibrary))
+propeq(Publication.shopprice, Item.shopprice, id, id, trust(Bookseller))
+propeq(Publication.publisher, Publisher.name, id, id, any)
+propeq(ScientificPubl.rating, Proceedings.rating, multiply(2), id, avg)
+propeq(ScientificPubl.editors, Item.authors, id, id, union)
+propeq(Publication.title, Item.title, id, id, any)
+propeq(Publication.isbn, Item.isbn, id, id, any)
+
+objective Proceedings.oc1
+subjective Publication.cc2
+subjective Publication.oc2
+`
+
+// FigureOneIntegrationRepaired is the conflict-free variant of the §2.2
+// specification: rule r5 becomes approximate similarity ('Proceed'-titled
+// library publications land in a ProceedingsLike virtual superclass
+// rather than in Proceedings itself). This is the engine's own suggested
+// resolution of the strict-similarity conflict that the original r5
+// carries — imported library publications cannot be proven to satisfy the
+// bookseller's Proceedings constraints (they do not even carry ref?).
+// With the repair in place, the Proceedings extension is provably
+// constraint-consistent and its objective constraints serve query
+// optimisation and update validation.
+const FigureOneIntegrationRepaired = `
+integration CSLibrary imports Bookseller
+
+rule r1: Eq(O:Publication, R:Item) <= O.isbn = R.isbn
+rule r2: Eq(O:Publication.{publisher}, R:Publisher) <= O.publisher = R.name
+rule r3: Sim(R:Proceedings, RefereedPubl) <= R.ref? = true
+rule r4: Sim(R:Proceedings, NonRefereedPubl) <= R.ref? = false and R.rating <= 6
+rule r5: Sim(O:ScientificPubl, Proceedings, ProceedingsLike) <= contains(O.title, 'Proceed')
+
+propeq(Publication.ourprice, Item.libprice, id, id, trust(CSLibrary))
+propeq(Publication.shopprice, Item.shopprice, id, id, trust(Bookseller))
+propeq(Publication.publisher, Publisher.name, id, id, any)
+propeq(ScientificPubl.rating, Proceedings.rating, multiply(2), id, avg)
+propeq(ScientificPubl.editors, Item.authors, id, id, union)
+propeq(Publication.title, Item.title, id, id, any)
+propeq(Publication.isbn, Item.isbn, id, id, any)
+
+objective Proceedings.oc1
+subjective Publication.cc2
+subjective Publication.oc2
+`
+
+// Figure1IntegrationRepaired returns the parsed conflict-free variant.
+func Figure1IntegrationRepaired() *IntegrationSpec {
+	return MustParseIntegration(FigureOneIntegrationRepaired)
+}
+
+// IntroPersonnelDB1 is department database DB1 of the introduction:
+// trav_reimb ∈ {10,20} (tariff rule) and salary < 1500 (a subjective
+// business rule of this department).
+const IntroPersonnelDB1 = `
+Database DB1
+
+Class Employee
+  attributes
+    ssn : string
+    salary : real
+    trav_reimb : int
+  object constraints
+    oc1: trav_reimb in {10,20}
+    oc2: salary < 1500
+  class constraints
+    cc1: key ssn
+end Employee
+`
+
+// IntroPersonnelDB2 is department database DB2 of the introduction:
+// trav_reimb ∈ {14,24}.
+const IntroPersonnelDB2 = `
+Database DB2
+
+Class Employee
+  attributes
+    ssn : string
+    salary : real
+    trav_reimb : int
+  object constraints
+    oc1: trav_reimb in {14,24}
+  class constraints
+    cc1: key ssn
+end Employee
+`
+
+// IntroPersonnelIntegration integrates the two departments: employees
+// registered in both are the same person (same ssn); multi-department
+// travel is reimbursed at the average tariff (the company policy of the
+// introduction); salary is averaged across departments as well, so DB1's
+// salary rule cannot stay objective.
+const IntroPersonnelIntegration = `
+integration DB1 imports DB2
+
+rule r1: Eq(E:Employee, F:Employee) <= E.ssn = F.ssn
+
+propeq(Employee.ssn, Employee.ssn, id, id, any)
+propeq(Employee.trav_reimb, Employee.trav_reimb, id, id, avg)
+propeq(Employee.salary, Employee.salary, id, id, avg)
+
+subjective Employee.oc1
+subjective Employee.oc2
+`
+
+// Figure1Library returns the parsed CSLibrary specification.
+func Figure1Library() *DatabaseSpec { return MustParseDatabase(FigureOneCSLibrary) }
+
+// Figure1Bookseller returns the parsed Bookseller specification.
+func Figure1Bookseller() *DatabaseSpec { return MustParseDatabase(FigureOneBookseller) }
+
+// Figure1Integration returns the parsed §2.2 integration specification.
+func Figure1Integration() *IntegrationSpec { return MustParseIntegration(FigureOneIntegration) }
+
+// Personnel1 returns the parsed DB1 of the introduction example.
+func Personnel1() *DatabaseSpec { return MustParseDatabase(IntroPersonnelDB1) }
+
+// Personnel2 returns the parsed DB2 of the introduction example.
+func Personnel2() *DatabaseSpec { return MustParseDatabase(IntroPersonnelDB2) }
+
+// PersonnelIntegration returns the parsed introduction integration spec.
+func PersonnelIntegration() *IntegrationSpec { return MustParseIntegration(IntroPersonnelIntegration) }

@@ -1,0 +1,191 @@
+package tm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFigure1Integration(t *testing.T) {
+	spec, err := ParseIntegration(FigureOneIntegration)
+	if err != nil {
+		t.Fatalf("ParseIntegration: %v", err)
+	}
+	if spec.Local != "CSLibrary" || spec.Remote != "Bookseller" {
+		t.Errorf("header: %q imports %q", spec.Local, spec.Remote)
+	}
+	if len(spec.Rules) != 5 {
+		t.Fatalf("rules = %d", len(spec.Rules))
+	}
+	r1 := spec.Rules[0]
+	if r1.Kind != RuleEq || r1.Var1 != "O" || r1.Class1 != "Publication" ||
+		r1.Var2 != "R" || r1.Class2 != "Item" || r1.IsDescriptivity() {
+		t.Errorf("r1 = %+v", r1)
+	}
+	if r1.Cond.String() != "O.isbn = R.isbn" {
+		t.Errorf("r1 cond = %s", r1.Cond)
+	}
+	r2 := spec.Rules[1]
+	if !r2.IsDescriptivity() || len(r2.Desc1) != 1 || r2.Desc1[0] != "publisher" || r2.Class2 != "Publisher" {
+		t.Errorf("r2 = %+v", r2)
+	}
+	r3 := spec.Rules[2]
+	if r3.Kind != RuleSim || r3.Var1 != "R" || r3.Class1 != "Proceedings" || r3.Target != "RefereedPubl" {
+		t.Errorf("r3 = %+v", r3)
+	}
+	r5 := spec.Rules[4]
+	if r5.Kind != RuleSim || r5.Class1 != "ScientificPubl" || r5.Target != "Proceedings" {
+		t.Errorf("r5 = %+v", r5)
+	}
+	if len(spec.PropEqs) != 7 {
+		t.Fatalf("propeqs = %d", len(spec.PropEqs))
+	}
+	pe := spec.PropEqs[3] // rating
+	if pe.LocalClass != "ScientificPubl" || pe.LocalAttr != "rating" ||
+		pe.RemoteClass != "Proceedings" || pe.RemoteAttr != "rating" {
+		t.Errorf("rating propeq = %+v", pe)
+	}
+	if pe.CF.Name != "multiply" || len(pe.CF.NumArgs) != 1 || pe.CF.NumArgs[0] != 2 {
+		t.Errorf("rating cf = %+v", pe.CF)
+	}
+	if pe.CFRemote.Name != "id" || pe.DF.Name != "avg" {
+		t.Errorf("rating cf'/df = %+v / %+v", pe.CFRemote, pe.DF)
+	}
+	trust := spec.PropEqs[0].DF
+	if trust.Name != "trust" || trust.StrArg != "CSLibrary" {
+		t.Errorf("trust df = %+v", trust)
+	}
+	if len(spec.Marks) != 3 {
+		t.Fatalf("marks = %d", len(spec.Marks))
+	}
+	m := spec.Marks[0]
+	if !m.Objective || m.Class != "Proceedings" || m.Constraint != "oc1" {
+		t.Errorf("mark = %+v", m)
+	}
+	sub := spec.Marks[1]
+	if sub.Objective || sub.Class != "Publication" || sub.Constraint != "cc2" {
+		t.Errorf("subjective mark = %+v", sub)
+	}
+}
+
+func TestParsePersonnelIntegration(t *testing.T) {
+	spec, err := ParseIntegration(IntroPersonnelIntegration)
+	if err != nil {
+		t.Fatalf("ParseIntegration: %v", err)
+	}
+	if len(spec.Rules) != 1 || spec.Rules[0].Kind != RuleEq {
+		t.Errorf("rules: %+v", spec.Rules)
+	}
+	if len(spec.PropEqs) != 3 {
+		t.Errorf("propeqs: %d", len(spec.PropEqs))
+	}
+	if spec.PropEqs[1].DF.Name != "avg" {
+		t.Errorf("trav_reimb df: %+v", spec.PropEqs[1].DF)
+	}
+}
+
+func TestParseApproximateSimilarity(t *testing.T) {
+	src := `integration A imports B
+rule r1: Sim(R:Monograph, ProfessionalPubl, PublicationLike) <= true
+`
+	spec, err := ParseIntegration(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := spec.Rules[0]
+	if r.Kind != RuleSimApprox || r.Virtual != "PublicationLike" || r.Target != "ProfessionalPubl" {
+		t.Errorf("approx rule = %+v", r)
+	}
+}
+
+func TestParseSimDescriptivityTarget(t *testing.T) {
+	src := `integration A imports B
+rule r1: Sim(R:Publisher, Publication.{publisher}) <= R.name = 'x'
+`
+	spec, err := ParseIntegration(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := spec.Rules[0]
+	if !r.IsDescriptivity() || len(r.Desc2) != 1 || r.Desc2[0] != "publisher" || r.Target != "Publication" {
+		t.Errorf("desc sim rule = %+v", r)
+	}
+}
+
+func TestParseIntegrationErrors(t *testing.T) {
+	cases := []struct{ src, wantSub string }{
+		{"", "missing 'integration"},
+		{"integration A", "header must be"},
+		{"integration A imports B\nstray", "unexpected line"},
+		{"integration A imports B\nrule broken", "needs 'name: head"},
+		{"integration A imports B\nrule r: Foo(x:C, D) <= true", "unknown rule kind"},
+		{"integration A imports B\nrule r: Eq(x:C) <= true", "Eq takes 2"},
+		{"integration A imports B\nrule r: Sim(x:C, D, E, F) <= true", "Sim takes 2 or 3"},
+		{"integration A imports B\nrule r: Eq(xC, y:D) <= true", "binder"},
+		{"integration A imports B\nrule r: Eq(x:C, y:D) true", "'<='"},
+		{"integration A imports B\nrule r: Eq(x:C, y:D) <= ((", "condition"},
+		{"integration A imports B\nrule r: Eq(x:C, y:D", "not closed"},
+		{"integration A imports B\npropeq(C.p, D.q, id, id)", "5 arguments"},
+		{"integration A imports B\npropeq(Cp, D.q, id, id, avg)", "Class.attr"},
+		{"integration A imports B\npropeq(C.p, D.q, id, id, trust(A,B)", "propeq"},
+		{"integration A imports B\npropeq C.p", "'(...)'"},
+	}
+	for _, c := range cases {
+		_, err := ParseIntegration(c.src)
+		if err == nil {
+			t.Errorf("ParseIntegration(%q) should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("error %q should mention %q", err, c.wantSub)
+		}
+	}
+}
+
+func TestConvSpecString(t *testing.T) {
+	cases := []struct {
+		c    ConvSpec
+		want string
+	}{
+		{ConvSpec{Name: "id"}, "id"},
+		{ConvSpec{Name: "multiply", NumArgs: []float64{2}}, "multiply(2)"},
+		{ConvSpec{Name: "trust", StrArg: "CSLibrary"}, "trust(CSLibrary)"},
+		{ConvSpec{Name: "linear", NumArgs: []float64{2, 0.5}}, "linear(2,0.5)"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRuleKindString(t *testing.T) {
+	if RuleEq.String() != "Eq" || RuleSim.String() != "Sim" || RuleSimApprox.String() != "SimApprox" {
+		t.Error("kind names")
+	}
+	if RuleKind(9).String() != "kind(9)" {
+		t.Error("unknown kind")
+	}
+}
+
+func TestFixtureAccessors(t *testing.T) {
+	// All fixture constructors must succeed (they panic on error).
+	Figure1Library()
+	Figure1Bookseller()
+	Figure1Integration()
+	Personnel1()
+	Personnel2()
+	PersonnelIntegration()
+}
+
+func TestSplitTopLevel(t *testing.T) {
+	got := splitTopLevel("a, b(c,d), {e,f}, 'g,h'", ',')
+	want := []string{"a", " b(c,d)", " {e,f}", " 'g,h'"}
+	if len(got) != len(want) {
+		t.Fatalf("splitTopLevel = %#v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("part %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

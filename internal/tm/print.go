@@ -1,0 +1,144 @@
+package tm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the integration specification back in its concrete
+// syntax. Print∘ParseIntegration is a fixpoint (modulo whitespace), which
+// makes programmatic spec rewriting — the repair loop — round-trippable.
+func (s *IntegrationSpec) Print() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "integration %s imports %s\n\n", s.Local, s.Remote)
+	for i := range s.Rules {
+		b.WriteString(s.Rules[i].Print())
+		b.WriteByte('\n')
+	}
+	if len(s.Rules) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, p := range s.PropEqs {
+		fmt.Fprintf(&b, "propeq(%s.%s, %s.%s, %s, %s, %s)\n",
+			p.LocalClass, p.LocalAttr, p.RemoteClass, p.RemoteAttr,
+			p.CF, p.CFRemote, p.DF)
+	}
+	if len(s.PropEqs) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, v := range s.ValueView {
+		fmt.Fprintf(&b, "valueview %s\n", v)
+	}
+	if len(s.ValueView) > 0 {
+		b.WriteByte('\n')
+	}
+	for _, m := range s.Marks {
+		word := "subjective"
+		if m.Objective {
+			word = "objective"
+		}
+		if m.Class != "" {
+			fmt.Fprintf(&b, "%s %s.%s\n", word, m.Class, m.Constraint)
+		} else {
+			fmt.Fprintf(&b, "%s %s\n", word, m.Constraint)
+		}
+	}
+	return b.String()
+}
+
+// Print renders one rule in its concrete syntax.
+func (r *Rule) Print() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rule %s: ", r.Name)
+	binder := func(v, cls string, desc []string) string {
+		s := v + ":" + cls
+		if len(desc) > 0 {
+			s += ".{" + strings.Join(desc, ",") + "}"
+		}
+		return s
+	}
+	switch r.Kind {
+	case RuleEq:
+		fmt.Fprintf(&b, "Eq(%s, %s)", binder(r.Var1, r.Class1, r.Desc1), binder(r.Var2, r.Class2, r.Desc2))
+	case RuleSim, RuleSimApprox:
+		tgt := r.Target
+		if len(r.Desc2) > 0 {
+			tgt += ".{" + strings.Join(r.Desc2, ",") + "}"
+		}
+		if r.Kind == RuleSimApprox {
+			fmt.Fprintf(&b, "Sim(%s, %s, %s)", binder(r.Var1, r.Class1, r.Desc1), tgt, r.Virtual)
+		} else {
+			fmt.Fprintf(&b, "Sim(%s, %s)", binder(r.Var1, r.Class1, r.Desc1), tgt)
+		}
+	}
+	fmt.Fprintf(&b, " <= %s", r.Cond)
+	return b.String()
+}
+
+// ReplaceRule returns a copy of the specification with the named rule
+// replaced by the given rule line (as produced by a repair suggestion's
+// NewRuleSrc). The replacement is parsed and must carry the same name.
+func (s *IntegrationSpec) ReplaceRule(name, newRuleSrc string) (*IntegrationSpec, error) {
+	parsed, err := ParseIntegration(fmt.Sprintf("integration %s imports %s\n%s\n", s.Local, s.Remote, strings.TrimSpace(newRuleSrc)))
+	if err != nil {
+		return nil, fmt.Errorf("replacement rule does not parse: %w", err)
+	}
+	if len(parsed.Rules) != 1 {
+		return nil, fmt.Errorf("replacement must be exactly one rule")
+	}
+	nr := parsed.Rules[0]
+	if nr.Name != name {
+		return nil, fmt.Errorf("replacement rule is named %s, want %s", nr.Name, name)
+	}
+	out := s.clone()
+	for i := range out.Rules {
+		if out.Rules[i].Name == name {
+			out.Rules[i] = nr
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("no rule named %s", name)
+}
+
+// AddRule returns a copy of the specification with the given rule line
+// appended (e.g. an approximate-similarity fallback suggestion).
+func (s *IntegrationSpec) AddRule(newRuleSrc string) (*IntegrationSpec, error) {
+	parsed, err := ParseIntegration(fmt.Sprintf("integration %s imports %s\n%s\n", s.Local, s.Remote, strings.TrimSpace(newRuleSrc)))
+	if err != nil {
+		return nil, fmt.Errorf("rule does not parse: %w", err)
+	}
+	if len(parsed.Rules) != 1 {
+		return nil, fmt.Errorf("exactly one rule expected")
+	}
+	for _, have := range s.Rules {
+		if have.Name == parsed.Rules[0].Name {
+			return nil, fmt.Errorf("rule %s already exists", have.Name)
+		}
+	}
+	out := s.clone()
+	out.Rules = append(out.Rules, parsed.Rules[0])
+	return out, nil
+}
+
+// SetMark returns a copy with the constraint's objectivity mark replaced
+// (the remaining repair option of §5.2.1).
+func (s *IntegrationSpec) SetMark(class, constraint string, objective bool) *IntegrationSpec {
+	out := s.clone()
+	for i := range out.Marks {
+		if out.Marks[i].Class == class && out.Marks[i].Constraint == constraint {
+			out.Marks[i].Objective = objective
+			return out
+		}
+	}
+	out.Marks = append(out.Marks, Mark{Objective: objective, Class: class, Constraint: constraint})
+	return out
+}
+
+func (s *IntegrationSpec) clone() *IntegrationSpec {
+	out := &IntegrationSpec{Local: s.Local, Remote: s.Remote}
+	out.Rules = append([]Rule(nil), s.Rules...)
+	out.PropEqs = append([]PropEq(nil), s.PropEqs...)
+	out.Marks = append([]Mark(nil), s.Marks...)
+	out.ValueView = append([]string(nil), s.ValueView...)
+	return out
+}

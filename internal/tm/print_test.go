@@ -1,0 +1,127 @@
+package tm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIntegrationPrintRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		FigureOneIntegration,
+		FigureOneIntegrationRepaired,
+		IntroPersonnelIntegration,
+		FigureOneIntegration + "\nvalueview r2\n",
+	} {
+		s1, err := ParseIntegration(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		printed := s1.Print()
+		s2, err := ParseIntegration(printed)
+		if err != nil {
+			t.Fatalf("reparse of printed spec failed: %v\n%s", err, printed)
+		}
+		if len(s2.Rules) != len(s1.Rules) || len(s2.PropEqs) != len(s1.PropEqs) ||
+			len(s2.Marks) != len(s1.Marks) || len(s2.ValueView) != len(s1.ValueView) {
+			t.Errorf("round trip changed counts:\n%s", printed)
+		}
+		for i := range s1.Rules {
+			if s1.Rules[i].Print() != s2.Rules[i].Print() {
+				t.Errorf("rule %d changed: %q vs %q", i, s1.Rules[i].Print(), s2.Rules[i].Print())
+			}
+		}
+	}
+}
+
+func TestRulePrintForms(t *testing.T) {
+	spec := MustParseIntegration(`integration A imports B
+rule e1: Eq(X:C, Y:D) <= X.k = Y.k
+rule e2: Eq(X:C.{p}, Y:D) <= X.p = Y.n
+rule s1: Sim(Y:D, C) <= Y.f = true
+rule s2: Sim(Y:D, C, CLike) <= true
+`)
+	wants := []string{
+		"rule e1: Eq(X:C, Y:D) <= X.k = Y.k",
+		"rule e2: Eq(X:C.{p}, Y:D) <= X.p = Y.n",
+		"rule s1: Sim(Y:D, C) <= Y.f = true",
+		"rule s2: Sim(Y:D, C, CLike) <= true",
+	}
+	for i, w := range wants {
+		if got := spec.Rules[i].Print(); got != w {
+			t.Errorf("rule %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestReplaceRule(t *testing.T) {
+	s := Figure1Integration()
+	fixed, err := s.ReplaceRule("r3", "rule r3: Sim(R:Proceedings, RefereedPubl) <= R.ref? = true and R.rating >= 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r3 *Rule
+	for i := range fixed.Rules {
+		if fixed.Rules[i].Name == "r3" {
+			r3 = &fixed.Rules[i]
+		}
+	}
+	if r3 == nil || !strings.Contains(r3.Cond.String(), "rating >= 4") {
+		t.Errorf("r3 not replaced: %+v", r3)
+	}
+	// The original is untouched.
+	for _, r := range s.Rules {
+		if r.Name == "r3" && strings.Contains(r.Cond.String(), "rating >= 4") {
+			t.Error("ReplaceRule mutated the original")
+		}
+	}
+	// Errors.
+	if _, err := s.ReplaceRule("r3", "rule other: Sim(R:Proceedings, RefereedPubl) <= true"); err == nil {
+		t.Error("name mismatch should fail")
+	}
+	if _, err := s.ReplaceRule("nosuch", "rule nosuch: Sim(R:Proceedings, RefereedPubl) <= true"); err == nil {
+		t.Error("unknown rule should fail")
+	}
+	if _, err := s.ReplaceRule("r3", "broken ("); err == nil {
+		t.Error("unparseable replacement should fail")
+	}
+}
+
+func TestAddRule(t *testing.T) {
+	s := Figure1Integration()
+	grown, err := s.AddRule("rule r9: Sim(R:Monograph, ProfessionalPubl, PubLike) <= true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grown.Rules) != len(s.Rules)+1 {
+		t.Errorf("rules = %d", len(grown.Rules))
+	}
+	if _, err := grown.AddRule("rule r9: Sim(R:Monograph, ProfessionalPubl, PubLike) <= true"); err == nil {
+		t.Error("duplicate rule name should fail")
+	}
+	if _, err := s.AddRule("junk"); err == nil {
+		t.Error("unparseable rule should fail")
+	}
+}
+
+func TestSetMark(t *testing.T) {
+	s := Figure1Integration()
+	// Flip an existing mark.
+	out := s.SetMark("Proceedings", "oc1", false)
+	found := false
+	for _, m := range out.Marks {
+		if m.Class == "Proceedings" && m.Constraint == "oc1" {
+			found = true
+			if m.Objective {
+				t.Error("mark not flipped")
+			}
+		}
+	}
+	if !found {
+		t.Error("mark missing")
+	}
+	// Add a new one.
+	out = s.SetMark("Item", "oc1", false)
+	if len(out.Marks) != len(s.Marks)+1 {
+		t.Errorf("marks = %d", len(out.Marks))
+	}
+}

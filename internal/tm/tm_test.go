@@ -1,0 +1,248 @@
+package tm
+
+import (
+	"strings"
+	"testing"
+
+	"interopdb/internal/object"
+	"interopdb/internal/schema"
+)
+
+func TestParseFigure1CSLibrary(t *testing.T) {
+	spec, err := ParseDatabase(FigureOneCSLibrary)
+	if err != nil {
+		t.Fatalf("ParseDatabase: %v", err)
+	}
+	db := spec.Schema
+	if db.Name != "CSLibrary" {
+		t.Errorf("name = %q", db.Name)
+	}
+	wantClasses := []string{"Publication", "ScientificPubl", "RefereedPubl", "NonRefereedPubl", "ProfessionalPubl"}
+	got := db.ClassNames()
+	if len(got) != len(wantClasses) {
+		t.Fatalf("classes = %v", got)
+	}
+	for i := range wantClasses {
+		if got[i] != wantClasses[i] {
+			t.Errorf("class[%d] = %q, want %q", i, got[i], wantClasses[i])
+		}
+	}
+	// Hierarchy.
+	if !db.IsA("RefereedPubl", "Publication") {
+		t.Error("RefereedPubl isa Publication")
+	}
+	// Attribute types.
+	a, _, ok := db.ResolveAttr("ScientificPubl", "rating")
+	if !ok {
+		t.Fatal("rating missing")
+	}
+	if rt, isRange := a.Type.(object.RangeType); !isRange || rt.Lo != 1 || rt.Hi != 5 {
+		t.Errorf("rating type = %v", a.Type)
+	}
+	a, _, _ = db.ResolveAttr("ScientificPubl", "editors")
+	if st, isSet := a.Type.(object.SetType); !isSet || !st.Elem.EqualType(object.TString) {
+		t.Errorf("editors type = %v", a.Type)
+	}
+	// Constraints by scope.
+	if n := len(db.OwnConstraints("Publication", schema.ObjectConstraint)); n != 2 {
+		t.Errorf("Publication object constraints = %d", n)
+	}
+	if n := len(db.OwnConstraints("Publication", schema.ClassConstraint)); n != 2 {
+		t.Errorf("Publication class constraints = %d", n)
+	}
+	// Consts.
+	ks, ok := spec.Consts["KNOWNPUBLISHERS"]
+	if !ok || ks.(object.Set).Len() != 5 {
+		t.Errorf("KNOWNPUBLISHERS = %v", ks)
+	}
+	if v := spec.Consts["MAX"]; !v.Equal(object.Real(100000)) {
+		t.Errorf("MAX = %v", v)
+	}
+}
+
+func TestParseFigure1Bookseller(t *testing.T) {
+	spec, err := ParseDatabase(FigureOneBookseller)
+	if err != nil {
+		t.Fatalf("ParseDatabase: %v", err)
+	}
+	db := spec.Schema
+	// publisher is an object-valued attribute.
+	a, _, ok := db.ResolveAttr("Item", "publisher")
+	if !ok {
+		t.Fatal("publisher missing")
+	}
+	if ct, isClass := a.Type.(object.ClassType); !isClass || ct.Class != "Publisher" {
+		t.Errorf("publisher type = %v", a.Type)
+	}
+	// ref? parses as a boolean attribute.
+	a, _, ok = db.ResolveAttr("Proceedings", "ref?")
+	if !ok {
+		t.Fatal("ref? missing")
+	}
+	if !a.Type.(object.Type).EqualType(object.TBool) {
+		t.Errorf("ref? type = %v", a.Type)
+	}
+	// Database constraint present and typed.
+	if len(db.DBCons) != 1 || db.DBCons[0].Name != "db1" {
+		t.Fatalf("DBCons = %v", db.DBCons)
+	}
+	// All three conditional object constraints on Proceedings.
+	if n := len(db.OwnConstraints("Proceedings", schema.ObjectConstraint)); n != 3 {
+		t.Errorf("Proceedings object constraints = %d", n)
+	}
+}
+
+func TestParsePersonnel(t *testing.T) {
+	for _, src := range []string{IntroPersonnelDB1, IntroPersonnelDB2} {
+		spec, err := ParseDatabase(src)
+		if err != nil {
+			t.Fatalf("ParseDatabase: %v", err)
+		}
+		if _, ok := spec.Schema.Class("Employee"); !ok {
+			t.Error("Employee class missing")
+		}
+	}
+}
+
+func TestParseTypeTable(t *testing.T) {
+	cases := []struct {
+		src  string
+		want object.Type
+	}{
+		{"string", object.TString},
+		{"real", object.TReal},
+		{"int", object.TInt},
+		{"integer", object.TInt},
+		{"bool", object.TBool},
+		{"boolean", object.TBool},
+		{"Pstring", object.SetType{Elem: object.TString}},
+		{"Pint", object.SetType{Elem: object.TInt}},
+		{"Preal", object.SetType{Elem: object.TReal}},
+		{"1..5", object.RangeType{Lo: 1, Hi: 5}},
+		{"1..10", object.RangeType{Lo: 1, Hi: 10}},
+		{"Publisher", object.ClassType{Class: "Publisher"}},
+		{"P Publisher", object.SetType{Elem: object.ClassType{Class: "Publisher"}}},
+	}
+	for _, c := range cases {
+		got, err := ParseType(c.src)
+		if err != nil {
+			t.Errorf("ParseType(%q): %v", c.src, err)
+			continue
+		}
+		if !got.EqualType(c.want) {
+			t.Errorf("ParseType(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "5..1", "a..b", "P", "foo bar", "1.5..2"} {
+		if _, err := ParseType(bad); err == nil {
+			t.Errorf("ParseType(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseDatabaseErrors(t *testing.T) {
+	cases := []struct{ src, wantSub string }{
+		{"Class C\nend C", "Class before Database"},
+		{"Database D\nClass C\nClass B", "not closed"},
+		{"Database D\nend C", "end outside"},
+		{"Database D\nClass C\nend X", "does not match"},
+		{"Database D\nClass C", "not closed"},
+		{"Database D\nattributes", "attributes outside"},
+		{"Database D\nobject constraints", "outside a class"},
+		{"Database D\nclass constraints", "outside a class"},
+		{"Database D\nstray line", "unexpected line"},
+		{"Database D\nDatabase E", "duplicate Database"},
+		{"", "no Database header"},
+		{"Database D\nconst X 5", "needs '='"},
+		{"Database D\nconst X = rating", "not a constant"},
+		{"Database D\nClass C\nattributes\nbroken\nend C", "name : type"},
+		{"Database D\nClass C\nattributes\nx : nosuchtype!\nend C", "bad type"},
+		{"Database D\nClass C\nobject constraints\nbroken line\nend C", "name: body"},
+		{"Database D\nClass C\nobject constraints\noc1: ((\nend C", "oc1"},
+		{"Database D\nClass C isa Missing\nend C", "unknown superclass"},
+		{"Database D\nClass C\nattributes\nx : Missing\nend C", "unknown class"},
+		{"Database D\nClass C\nobject constraints\noc1: nosuch = 1\nend C", "unknown identifier"},
+		{"Database D\nClass C\nattributes\nx : int\nobject constraints\noc1: x\nend C", "not boolean"},
+	}
+	for _, c := range cases {
+		_, err := ParseDatabase(c.src)
+		if err == nil {
+			t.Errorf("ParseDatabase(%q) should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseDatabase(%q) error %q should mention %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	for _, src := range []string{FigureOneCSLibrary, FigureOneBookseller, IntroPersonnelDB1} {
+		s1, err := ParseDatabase(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		printed := s1.Print()
+		s2, err := ParseDatabase(printed)
+		if err != nil {
+			t.Fatalf("reparse of printed spec failed: %v\n%s", err, printed)
+		}
+		if got, want := s2.Schema.ClassNames(), s1.Schema.ClassNames(); len(got) != len(want) {
+			t.Errorf("round trip classes: %v vs %v", got, want)
+		}
+		for _, cls := range s1.Schema.Classes() {
+			c2, ok := s2.Schema.Class(cls.Name)
+			if !ok {
+				t.Errorf("class %s lost in round trip", cls.Name)
+				continue
+			}
+			if len(c2.Attrs) != len(cls.Attrs) || len(c2.Constraints) != len(cls.Constraints) {
+				t.Errorf("class %s: attrs/constraints changed in round trip", cls.Name)
+			}
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := `
+-- leading comment
+Database D  -- trailing comment
+
+Class C
+  attributes
+    x : int   -- the x attribute
+  object constraints
+    oc1: x >= 0 -- nonnegative
+end C
+`
+	spec, err := ParseDatabase(src)
+	if err != nil {
+		t.Fatalf("comments: %v", err)
+	}
+	if _, ok := spec.Schema.Class("C"); !ok {
+		t.Error("class C missing")
+	}
+	c := spec.Schema.MustClass("C")
+	if len(c.Constraints) != 1 {
+		t.Errorf("constraints: %v", c.Constraints)
+	}
+}
+
+func TestStripCommentInsideString(t *testing.T) {
+	src := `Database D
+Class C
+  attributes
+    x : string
+  object constraints
+    oc1: x != 'a--b'
+end C
+`
+	spec, err := ParseDatabase(src)
+	if err != nil {
+		t.Fatalf("'--' inside string literal must not start a comment: %v", err)
+	}
+	con := spec.Schema.MustClass("C").Constraints[0]
+	if !strings.Contains(con.Src, "a--b") {
+		t.Errorf("constraint source mangled: %q", con.Src)
+	}
+}

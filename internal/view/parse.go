@@ -1,0 +1,100 @@
+package view
+
+import (
+	"fmt"
+	"strings"
+
+	"interopdb/internal/expr"
+)
+
+// ParseQuery parses the textual query form used by the CLI:
+//
+//	select title, rating from Proceedings where rating >= 7
+//	select * from Item
+//	from Publication where publisher.name = 'ACM'
+//
+// Keywords are case-insensitive; the select clause is optional (defaults
+// to *); the where clause is optional.
+func ParseQuery(src string) (Query, error) {
+	var q Query
+	rest := strings.TrimSpace(src)
+	lower := strings.ToLower(rest)
+
+	// select clause.
+	if strings.HasPrefix(lower, "select ") {
+		fromIdx := indexWord(lower, "from")
+		if fromIdx < 0 {
+			return q, fmt.Errorf("query needs a from clause")
+		}
+		fields := strings.TrimSpace(rest[len("select "):fromIdx])
+		if fields == "" {
+			return q, fmt.Errorf("select clause needs field names or *")
+		}
+		if fields != "*" {
+			for _, f := range strings.Split(fields, ",") {
+				f = strings.TrimSpace(f)
+				if f == "" {
+					return q, fmt.Errorf("empty field in select clause")
+				}
+				q.Select = append(q.Select, f)
+			}
+		}
+		rest = rest[fromIdx:]
+		lower = lower[fromIdx:]
+	}
+
+	if !strings.HasPrefix(lower, "from ") {
+		return q, fmt.Errorf("query needs a from clause")
+	}
+	rest = strings.TrimSpace(rest[len("from "):])
+	lower = strings.ToLower(rest)
+
+	// class name up to optional where.
+	whereIdx := indexWord(lower, "where")
+	if whereIdx < 0 {
+		q.Class = strings.TrimSpace(rest)
+		if q.Class == "" {
+			return q, fmt.Errorf("query needs a class after from")
+		}
+		return q, nil
+	}
+	q.Class = strings.TrimSpace(rest[:whereIdx])
+	if q.Class == "" {
+		return q, fmt.Errorf("query needs a class after from")
+	}
+	cond := strings.TrimSpace(rest[whereIdx+len("where"):])
+	if cond == "" {
+		return q, fmt.Errorf("empty where clause")
+	}
+	n, err := expr.Parse(cond)
+	if err != nil {
+		return q, fmt.Errorf("where clause: %w", err)
+	}
+	q.Where = n
+	return q, nil
+}
+
+// indexWord finds a whole-word occurrence of the keyword in a lower-cased
+// string (not inside identifiers or quoted strings).
+func indexWord(lower, word string) int {
+	inStr := false
+	for i := 0; i+len(word) <= len(lower); i++ {
+		if lower[i] == '\'' {
+			inStr = !inStr
+			continue
+		}
+		if inStr {
+			continue
+		}
+		if !strings.HasPrefix(lower[i:], word) {
+			continue
+		}
+		beforeOK := i == 0 || lower[i-1] == ' ' || lower[i-1] == '\t'
+		j := i + len(word)
+		afterOK := j == len(lower) || lower[j] == ' ' || lower[j] == '\t'
+		if beforeOK && afterOK {
+			return i
+		}
+	}
+	return -1
+}

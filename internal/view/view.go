@@ -1,0 +1,242 @@
+// Package view implements the two uses of global integrity constraints
+// that motivate the paper (§1): query optimisation against the integrated
+// view — eliminating subqueries known to yield empty results — and
+// validation of update transactions — rejecting subtransactions that the
+// local transaction managers would certainly refuse, before they are
+// shipped.
+package view
+
+import (
+	"fmt"
+	"sort"
+
+	"interopdb/internal/core"
+	"interopdb/internal/expr"
+	"interopdb/internal/logic"
+	"interopdb/internal/object"
+	"interopdb/internal/schema"
+	"interopdb/internal/store"
+)
+
+// Row is one query result: attribute name → value.
+type Row map[string]object.Value
+
+// Query is a select-from-where over a global class.
+type Query struct {
+	Class  string
+	Where  expr.Node // nil = no predicate
+	Select []string  // empty = all attributes present
+}
+
+// Stats reports what the optimiser did for one query.
+type Stats struct {
+	// Scanned counts objects actually evaluated.
+	Scanned int
+	// PrunedEmpty is true when the global constraints refuted the
+	// predicate outright and the scan was skipped.
+	PrunedEmpty bool
+	// DroppedConjuncts counts predicate conjuncts implied by the global
+	// constraints and removed from the residual predicate.
+	DroppedConjuncts int
+}
+
+// Engine runs queries and validates updates against an integration
+// result.
+type Engine struct {
+	res     *core.Result
+	checker *logic.Checker
+	// UseConstraints toggles constraint-based optimisation; off, the
+	// engine behaves like the drop-all baseline.
+	UseConstraints bool
+}
+
+// New builds an engine over an integration result with optimisation on.
+func New(res *core.Result) *Engine {
+	return &Engine{
+		res:            res,
+		checker:        &logic.Checker{Types: res.Conformed.Types},
+		UseConstraints: true,
+	}
+}
+
+// constraintsFor collects the scope-all global constraint formulas of a
+// class (object constraints only; key and aggregate constraints do not
+// restrict single-object predicates).
+func (e *Engine) constraintsFor(class string) []expr.Node {
+	var out []expr.Node
+	for _, gc := range e.res.Derivation.GlobalFor(class, core.ScopeAll) {
+		if gc.Kind != schema.ObjectConstraint {
+			continue
+		}
+		out = append(out, gc.Expr)
+	}
+	return out
+}
+
+// Run executes a query. With UseConstraints, the derived global
+// constraints prune provably-empty queries without touching the extent
+// and drop implied conjuncts from the residual predicate.
+func (e *Engine) Run(q Query) ([]Row, Stats, error) {
+	var stats Stats
+	ext := e.res.View.Extent(q.Class)
+	pred := q.Where
+
+	if e.UseConstraints && pred != nil {
+		cons := e.constraintsFor(q.Class)
+		if len(cons) > 0 {
+			all := append(append([]expr.Node{}, cons...), pred)
+			if e.checker.Satisfiable(all...) == logic.No {
+				stats.PrunedEmpty = true
+				return nil, stats, nil
+			}
+			// Residual predicate: drop conjuncts the constraints imply.
+			var residual []expr.Node
+			for _, c := range conjuncts(pred) {
+				if e.checker.Entails(cons, c) == logic.Yes {
+					stats.DroppedConjuncts++
+					continue
+				}
+				residual = append(residual, c)
+			}
+			pred = conjoinNodes(residual)
+		}
+	}
+
+	var rows []Row
+	for _, g := range ext {
+		stats.Scanned++
+		if pred != nil {
+			env := e.res.View.Env(g)
+			ok, err := env.EvalBool(pred)
+			if err != nil {
+				return nil, stats, fmt.Errorf("query on %s: %w", q.Class, err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		rows = append(rows, projectRow(g, q.Select))
+	}
+	return rows, stats, nil
+}
+
+func projectRow(g *core.GObj, sel []string) Row {
+	row := Row{}
+	if len(sel) == 0 {
+		for k, v := range g.Attrs {
+			row[k] = v
+		}
+		return row
+	}
+	for _, a := range sel {
+		if v, ok := g.Get(a); ok {
+			row[a] = v
+		}
+	}
+	return row
+}
+
+func conjuncts(n expr.Node) []expr.Node {
+	if b, ok := n.(expr.Binary); ok && b.Op == expr.OpAnd {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []expr.Node{n}
+}
+
+func conjoinNodes(ns []expr.Node) expr.Node {
+	if len(ns) == 0 {
+		return nil
+	}
+	out := ns[0]
+	for _, n := range ns[1:] {
+		out = expr.Binary{Op: expr.OpAnd, L: out, R: n}
+	}
+	return out
+}
+
+// Rejection explains why an update was rejected before shipping.
+type Rejection struct {
+	Constraint core.GlobalConstraint
+	Detail     string
+}
+
+// Error implements error.
+func (r Rejection) Error() string {
+	return fmt.Sprintf("update rejected by global constraint %s: %s", r.Constraint.Expr, r.Detail)
+}
+
+// ValidateInsert checks an intended insert into a global class against
+// the scope-all global object constraints, before any subtransaction is
+// sent to a component database. It returns the violated constraints
+// (empty means the insert may proceed to the local managers).
+func (e *Engine) ValidateInsert(class string, attrs map[string]object.Value) []Rejection {
+	var out []Rejection
+	obj := expr.MapObject(attrs)
+	selfAttrs := map[string]bool{}
+	for k := range attrs {
+		selfAttrs[k] = true
+	}
+	// Declared attributes of the class count as known-but-null.
+	if org, ok := e.res.View.Origin[class]; ok {
+		for _, a := range e.res.Conformed.SchemaOf(org.Side).AllAttrs(org.Class) {
+			selfAttrs[a.Name] = true
+		}
+	}
+	env := &expr.Env{
+		Vars:      map[string]expr.Object{"self": obj},
+		SelfAttrs: selfAttrs,
+		Consts:    e.res.Conformed.Consts,
+		Deref:     func(r object.Ref) (expr.Object, bool) { return e.res.View.Deref(r) },
+	}
+	for _, gc := range e.res.Derivation.GlobalFor(class, core.ScopeAll) {
+		if gc.Kind != schema.ObjectConstraint {
+			continue
+		}
+		ok, err := env.EvalBool(gc.Expr)
+		if err != nil {
+			continue // constraints outside the evaluable fragment are skipped
+		}
+		if !ok {
+			out = append(out, Rejection{Constraint: gc, Detail: "violated by proposed state"})
+		}
+	}
+	// Key constraints: probe the current global extent.
+	for _, gc := range e.res.Derivation.GlobalFor(class, core.ScopeAll) {
+		k, ok := gc.Expr.(expr.Key)
+		if !ok {
+			continue
+		}
+		ext := []expr.Object{obj}
+		for _, g := range e.res.View.Extent(class) {
+			ext = append(ext, g)
+		}
+		if holds, err := expr.EvalKey(ext, k.Attrs); err == nil && !holds {
+			out = append(out, Rejection{Constraint: gc, Detail: fmt.Sprintf("duplicate key %v", k.Attrs)})
+		}
+	}
+	return out
+}
+
+// ShipInsert decomposes a validated insert into a component-store insert
+// (into the origin class of the global class) and executes it, reporting
+// whether the local transaction manager accepted it. It is used by the
+// benchmarks to count avoided round-trips.
+func (e *Engine) ShipInsert(st *store.Store, class string, attrs map[string]object.Value) error {
+	org, ok := e.res.View.Origin[class]
+	if !ok {
+		return fmt.Errorf("no origin class for global class %s", class)
+	}
+	tx := st.Begin()
+	if _, err := tx.Insert(org.Class, attrs); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Classes lists the queryable global classes in sorted order.
+func (e *Engine) Classes() []string {
+	out := append([]string{}, e.res.View.ClassNames...)
+	sort.Strings(out)
+	return out
+}

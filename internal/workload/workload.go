@@ -1,0 +1,229 @@
+// Package workload generates seeded synthetic component databases over
+// the paper's Figure 1 schemas (bibliographic domain) and the
+// introduction's personnel schemas, for the benchmark harness. The paper
+// has no published datasets; these generators are the documented
+// substitution (DESIGN.md §4).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"interopdb/internal/object"
+	"interopdb/internal/store"
+	"interopdb/internal/tm"
+)
+
+// Params controls the bibliographic generator.
+type Params struct {
+	Seed        int64
+	LocalBooks  int
+	RemoteBooks int
+	// Overlap is the fraction of remote books sharing an ISBN with a
+	// local book (entity-resolution hits).
+	Overlap float64
+	// RefFraction is the fraction of remote items that are refereed
+	// proceedings.
+	RefFraction float64
+	// ConflictRate is the fraction of overlapping books whose local and
+	// remote prices are set up to violate libprice<=shopprice after
+	// trust-based fusion (the §5.1.3 pattern).
+	ConflictRate float64
+	Publishers   int
+}
+
+// DefaultParams returns a mid-sized workload.
+func DefaultParams() Params {
+	return Params{
+		Seed:         42,
+		LocalBooks:   1000,
+		RemoteBooks:  1000,
+		Overlap:      0.3,
+		RefFraction:  0.5,
+		ConflictRate: 0,
+		Publishers:   10,
+	}
+}
+
+var publisherPool = []string{
+	"IEEE", "ACM", "Springer", "Addison-Wesley", "North-Holland",
+	"Elsevier", "MIT Press", "Morgan Kaufmann", "Wiley", "OUP",
+	"CUP", "Prentice Hall", "McGraw-Hill", "AAAI Press", "USENIX",
+}
+
+// Bibliographic builds CSLibrary and Bookseller stores per the params.
+// Object constraints hold by construction; enforcement is re-enabled
+// afterwards so subsequent mutations are validated.
+func Bibliographic(p Params) (local, remote *store.Store) {
+	if p.Publishers <= 0 || p.Publishers > len(publisherPool) {
+		p.Publishers = len(publisherPool)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	lib := tm.Figure1Library()
+	bs := tm.Figure1Bookseller()
+	// The generated publishers must all be "known" to the library.
+	known := make([]object.Value, p.Publishers)
+	for i := 0; i < p.Publishers; i++ {
+		known[i] = object.Str(publisherPool[i])
+	}
+	lib.Consts["KNOWNPUBLISHERS"] = object.NewSet(known...)
+	lib.Consts["MAX"] = object.Real(1e12)
+	local = store.New(lib.Schema, lib.Consts)
+	remote = store.New(bs.Schema, bs.Consts)
+	local.Enforce = false
+	remote.Enforce = false
+
+	pubName := func(i int) string { return publisherPool[i%p.Publishers] }
+
+	// Remote publishers.
+	pubRefs := make([]object.Ref, p.Publishers)
+	for i := 0; i < p.Publishers; i++ {
+		oid := remote.MustInsert("Publisher", map[string]object.Value{
+			"name":     object.Str(pubName(i)),
+			"location": object.Str(fmt.Sprintf("City-%d", i)),
+		})
+		pubRefs[i] = object.Ref{DB: "Bookseller", OID: oid}
+	}
+
+	overlapN := int(float64(p.RemoteBooks) * p.Overlap)
+	if overlapN > p.LocalBooks {
+		overlapN = p.LocalBooks
+	}
+	conflictN := int(float64(overlapN) * p.ConflictRate)
+
+	// Local books. The first overlapN ISBNs are shared with the remote.
+	for i := 0; i < p.LocalBooks; i++ {
+		isbn := fmt.Sprintf("isbn-%07d", i)
+		shop := 20 + rng.Float64()*80
+		our := shop - rng.Float64()*10
+		rating := int64(rng.Intn(5)) + 1
+		title := fmt.Sprintf("Title %d", i)
+		if rng.Float64() < 0.4 {
+			title = fmt.Sprintf("Proceedings of Conf %d", i)
+		}
+		attrs := map[string]object.Value{
+			"title": object.Str(title), "isbn": object.Str(isbn),
+			"publisher": object.Str(pubName(i)),
+			"shopprice": object.Real(shop), "ourprice": object.Real(our),
+		}
+		if i < conflictN {
+			// Local prices higher than the remote shopprice will be below:
+			// trust fusion yields libprice 26-style violations.
+			attrs["shopprice"] = object.Real(100)
+			attrs["ourprice"] = object.Real(95)
+		}
+		switch {
+		case rating >= 2 && rng.Float64() < 0.5:
+			attrs["editors"] = object.NewSet(object.Str(fmt.Sprintf("Editor %d", i)))
+			attrs["rating"] = object.Int(clamp(rating, 2, 5))
+			attrs["avgAccRate"] = object.Real(rng.Float64())
+			local.MustInsert("RefereedPubl", attrs)
+		case rng.Float64() < 0.5:
+			attrs["editors"] = object.NewSet(object.Str(fmt.Sprintf("Editor %d", i)))
+			attrs["rating"] = object.Int(clamp(rating, 1, 3))
+			attrs["authAffil"] = object.Str(fmt.Sprintf("Univ %d", i%20))
+			local.MustInsert("NonRefereedPubl", attrs)
+		default:
+			attrs["authors"] = object.NewSet(object.Str(fmt.Sprintf("Author %d", i)))
+			local.MustInsert("ProfessionalPubl", attrs)
+		}
+	}
+
+	// Remote items.
+	for i := 0; i < p.RemoteBooks; i++ {
+		var isbn string
+		if i < overlapN {
+			isbn = fmt.Sprintf("isbn-%07d", i) // shared with local
+		} else {
+			isbn = fmt.Sprintf("risbn-%07d", i)
+		}
+		shop := 20 + rng.Float64()*80
+		lib := shop - rng.Float64()*10
+		if i < conflictN {
+			shop, lib = 30, 25 // below the conflicting local prices
+		}
+		pi := i % p.Publishers
+		attrs := map[string]object.Value{
+			"title": object.Str(fmt.Sprintf("Remote Title %d", i)), "isbn": object.Str(isbn),
+			"publisher": pubRefs[pi],
+			"authors":   object.NewSet(object.Str(fmt.Sprintf("Author %d", i))),
+			"shopprice": object.Real(shop), "libprice": object.Real(lib),
+		}
+		if rng.Float64() < 0.7 {
+			refereed := rng.Float64() < p.RefFraction
+			// Figure 1's oc1: IEEE implies refereed.
+			if pubName(pi) == "IEEE" {
+				refereed = true
+			}
+			attrs["ref?"] = object.Bool(refereed)
+			if refereed {
+				attrs["rating"] = object.Int(int64(rng.Intn(4)) + 7) // ≥7 per oc2
+			} else {
+				r := int64(rng.Intn(10)) + 1
+				if pubName(pi) == "ACM" && r < 6 {
+					r = 6 // oc3
+				}
+				attrs["rating"] = object.Int(r)
+			}
+			remote.MustInsert("Proceedings", attrs)
+		} else {
+			attrs["subjects"] = object.NewSet(object.Str(fmt.Sprintf("subject-%d", i%30)))
+			remote.MustInsert("Monograph", attrs)
+		}
+	}
+	local.Enforce = true
+	remote.Enforce = true
+	return local, remote
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// PersonnelParams controls the personnel generator.
+type PersonnelParams struct {
+	Seed     int64
+	DB1, DB2 int
+	Overlap  float64 // fraction of DB2 employees also in DB1
+}
+
+// Personnel builds the introduction's department databases at scale.
+// DB1 enforces trav_reimb ∈ {10,20} and salary < 1500; DB2 enforces
+// trav_reimb ∈ {14,24}.
+func Personnel(p PersonnelParams) (db1, db2 *store.Store) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	s1, s2 := tm.Personnel1(), tm.Personnel2()
+	db1 = store.New(s1.Schema, s1.Consts)
+	db2 = store.New(s2.Schema, s2.Consts)
+	t1 := []object.Value{object.Int(10), object.Int(20)}
+	t2 := []object.Value{object.Int(14), object.Int(24)}
+	for i := 0; i < p.DB1; i++ {
+		db1.MustInsert("Employee", map[string]object.Value{
+			"ssn":        object.Str(fmt.Sprintf("ssn-%06d", i)),
+			"salary":     object.Real(800 + rng.Float64()*600), // < 1500 per oc2
+			"trav_reimb": t1[rng.Intn(2)],
+		})
+	}
+	overlapN := int(float64(p.DB2) * p.Overlap)
+	if overlapN > p.DB1 {
+		overlapN = p.DB1
+	}
+	for i := 0; i < p.DB2; i++ {
+		ssn := fmt.Sprintf("ssn2-%06d", i)
+		if i < overlapN {
+			ssn = fmt.Sprintf("ssn-%06d", i)
+		}
+		db2.MustInsert("Employee", map[string]object.Value{
+			"ssn":        object.Str(ssn),
+			"salary":     object.Real(800 + rng.Float64()*1200),
+			"trav_reimb": t2[rng.Intn(2)],
+		})
+	}
+	return db1, db2
+}
