@@ -1,0 +1,3 @@
+module interopdb
+
+go 1.22
