@@ -1,0 +1,41 @@
+# Targets mirror .github/workflows/ci.yml so local runs and CI are
+# identical.
+
+GO ?= go
+
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline
+
+all: build vet fmt-check test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+# Race-test the concurrent pipeline paths (worker-pool derivation and
+# conformation, shared entailment cache, query engine).
+race:
+	$(GO) test -race ./internal/core/... ./internal/logic/... ./internal/view/...
+
+# Full benchmark run (slow).
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# One-iteration smoke of the full-pipeline benchmark, as in CI.
+bench-smoke:
+	$(GO) test -bench=E11 -benchtime=1x -run='^$$' .
+
+# Regenerate the machine-readable benchmark baseline.
+baseline:
+	$(GO) run ./cmd/interopbench -quick -json BENCH_1.json

@@ -107,7 +107,10 @@ func BenchmarkB2_TxnValidation(b *testing.B) {
 	}
 }
 
-// B3: integration wall time across sizes and overlap fractions.
+// B3: integration wall time across sizes and overlap fractions, run
+// both fully sequential/uncached and with the default worker pool +
+// memoized entailment. Compare the seq/par sub-benchmark pairs for the
+// parallel speedup; the par runs report the cache hit rate.
 func BenchmarkB3_IntegrationScale(b *testing.B) {
 	for _, n := range []int{200, 1000, 2000} {
 		for _, ov := range []float64{0.1, 0.9} {
@@ -115,22 +118,36 @@ func BenchmarkB3_IntegrationScale(b *testing.B) {
 			p.LocalBooks, p.RemoteBooks = n, n
 			p.Overlap = ov
 			name := "books=" + itoa(n) + "/overlap=" + ftoa(ov)
-			b.Run(name, func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					b.StopTimer()
-					local, remote := workload.Bibliographic(p)
-					b.StartTimer()
-					if _, err := core.Integrate(tm.Figure1Library(), tm.Figure1Bookseller(),
-						tm.Figure1Integration(), local, remote, 1); err != nil {
-						b.Fatal(err)
+			for _, mode := range []struct {
+				tag  string
+				opts core.Options
+			}{
+				{"seq", core.Options{Parallelism: 1, NoMemo: true}},
+				{"par", core.Options{}},
+			} {
+				b.Run(name+"/"+mode.tag, func(b *testing.B) {
+					var hitRate float64
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						local, remote := workload.Bibliographic(p)
+						b.StartTimer()
+						res, err := core.IntegrateOptions(tm.Figure1Library(), tm.Figure1Bookseller(),
+							tm.Figure1Integration(), local, remote, 1, mode.opts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						hitRate = res.Derivation.CacheStats().HitRate()
 					}
-				}
-			})
+					b.ReportMetric(100*hitRate, "cache-hit-%")
+				})
+			}
 		}
 	}
 }
 
-// B4: global-constraint derivation cost against constraint count.
+// B4: global-constraint derivation cost against constraint count
+// (experiments.B4 itself times sequential and parallel runs and checks
+// their reports agree).
 func BenchmarkB4_DerivationCost(b *testing.B) {
 	for _, k := range []int{4, 16, 64} {
 		b.Run("constraints="+itoa(2*k), func(b *testing.B) {
@@ -141,6 +158,57 @@ func BenchmarkB4_DerivationCost(b *testing.B) {
 			}
 		})
 	}
+}
+
+// Full pipeline over the scaled Figure 1 fixture (fixture.Options.Scale
+// grows extents and merged pairs linearly), sequential vs parallel.
+func BenchmarkFixtureScalePipeline(b *testing.B) {
+	for _, mode := range []struct {
+		tag  string
+		opts core.Options
+	}{
+		{"seq", core.Options{Parallelism: 1, NoMemo: true}},
+		{"par", core.Options{}},
+	} {
+		b.Run("scale=50/"+mode.tag, func(b *testing.B) {
+			local, remote := fixture.Figure1Stores(fixture.Options{Scale: 50})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.IntegrateOptions(tm.Figure1Library(), tm.Figure1Bookseller(),
+					tm.Figure1Integration(), local, remote, 1, mode.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Memoized vs uncached entailment on the repeated-query stream the
+// sibling-class integration pattern produces.
+func BenchmarkMemoizedEntailment(b *testing.B) {
+	prem := []Expr{
+		expr.MustParse("ref? = true"),
+		expr.MustParse("ref? = true implies rating >= 7"),
+	}
+	conc := expr.MustParse("rating >= 4")
+	types := map[string]object.Type{"rating": object.RangeType{Lo: 1, Hi: 10}}
+	b.Run("uncached", func(b *testing.B) {
+		c := &logic.Checker{Types: types, NoMemo: true}
+		for i := 0; i < b.N; i++ {
+			if c.Entails(prem, conc) != logic.Yes {
+				b.Fatal("entailment failed")
+			}
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		c := &logic.Checker{Types: types}
+		for i := 0; i < b.N; i++ {
+			if c.Entails(prem, conc) != logic.Yes {
+				b.Fatal("entailment failed")
+			}
+		}
+		b.ReportMetric(100*c.CacheStats().HitRate(), "cache-hit-%")
+	})
 }
 
 // B5: baseline comparison (class-based precision, union-all rejections).

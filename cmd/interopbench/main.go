@@ -2,30 +2,78 @@
 // scenario reproductions (every worked example and figure of the paper)
 // and the B1–B6 measurements (query optimisation, transaction validation,
 // scale sweeps, derivation cost, baseline comparison, conflict
-// detection). Its output is the source of EXPERIMENTS.md.
+// detection). Its output is the source of EXPERIMENTS.md. The scale and
+// derivation sweeps (B3, B4) measure sequential vs parallel pipeline
+// execution and report the reasoner's cache hit rate.
 //
 // Usage:
 //
-//	interopbench            # everything
-//	interopbench -only E    # scenario reproductions only
-//	interopbench -only B    # measurements only
-//	interopbench -quick     # smaller B-series sweeps
+//	interopbench                  # everything
+//	interopbench -only E          # scenario reproductions only
+//	interopbench -only B          # measurements only
+//	interopbench -quick           # smaller B-series sweeps
+//	interopbench -json BENCH.json # also write machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"interopdb/internal/experiments"
 )
 
+// report is the machine-readable result file (-json): one baseline per
+// PR, diffable across the repo's history.
+type report struct {
+	GoMaxProcs int                   `json:"gomaxprocs"`
+	Quick      bool                  `json:"quick"`
+	EResults   []eResult             `json:"e_results,omitempty"`
+	B1         []experiments.B1Row   `json:"b1,omitempty"`
+	B2         []experiments.B2Row   `json:"b2,omitempty"`
+	B3         []b3JSON              `json:"b3,omitempty"`
+	B4         []b4JSON              `json:"b4,omitempty"`
+	B5         *experiments.B5Result `json:"b5,omitempty"`
+	B6         []experiments.B6Row   `json:"b6,omitempty"`
+}
+
+type eResult struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	Passed bool   `json:"passed"`
+}
+
+// b3JSON flattens B3Row with derived metrics for trend tracking.
+type b3JSON struct {
+	Books        int     `json:"books"`
+	Overlap      float64 `json:"overlap"`
+	Objects      int     `json:"objects"`
+	Merged       int     `json:"merged"`
+	SeqNanos     int64   `json:"seq_ns"`
+	ParNanos     int64   `json:"par_ns"`
+	Speedup      float64 `json:"speedup"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+type b4JSON struct {
+	Constraints  int     `json:"constraints"`
+	Derived      int     `json:"derived"`
+	SeqNanos     int64   `json:"seq_ns"`
+	ParNanos     int64   `json:"par_ns"`
+	Speedup      float64 `json:"speedup"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
 func main() {
 	only := flag.String("only", "", "run only E or B series")
 	quick := flag.Bool("quick", false, "smaller measurement sweeps")
+	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	flag.Parse()
 
+	rep := report{GoMaxProcs: runtime.GOMAXPROCS(0), Quick: *quick}
 	failed := false
 	if *only == "" || strings.EqualFold(*only, "E") {
 		fmt.Println("==================== E-series: scenario reproductions ====================")
@@ -36,19 +84,26 @@ func main() {
 			if !r.Passed() {
 				failed = true
 			}
+			rep.EResults = append(rep.EResults, eResult{ID: r.ID, Title: r.Title, Passed: r.Passed()})
 		}
 	}
 
 	if *only == "" || strings.EqualFold(*only, "B") {
 		fmt.Println("==================== B-series: measurements ====================")
-		runB(*quick)
+		runB(*quick, &rep)
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		exitOn(err)
+		exitOn(os.WriteFile(*jsonPath, append(buf, '\n'), 0o644))
+		fmt.Printf("\nwrote %s\n", *jsonPath)
 	}
 	if failed {
 		os.Exit(1)
 	}
 }
 
-func runB(quick bool) {
+func runB(quick bool, rep *report) {
 	books := 2000
 	sizes := []int{1000, 5000, 20000}
 	counts := []int{4, 16, 64, 256}
@@ -69,6 +124,7 @@ func runB(quick bool) {
 		fmt.Printf("  %-62s opt: %6d scanned %10v | base: %6d scanned %10v | pruned=%-5v %s\n",
 			r.Query, r.OptScanned, r.OptTime, r.BaseScanned, r.BaseTime, r.Pruned, speedup)
 	}
+	rep.B1 = rows
 
 	fmt.Println("\nB2: transaction validation (rejected before shipping)")
 	b2, err := experiments.B2(200, []float64{0, 0.25, 0.5, 0.75})
@@ -77,21 +133,32 @@ func runB(quick bool) {
 		fmt.Printf("  violation rate %.2f: %3d/%3d rejected early, %d reached the local manager and were rejected there\n",
 			r.ViolationRate, r.RejectedEarly, r.Attempts, r.LocalRejects)
 	}
+	rep.B2 = b2
 
-	fmt.Println("\nB3: integration scale sweep")
+	fmt.Println("\nB3: integration scale sweep (sequential vs parallel pipeline)")
 	b3, err := experiments.B3(sizes, []float64{0.1, 0.5, 0.9})
 	exitOn(err)
 	for _, r := range b3 {
-		fmt.Printf("  books=%6d overlap=%.1f: %6d global objects (%6d merged) in %v\n",
-			r.Books, r.Overlap, r.Objects, r.Merged, r.Duration)
+		fmt.Printf("  books=%6d overlap=%.1f: %6d global objects (%6d merged) seq %10v | par %10v | %.2fx | cache %4.1f%%\n",
+			r.Books, r.Overlap, r.Objects, r.Merged, r.Duration, r.DurationPar, r.Speedup(), 100*r.CacheHitRate)
+		rep.B3 = append(rep.B3, b3JSON{
+			Books: r.Books, Overlap: r.Overlap, Objects: r.Objects, Merged: r.Merged,
+			SeqNanos: r.Duration.Nanoseconds(), ParNanos: r.DurationPar.Nanoseconds(),
+			Speedup: r.Speedup(), CacheHitRate: r.CacheHitRate,
+		})
 	}
 
-	fmt.Println("\nB4: derivation cost vs constraint count")
+	fmt.Println("\nB4: derivation cost vs constraint count (sequential vs parallel)")
 	b4, err := experiments.B4(counts)
 	exitOn(err)
 	for _, r := range b4 {
-		fmt.Printf("  %4d component constraints → %4d derived global constraints in %v\n",
-			r.Constraints, r.Derived, r.Duration)
+		fmt.Printf("  %4d component constraints → %4d derived global constraints seq %10v | par %10v | %.2fx | cache %4.1f%%\n",
+			r.Constraints, r.Derived, r.Duration, r.DurationPar, r.Speedup(), 100*r.CacheHitRate)
+		rep.B4 = append(rep.B4, b4JSON{
+			Constraints: r.Constraints, Derived: r.Derived,
+			SeqNanos: r.Duration.Nanoseconds(), ParNanos: r.DurationPar.Nanoseconds(),
+			Speedup: r.Speedup(), CacheHitRate: r.CacheHitRate,
+		})
 	}
 
 	fmt.Println("\nB5: baseline comparison")
@@ -101,6 +168,7 @@ func runB(quick bool) {
 		b5.ClassBasedPrecision, b5.ClassBasedRecall)
 	fmt.Printf("  union-all [AQF95/RPG95-style] constraints: %d/%d valid merged states falsely rejected (derived constraints: 0)\n",
 		b5.UnionAllFalseRej, b5.UnionAllTotal)
+	rep.B5 = &b5
 
 	fmt.Println("\nB6: conflict detection under injected weakenings")
 	b6, err := experiments.B6()
@@ -109,6 +177,7 @@ func runB(quick bool) {
 		fmt.Printf("  %d weakened constraints → %2d conflicts, %2d repair suggestions\n",
 			r.WeakenedConstraints, r.Conflicts, r.Suggestions)
 	}
+	rep.B6 = b6
 }
 
 func max(a, b int) int {

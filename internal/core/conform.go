@@ -201,11 +201,20 @@ func (c *Conformed) ConsOn(side Side, class string, kind schema.ConstraintKind) 
 	return out
 }
 
-// Conform runs the conformation phase of §4: object-value conflicts are
-// settled by objectifying described values into virtual classes,
-// equivalent properties are renamed and converted into the common domain,
-// and every constraint is re-expressed in conformed terms.
+// Conform runs the conformation phase with default options.
 func Conform(spec *Spec, local, remote *store.Store) (*Conformed, error) {
+	return ConformOptions(spec, local, remote, Options{})
+}
+
+// ConformOptions runs the conformation phase of §4: object-value
+// conflicts are settled by objectifying described values into virtual
+// classes, equivalent properties are renamed and converted into the
+// common domain, and every constraint is re-expressed in conformed
+// terms. Constraint conformation — the rewrite-heavy stage — fans out
+// across the worker pool; everything it reads (schemas, spec, hidden
+// sets) is frozen by the earlier sequential stages, and each rewritten
+// constraint lands in its own output slot, keeping Cons order stable.
+func ConformOptions(spec *Spec, local, remote *store.Store, opts Options) (*Conformed, error) {
 	if local.Name() != spec.Local.Schema.Name || remote.Name() != spec.Remote.Schema.Name {
 		return nil, fmt.Errorf("stores %s, %s do not match spec databases %s, %s",
 			local.Name(), remote.Name(), spec.Local.Schema.Name, spec.Remote.Schema.Name)
@@ -255,8 +264,8 @@ func Conform(spec *Spec, local, remote *store.Store) (*Conformed, error) {
 	if err := c.conformObjects(RemoteSide, remote, desc[RemoteSide]); err != nil {
 		return nil, err
 	}
-	c.conformConstraints(LocalSide, desc[LocalSide])
-	c.conformConstraints(RemoteSide, desc[RemoteSide])
+	c.conformConstraints(LocalSide, desc[LocalSide], opts.workers())
+	c.conformConstraints(RemoteSide, desc[RemoteSide], opts.workers())
 	c.collectTypes()
 	return c, nil
 }
@@ -543,91 +552,102 @@ func (c *Conformed) virtualFor(side Side, class string, dr *DescRule, o *store.O
 // conformConstraints re-expresses every constraint of a side in conformed
 // terms: re-allocation to virtual classes, attribute substitution, domain
 // conversion of literals, and aggregate-over renames (§4 subtasks 1–4).
-func (c *Conformed) conformConstraints(side Side, desc map[string]map[string]*DescRule) {
+// Each constraint's rewrite is independent and reads only state frozen
+// before this stage, so the rewrites fan out across the worker pool; the
+// results land in per-index slots and append in declaration order.
+func (c *Conformed) conformConstraints(side Side, desc map[string]map[string]*DescRule, workers int) {
 	db := c.Spec.DB(side).Schema
-	dbName := db.Name
+	var jobs []func() CCon
 	for _, cls := range db.Classes() {
 		for _, k := range cls.Constraints {
-			key := ConKey{dbName, cls.Name, k.Name}
-			status := c.Spec.Status[key]
-			node := k.Expr.(expr.Node)
-
-			// §4 subtask 1, hiding direction: constraints of a class that
-			// was cast into values are hidden with it.
-			if c.Hidden[side][cls.Name] {
-				c.Cons = append(c.Cons, CCon{
-					Key: key, Kind: k.Kind, Side: side, Class: cls.Name,
-					Expr: node, Status: status, Hidden: true,
-					Note: "hidden: " + cls.Name + " was cast into values (value view)",
-				})
-				continue
-			}
-
-			// Re-allocation (§4 subtask 1): a constraint touching only
-			// described value attributes moves to the virtual class.
-			moved := false
-			if byClass, ok := desc[cls.Name]; ok && len(byClass) > 0 {
-				// Consider only genuine attributes of the class: named
-				// constants (KNOWNPUBLISHERS) are not attributes.
-				var used []string
-				for a := range expr.AttrsUsed(node) {
-					if _, _, ok := db.ResolveAttr(cls.Name, a); ok {
-						used = append(used, a)
-					}
-				}
-				allDesc := len(used) > 0
-				var dr *DescRule
-				for _, a := range used {
-					d, ok := byClass[a]
-					if !ok {
-						allDesc = false
-						break
-					}
-					dr = d
-				}
-				if allDesc && dr != nil && !dr.ValueView {
-					vc := virtClassName(dr.ObjectClass)
-					rewritten := c.renameAttrsOnly(side, cls.Name, node)
-					c.Cons = append(c.Cons, CCon{
-						Key: key, Kind: k.Kind, Side: side, Class: vc,
-						Expr: rewritten, Status: status,
-						Note: fmt.Sprintf("re-allocated from %s to virtual class %s", cls.Name, vc),
-					})
-					moved = true
-				}
-			}
-			if moved {
-				continue
-			}
-			cf := &conformer{c: c, side: side, class: cls.Name, desc: desc}
-			rewritten := cf.node(node)
-			c.Cons = append(c.Cons, CCon{
-				Key: key, Kind: k.Kind, Side: side, Class: cls.Name,
-				Expr: rewritten, Status: status,
-				Imperfect: cf.imperfect, Note: strings.Join(cf.notes, "; "),
-			})
+			jobs = append(jobs, func() CCon { return c.conformClassCon(side, desc, cls.Name, k) })
 		}
 	}
 	for _, k := range db.DBCons {
-		key := ConKey{dbName, "", k.Name}
-		node := k.Expr.(expr.Node)
-		// A database constraint quantifying over a hidden class is hidden
-		// with it (its extension no longer exists in the conformed view).
-		if cls, ok := c.quantifiesHidden(side, node); ok {
-			c.Cons = append(c.Cons, CCon{
-				Key: key, Kind: schema.DatabaseConstraint, Side: side, Class: "",
-				Expr: node, Status: c.Spec.Status[key], Hidden: true,
-				Note: "hidden: quantifies over " + cls + " which was cast into values (value view)",
-			})
-			continue
+		jobs = append(jobs, func() CCon { return c.conformDBCon(side, desc, k) })
+	}
+	out := make([]CCon, len(jobs))
+	parallelFor(len(jobs), workers, func(i int) { out[i] = jobs[i]() })
+	c.Cons = append(c.Cons, out...)
+}
+
+// conformClassCon rewrites one class-attached constraint.
+func (c *Conformed) conformClassCon(side Side, desc map[string]map[string]*DescRule, clsName string, k schema.Constraint) CCon {
+	db := c.Spec.DB(side).Schema
+	key := ConKey{db.Name, clsName, k.Name}
+	status := c.Spec.Status[key]
+	node := k.Expr.(expr.Node)
+
+	// §4 subtask 1, hiding direction: constraints of a class that
+	// was cast into values are hidden with it.
+	if c.Hidden[side][clsName] {
+		return CCon{
+			Key: key, Kind: k.Kind, Side: side, Class: clsName,
+			Expr: node, Status: status, Hidden: true,
+			Note: "hidden: " + clsName + " was cast into values (value view)",
 		}
-		cf := &conformer{c: c, side: side, class: "", desc: desc}
-		rewritten := cf.node(node)
-		c.Cons = append(c.Cons, CCon{
+	}
+
+	// Re-allocation (§4 subtask 1): a constraint touching only
+	// described value attributes moves to the virtual class.
+	if byClass, ok := desc[clsName]; ok && len(byClass) > 0 {
+		// Consider only genuine attributes of the class: named
+		// constants (KNOWNPUBLISHERS) are not attributes.
+		var used []string
+		for a := range expr.AttrsUsed(node) {
+			if _, _, ok := db.ResolveAttr(clsName, a); ok {
+				used = append(used, a)
+			}
+		}
+		allDesc := len(used) > 0
+		var dr *DescRule
+		for _, a := range used {
+			d, ok := byClass[a]
+			if !ok {
+				allDesc = false
+				break
+			}
+			dr = d
+		}
+		if allDesc && dr != nil && !dr.ValueView {
+			vc := virtClassName(dr.ObjectClass)
+			rewritten := c.renameAttrsOnly(side, clsName, node)
+			return CCon{
+				Key: key, Kind: k.Kind, Side: side, Class: vc,
+				Expr: rewritten, Status: status,
+				Note: fmt.Sprintf("re-allocated from %s to virtual class %s", clsName, vc),
+			}
+		}
+	}
+	cf := &conformer{c: c, side: side, class: clsName, desc: desc}
+	rewritten := cf.node(node)
+	return CCon{
+		Key: key, Kind: k.Kind, Side: side, Class: clsName,
+		Expr: rewritten, Status: status,
+		Imperfect: cf.imperfect, Note: strings.Join(cf.notes, "; "),
+	}
+}
+
+// conformDBCon rewrites one database constraint.
+func (c *Conformed) conformDBCon(side Side, desc map[string]map[string]*DescRule, k schema.Constraint) CCon {
+	db := c.Spec.DB(side).Schema
+	key := ConKey{db.Name, "", k.Name}
+	node := k.Expr.(expr.Node)
+	// A database constraint quantifying over a hidden class is hidden
+	// with it (its extension no longer exists in the conformed view).
+	if cls, ok := c.quantifiesHidden(side, node); ok {
+		return CCon{
 			Key: key, Kind: schema.DatabaseConstraint, Side: side, Class: "",
-			Expr: rewritten, Status: c.Spec.Status[key],
-			Imperfect: cf.imperfect, Note: strings.Join(cf.notes, "; "),
-		})
+			Expr: node, Status: c.Spec.Status[key], Hidden: true,
+			Note: "hidden: quantifies over " + cls + " which was cast into values (value view)",
+		}
+	}
+	cf := &conformer{c: c, side: side, class: "", desc: desc}
+	rewritten := cf.node(node)
+	return CCon{
+		Key: key, Kind: schema.DatabaseConstraint, Side: side, Class: "",
+		Expr: rewritten, Status: c.Spec.Status[key],
+		Imperfect: cf.imperfect, Note: strings.Join(cf.notes, "; "),
 	}
 }
 

@@ -161,15 +161,29 @@ type Derivation struct {
 	// unsafe marks constraints whose strict-similarity check failed for
 	// some rule: they are withheld from the global view by filterUnsafe.
 	unsafe map[ConKey]bool
+	opts   Options
 }
 
-// Derive runs constraint integration over a merged view.
-func Derive(v *GlobalView) *Derivation {
+// CacheStats reports the reasoner-cache effectiveness of this run.
+func (d *Derivation) CacheStats() logic.CacheStats { return d.Checker.CacheStats() }
+
+// Derive runs constraint integration over a merged view with default
+// options (full parallelism, memoized reasoning).
+func Derive(v *GlobalView) *Derivation { return DeriveOptions(v, Options{}) }
+
+// DeriveOptions runs constraint integration over a merged view. The
+// reasoning-heavy stages — similarity checking (§3, §5.2.1), class-pair
+// constraint integration (§5.2.1) and approximate-similarity derivation
+// — fan out across a bounded worker pool; each unit of work collects
+// its outputs privately and the results are merged in the stable
+// sequential order, so the Derivation is identical for any Parallelism.
+func DeriveOptions(v *GlobalView, opts Options) *Derivation {
 	d := &Derivation{
 		View:         v,
-		Checker:      &logic.Checker{Types: v.Conformed.Types},
+		Checker:      &logic.Checker{Types: v.Conformed.Types, NoMemo: opts.NoMemo},
 		DerivedOnSim: map[string][]expr.Node{},
 		unsafe:       map[ConKey]bool{},
+		opts:         opts,
 	}
 	d.simRules()
 	d.equalityIntegration()
@@ -222,112 +236,152 @@ func exprsOf(cons []CCon) []expr.Node {
 	return out
 }
 
+// simOut is one similarity rule's contribution: collected privately by
+// a pool worker, merged into the Derivation in rule order.
+type simOut struct {
+	// skip marks a rule whose intraobject condition conflicts with the
+	// source constraints: nothing is derived for it.
+	skip      bool
+	derived   []expr.Node
+	conflicts []Conflict
+	globals   []GlobalConstraint
+	unsafe    []ConKey
+}
+
 // simRules implements §3 (intraobject conditions vs object constraints,
 // derived constraints) and the strict-similarity integration of §5.2.1.
+// Rules are independent, so they fan out across the worker pool; the
+// per-rule outputs merge in declaration order.
 func (d *Derivation) simRules() {
-	c := d.View.Conformed
-	for _, r := range c.Spec.SimRules {
-		conds := d.View.conformSimConds(r)
-		// Reasoning happens in self-rooted form: R.ref? and a class
-		// constraint's ref? are the same property.
-		selfConds := selfRooted(conds, r.SrcVar)
-		srcCons := c.ConsOn(r.SrcSide, r.SrcClass, schema.ObjectConstraint)
-		premises := append([]expr.Node{}, selfConds...)
-		premises = append(premises, exprsOf(srcCons)...)
-
-		// (§3) The intraobject condition must not conflict with the
-		// source class's object constraints.
-		if d.Checker.Conflicting(premises...) == logic.Yes {
-			d.Conflicts = append(d.Conflicts, Conflict{
-				Kind:   ConflictRuleVsConstraint,
-				Where:  "rule " + r.Raw.Name,
-				Detail: fmt.Sprintf("intraobject condition %s is inconsistent with the object constraints of %s", condText(conds), r.SrcClass),
-				Suggestions: []Suggestion{{
-					Kind: SuggestStrengthenRule,
-					Text: "the rule can never fire; revise its condition",
-				}},
-			})
+	rules := d.View.Conformed.Spec.SimRules
+	outs := make([]simOut, len(rules))
+	parallelFor(len(rules), d.opts.workers(), func(i int) {
+		outs[i] = d.simRule(rules[i])
+	})
+	for i, r := range rules {
+		o := outs[i]
+		d.Conflicts = append(d.Conflicts, o.conflicts...)
+		if o.skip {
 			continue
 		}
-
-		// (§3) Derived object constraints: implications whose guard is
-		// entailed by the premises resolve to their consequents.
-		derived := append([]expr.Node{}, selfConds...)
-		for _, con := range srcCons {
-			if con.Imperfect {
-				continue
-			}
-			for _, n := range logic.Normalize(con.Expr) {
-				if b, ok := n.(expr.Binary); ok && b.Op == expr.OpImplies {
-					if d.Checker.Entails(premises, b.L) == logic.Yes {
-						derived = append(derived, b.R)
-						continue
-					}
-				}
-				derived = append(derived, n)
-			}
+		d.DerivedOnSim[r.Raw.Name] = o.derived
+		for _, k := range o.unsafe {
+			d.unsafe[k] = true
 		}
-		d.DerivedOnSim[r.Raw.Name] = derived
-
-		if r.Approximate() {
-			continue // handled by approxSimilarity
-		}
-
-		// (§5.2.1, strict similarity): Ω' must entail every object
-		// constraint of the target class.
-		targetSide := r.SrcSide.Other()
-		tgtCons := c.ConsOn(targetSide, r.Target, schema.ObjectConstraint)
-		for _, tc := range tgtCons {
-			if tc.Imperfect {
-				continue
-			}
-			verdict := d.Checker.Entails(derived, tc.Expr)
-			if verdict == logic.Yes {
-				continue
-			}
-			detail := fmt.Sprintf("objects selected by %s are not provably valid members of %s: derived constraints %s do not entail %s (%s)",
-				r.Raw.Name, r.Target, condText(derived), tc.Expr, verdictWord(verdict))
-			// Suggested rule text must use rule syntax: the added
-			// condition's attributes are var-rooted.
-			added := varRooted(tc.Expr, r.SrcVar, c.SchemaOf(r.SrcSide), r.SrcClass)
-			strengthened := fmt.Sprintf("rule %s: Sim(%s:%s, %s) <= %s and %s",
-				r.Raw.Name, r.SrcVar, r.SrcClass, r.Target, condText(conds), added)
-			approx := fmt.Sprintf("rule %s_approx: Sim(%s:%s, %s, %sLike) <= %s and not (%s)",
-				r.Raw.Name, r.SrcVar, r.SrcClass, r.Target, r.Target, condText(conds), added)
-			d.unsafe[tc.Key] = true
-			d.Conflicts = append(d.Conflicts, Conflict{
-				Kind:     ConflictStrictSim,
-				Where:    "rule " + r.Raw.Name,
-				Detail:   detail,
-				Involved: []ConKey{tc.Key},
-				// §5.2.1's strict-similarity resolutions: strengthen the
-				// rule's condition, optionally catching the excluded
-				// objects with an approximate-similarity fallback.
-				Suggestions: []Suggestion{
-					{Kind: SuggestStrengthenRule,
-						Text:       fmt.Sprintf("add %s as an intraobject condition to %s", tc.Expr, r.Raw.Name),
-						NewRuleSrc: strengthened},
-					{Kind: SuggestAddApproxRule,
-						Text:       "classify the remaining objects under a virtual superclass via approximate similarity",
-						NewRuleSrc: approx},
-				},
-			})
-		}
-
-		// Valid strictly-similar members extend the target class: its
-		// objective object constraints apply to all members; the derived
-		// constraints hold for the imported ones.
-		tgtGlobal := d.View.GlobalName(targetSide, r.Target)
-		for _, tc := range tgtCons {
-			if tc.Status == Objective && !tc.Imperfect {
-				d.addGlobal(GlobalConstraint{
-					Classes: []string{tgtGlobal}, Scope: ScopeAll,
-					Kind: schema.ObjectConstraint, Expr: tc.Expr,
-					Origin: []ConKey{tc.Key}, Derivation: "objective",
-				})
-			}
+		for _, gc := range o.globals {
+			d.addGlobal(gc)
 		}
 	}
+}
+
+// simRule processes one similarity rule. It only reads shared state
+// (the conformed world and the concurrency-safe Checker) and writes to
+// its private simOut.
+func (d *Derivation) simRule(r *SimRule) simOut {
+	c := d.View.Conformed
+	var out simOut
+	conds := d.View.conformSimConds(r)
+	// Reasoning happens in self-rooted form: R.ref? and a class
+	// constraint's ref? are the same property.
+	selfConds := selfRooted(conds, r.SrcVar)
+	srcCons := c.ConsOn(r.SrcSide, r.SrcClass, schema.ObjectConstraint)
+	premises := append([]expr.Node{}, selfConds...)
+	premises = append(premises, exprsOf(srcCons)...)
+
+	// (§3) The intraobject condition must not conflict with the
+	// source class's object constraints.
+	if d.Checker.Conflicting(premises...) == logic.Yes {
+		out.skip = true
+		out.conflicts = append(out.conflicts, Conflict{
+			Kind:   ConflictRuleVsConstraint,
+			Where:  "rule " + r.Raw.Name,
+			Detail: fmt.Sprintf("intraobject condition %s is inconsistent with the object constraints of %s", condText(conds), r.SrcClass),
+			Suggestions: []Suggestion{{
+				Kind: SuggestStrengthenRule,
+				Text: "the rule can never fire; revise its condition",
+			}},
+		})
+		return out
+	}
+
+	// (§3) Derived object constraints: implications whose guard is
+	// entailed by the premises resolve to their consequents.
+	derived := append([]expr.Node{}, selfConds...)
+	for _, con := range srcCons {
+		if con.Imperfect {
+			continue
+		}
+		for _, n := range logic.Normalize(con.Expr) {
+			if b, ok := n.(expr.Binary); ok && b.Op == expr.OpImplies {
+				if d.Checker.Entails(premises, b.L) == logic.Yes {
+					derived = append(derived, b.R)
+					continue
+				}
+			}
+			derived = append(derived, n)
+		}
+	}
+	out.derived = derived
+
+	if r.Approximate() {
+		return out // handled by approxSimilarity
+	}
+
+	// (§5.2.1, strict similarity): Ω' must entail every object
+	// constraint of the target class.
+	targetSide := r.SrcSide.Other()
+	tgtCons := c.ConsOn(targetSide, r.Target, schema.ObjectConstraint)
+	for _, tc := range tgtCons {
+		if tc.Imperfect {
+			continue
+		}
+		verdict := d.Checker.Entails(derived, tc.Expr)
+		if verdict == logic.Yes {
+			continue
+		}
+		detail := fmt.Sprintf("objects selected by %s are not provably valid members of %s: derived constraints %s do not entail %s (%s)",
+			r.Raw.Name, r.Target, condText(derived), tc.Expr, verdictWord(verdict))
+		// Suggested rule text must use rule syntax: the added
+		// condition's attributes are var-rooted.
+		added := varRooted(tc.Expr, r.SrcVar, c.SchemaOf(r.SrcSide), r.SrcClass)
+		strengthened := fmt.Sprintf("rule %s: Sim(%s:%s, %s) <= %s and %s",
+			r.Raw.Name, r.SrcVar, r.SrcClass, r.Target, condText(conds), added)
+		approx := fmt.Sprintf("rule %s_approx: Sim(%s:%s, %s, %sLike) <= %s and not (%s)",
+			r.Raw.Name, r.SrcVar, r.SrcClass, r.Target, r.Target, condText(conds), added)
+		out.unsafe = append(out.unsafe, tc.Key)
+		out.conflicts = append(out.conflicts, Conflict{
+			Kind:     ConflictStrictSim,
+			Where:    "rule " + r.Raw.Name,
+			Detail:   detail,
+			Involved: []ConKey{tc.Key},
+			// §5.2.1's strict-similarity resolutions: strengthen the
+			// rule's condition, optionally catching the excluded
+			// objects with an approximate-similarity fallback.
+			Suggestions: []Suggestion{
+				{Kind: SuggestStrengthenRule,
+					Text:       fmt.Sprintf("add %s as an intraobject condition to %s", tc.Expr, r.Raw.Name),
+					NewRuleSrc: strengthened},
+				{Kind: SuggestAddApproxRule,
+					Text:       "classify the remaining objects under a virtual superclass via approximate similarity",
+					NewRuleSrc: approx},
+			},
+		})
+	}
+
+	// Valid strictly-similar members extend the target class: its
+	// objective object constraints apply to all members; the derived
+	// constraints hold for the imported ones.
+	tgtGlobal := d.View.GlobalName(targetSide, r.Target)
+	for _, tc := range tgtCons {
+		if tc.Status == Objective && !tc.Imperfect {
+			out.globals = append(out.globals, GlobalConstraint{
+				Classes: []string{tgtGlobal}, Scope: ScopeAll,
+				Kind: schema.ObjectConstraint, Expr: tc.Expr,
+				Origin: []ConKey{tc.Key}, Derivation: "objective",
+			})
+		}
+	}
+	return out
 }
 
 func verdictWord(v logic.Verdict) string {
@@ -416,9 +470,27 @@ func (d *Derivation) equalityIntegration() {
 			}
 		}
 	}
-	for _, p := range orderKeys {
-		d.integratePair(p.l, p.r, seen[p])
+	// Class pairs are independent: fan them out, then merge per-pair
+	// outputs in first-seen pair order. addGlobal deduplicates at merge
+	// time, exactly as the sequential interleaving did.
+	outs := make([]pairOut, len(orderKeys))
+	parallelFor(len(orderKeys), d.opts.workers(), func(i int) {
+		p := orderKeys[i]
+		outs[i] = d.integratePair(p.l, p.r, seen[p])
+	})
+	for _, o := range outs {
+		for _, gc := range o.globals {
+			d.addGlobal(gc)
+		}
+		d.Conflicts = append(d.Conflicts, o.conflicts...)
 	}
+}
+
+// pairOut is one class pair's contribution, collected privately by a
+// pool worker and merged in pair order.
+type pairOut struct {
+	globals   []GlobalConstraint
+	conflicts []Conflict
 }
 
 // pathsUsed collects the full dotted attribute paths a formula mentions
@@ -438,8 +510,12 @@ func pathsUsed(n expr.Node) map[string]bool {
 	return out
 }
 
-func (d *Derivation) integratePair(localClass, remoteClass, where string) {
+// integratePair integrates one (local, remote) class pair's constraint
+// sets. It reads only shared immutable state plus the concurrency-safe
+// Checker, and returns its contribution for ordered merging.
+func (d *Derivation) integratePair(localClass, remoteClass, where string) pairOut {
 	c := d.View.Conformed
+	var out pairOut
 	lCons := c.ConsOn(LocalSide, localClass, schema.ObjectConstraint)
 	rCons := c.ConsOn(RemoteSide, remoteClass, schema.ObjectConstraint)
 	lGlobal := d.View.GlobalName(LocalSide, localClass)
@@ -452,7 +528,7 @@ func (d *Derivation) integratePair(localClass, remoteClass, where string) {
 	// defining database's context by definition).
 	for _, con := range lCons {
 		if con.Status == Objective && !con.Imperfect {
-			d.addGlobal(GlobalConstraint{
+			out.globals = append(out.globals, GlobalConstraint{
 				Classes: []string{lGlobal}, Scope: ScopeAll,
 				Kind: schema.ObjectConstraint, Expr: con.Expr,
 				Origin: []ConKey{con.Key}, Derivation: "objective",
@@ -462,7 +538,7 @@ func (d *Derivation) integratePair(localClass, remoteClass, where string) {
 	}
 	for _, con := range rCons {
 		if con.Status == Objective && !con.Imperfect {
-			d.addGlobal(GlobalConstraint{
+			out.globals = append(out.globals, GlobalConstraint{
 				Classes: []string{rGlobal}, Scope: ScopeAll,
 				Kind: schema.ObjectConstraint, Expr: con.Expr,
 				Origin: []ConKey{con.Key}, Derivation: "objective",
@@ -475,7 +551,7 @@ func (d *Derivation) integratePair(localClass, remoteClass, where string) {
 	// only (their global state is entirely that side's state).
 	for _, con := range lCons {
 		if con.Status == Subjective && !con.Imperfect {
-			d.addGlobal(GlobalConstraint{
+			out.globals = append(out.globals, GlobalConstraint{
 				Classes: []string{lGlobal}, Scope: ScopeLocalOnly,
 				Kind: schema.ObjectConstraint, Expr: con.Expr,
 				Origin: []ConKey{con.Key}, Derivation: "subjective-single-source",
@@ -484,7 +560,7 @@ func (d *Derivation) integratePair(localClass, remoteClass, where string) {
 	}
 	for _, con := range rCons {
 		if con.Status == Subjective && !con.Imperfect {
-			d.addGlobal(GlobalConstraint{
+			out.globals = append(out.globals, GlobalConstraint{
 				Classes: []string{rGlobal}, Scope: ScopeRemoteOnly,
 				Kind: schema.ObjectConstraint, Expr: con.Expr,
 				Origin: []ConKey{con.Key}, Derivation: "subjective-single-source",
@@ -505,7 +581,7 @@ func (d *Derivation) integratePair(localClass, remoteClass, where string) {
 			if !ok {
 				continue
 			}
-			d.addGlobal(gc)
+			out.globals = append(out.globals, gc)
 			merged = append(merged, gc.Expr)
 		}
 	}
@@ -513,7 +589,7 @@ func (d *Derivation) integratePair(localClass, remoteClass, where string) {
 	// Explicit conflict: the integrated set for merged objects is
 	// inconsistent.
 	if len(merged) > 0 && d.Checker.Conflicting(merged...) == logic.Yes {
-		d.Conflicts = append(d.Conflicts, Conflict{
+		out.conflicts = append(out.conflicts, Conflict{
 			Kind:   ConflictExplicit,
 			Where:  where,
 			Detail: fmt.Sprintf("integrated object constraints for merged %s/%s objects are inconsistent", localClass, remoteClass),
@@ -528,8 +604,9 @@ func (d *Derivation) integratePair(localClass, remoteClass, where string) {
 	// Implicit conflicts: an objective constraint over a property with a
 	// conflict-ignoring decision function is only guaranteed if the other
 	// side entails it too.
-	d.implicitConflicts(lCons, rCons, LocalSide, localClass, remoteClass, where)
-	d.implicitConflicts(rCons, lCons, RemoteSide, remoteClass, localClass, where)
+	out.conflicts = append(out.conflicts, d.implicitConflicts(lCons, rCons, LocalSide, localClass, remoteClass, where)...)
+	out.conflicts = append(out.conflicts, d.implicitConflicts(rCons, lCons, RemoteSide, remoteClass, localClass, where)...)
+	return out
 }
 
 // restriction pairs a restriction with its constraint of origin.
@@ -741,8 +818,10 @@ func numVal(f float64, a, b object.Value) object.Value {
 
 // implicitConflicts detects §5.2.1's implicit conflicts: objective
 // constraints over conflict-ignoring properties whose counterpart side
-// offers no guarantee.
-func (d *Derivation) implicitConflicts(cons, otherCons []CCon, side Side, class, otherClass, where string) {
+// offers no guarantee. It returns the conflicts rather than appending,
+// so pair workers can run concurrently.
+func (d *Derivation) implicitConflicts(cons, otherCons []CCon, side Side, class, otherClass, where string) []Conflict {
+	var out []Conflict
 	other := exprsOf(otherCons)
 	for _, con := range cons {
 		if con.Status != Objective || con.Imperfect {
@@ -761,7 +840,7 @@ func (d *Derivation) implicitConflicts(cons, otherCons []CCon, side Side, class,
 		if d.Checker.Entails(other, con.Expr) == logic.Yes {
 			continue // the other side guarantees it
 		}
-		d.Conflicts = append(d.Conflicts, Conflict{
+		out = append(out, Conflict{
 			Kind:  ConflictImplicit,
 			Where: where,
 			Detail: fmt.Sprintf("objective constraint %s on %s uses conflict-ignoring properties %v; %s does not guarantee it, so a merged object may violate it",
@@ -773,6 +852,7 @@ func (d *Derivation) implicitConflicts(cons, otherCons []CCon, side Side, class,
 			},
 		})
 	}
+	return out
 }
 
 // classConstraints implements §5.2.2: class constraints are subjective by
@@ -959,32 +1039,47 @@ func (d *Derivation) databaseConstraints() {
 
 // approxSimilarity implements §5.2.1 for approximate similarity: the
 // virtual common superclass carries the disjunction Ω ∨ Ω', and the
-// horizontal-fragmentation pattern (Ω ⊨ φ') is reported.
+// horizontal-fragmentation pattern (Ω ⊨ φ') is reported. Runs after
+// simRules (it consumes DerivedOnSim); rules fan out across the pool
+// and merge in declaration order.
 func (d *Derivation) approxSimilarity() {
 	c := d.View.Conformed
-	for _, r := range c.Spec.SimRules {
+	type approxOut struct {
+		globals []GlobalConstraint
+		notes   []string
+	}
+	rules := c.Spec.SimRules
+	outs := make([]approxOut, len(rules))
+	parallelFor(len(rules), d.opts.workers(), func(i int) {
+		r := rules[i]
 		if !r.Approximate() {
-			continue
+			return
 		}
 		targetSide := r.SrcSide.Other()
 		tgt := exprsOf(c.ConsOn(targetSide, r.Target, schema.ObjectConstraint))
 		src := d.DerivedOnSim[r.Raw.Name]
 		if len(tgt) == 0 || len(src) == 0 {
-			continue
+			return
 		}
 		disj := expr.Binary{Op: expr.OpOr, L: conjoin(tgt), R: conjoin(src)}
-		d.addGlobal(GlobalConstraint{
+		outs[i].globals = append(outs[i].globals, GlobalConstraint{
 			Classes: []string{r.Virtual}, Scope: ScopeAll,
 			Kind: schema.ObjectConstraint, Expr: disj,
 			Derivation: "disjunction(approx-sim)",
 		})
 		for _, phi := range src {
 			if d.Checker.Entails(tgt, phi) == logic.Yes {
-				d.Notes = append(d.Notes, fmt.Sprintf(
+				outs[i].notes = append(outs[i].notes, fmt.Sprintf(
 					"approx rule %s: %s ⊨ %s — %s and %s are horizontal fragments of %s with membership condition %s",
 					r.Raw.Name, r.Target, phi, r.Target, r.SrcClass, r.Virtual, phi))
 			}
 		}
+	})
+	for _, o := range outs {
+		for _, gc := range o.globals {
+			d.addGlobal(gc)
+		}
+		d.Notes = append(d.Notes, o.notes...)
 	}
 }
 

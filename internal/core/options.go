@@ -1,0 +1,65 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures how the integration pipeline executes. The zero
+// value uses full hardware parallelism with memoized reasoning, which
+// is always safe: every parallel stage collects per-unit outputs and
+// merges them in a stable order, so Result.Report() is byte-identical
+// to a sequential run.
+type Options struct {
+	// Parallelism bounds the worker pool that fans out class-pair
+	// integration, constraint combination and similarity checks.
+	// 0 means runtime.GOMAXPROCS(0); 1 runs fully sequentially.
+	Parallelism int
+	// NoMemo disables the reasoner's entailment/satisfiability cache.
+	// Used by benchmarks quantifying the cache and by differential
+	// tests; production runs should leave it false.
+	NoMemo bool
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
+}
+
+// parallelFor runs fn(i) for every i in [0, n) on at most `workers`
+// goroutines. With one worker (or one unit) it runs inline on the
+// caller's goroutine — the sequential path has zero scheduling cost and
+// identical stack behavior to the pre-parallel code. fn must write only
+// to its own index's slot in any shared output slice.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"interopdb/internal/fixture"
+	"interopdb/internal/store"
+	"interopdb/internal/tm"
+	"interopdb/internal/workload"
+)
+
+// diffCase is one workload for the sequential-vs-parallel differential.
+type diffCase struct {
+	name  string
+	build func() (*tm.DatabaseSpec, *tm.DatabaseSpec, *tm.IntegrationSpec, *store.Store, *store.Store)
+}
+
+func diffCases() []diffCase {
+	return []diffCase{
+		{"figure1", func() (*tm.DatabaseSpec, *tm.DatabaseSpec, *tm.IntegrationSpec, *store.Store, *store.Store) {
+			l, r := fixture.Figure1Stores(fixture.Options{})
+			return tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1Integration(), l, r
+		}},
+		{"figure1-price-conflict", func() (*tm.DatabaseSpec, *tm.DatabaseSpec, *tm.IntegrationSpec, *store.Store, *store.Store) {
+			l, r := fixture.Figure1Stores(fixture.Options{PriceConflict: true})
+			return tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1Integration(), l, r
+		}},
+		{"figure1-repaired", func() (*tm.DatabaseSpec, *tm.DatabaseSpec, *tm.IntegrationSpec, *store.Store, *store.Store) {
+			l, r := fixture.Figure1Stores(fixture.Options{})
+			return tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), l, r
+		}},
+		{"figure1-scaled-fixture", func() (*tm.DatabaseSpec, *tm.DatabaseSpec, *tm.IntegrationSpec, *store.Store, *store.Store) {
+			l, r := fixture.Figure1Stores(fixture.Options{Scale: 12})
+			return tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1Integration(), l, r
+		}},
+		{"personnel", func() (*tm.DatabaseSpec, *tm.DatabaseSpec, *tm.IntegrationSpec, *store.Store, *store.Store) {
+			l, r := fixture.PersonnelStores()
+			return tm.Personnel1(), tm.Personnel2(), tm.PersonnelIntegration(), l, r
+		}},
+		{"bibliographic-workload", func() (*tm.DatabaseSpec, *tm.DatabaseSpec, *tm.IntegrationSpec, *store.Store, *store.Store) {
+			p := workload.DefaultParams()
+			p.LocalBooks, p.RemoteBooks = 250, 250
+			p.Overlap = 0.5
+			l, r := workload.Bibliographic(p)
+			return tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1Integration(), l, r
+		}},
+	}
+}
+
+// TestParallelIntegrateDifferential is the determinism proof demanded
+// by the pipeline contract: for every workload, Result.Report() under
+// any parallelism (and with or without the entailment cache) must be
+// byte-identical to the fully sequential, uncached run.
+func TestParallelIntegrateDifferential(t *testing.T) {
+	for _, tc := range diffCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			ls, rs, is, l, r := func() (*tm.DatabaseSpec, *tm.DatabaseSpec, *tm.IntegrationSpec, *store.Store, *store.Store) {
+				return tc.build()
+			}()
+			ref, err := IntegrateOptions(ls, rs, is, l, r, 1, Options{Parallelism: 1, NoMemo: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ref.Report()
+			if want == "" {
+				t.Fatal("empty reference report")
+			}
+			for _, opt := range []Options{
+				{Parallelism: 1},
+				{Parallelism: 2},
+				{Parallelism: 8},
+				{Parallelism: 0}, // GOMAXPROCS
+				{Parallelism: 8, NoMemo: true},
+			} {
+				// Fresh stores per run: Integrate must not depend on
+				// prior runs' state.
+				ls2, rs2, is2, l2, r2 := tc.build()
+				res, err := IntegrateOptions(ls2, rs2, is2, l2, r2, 1, opt)
+				if err != nil {
+					t.Fatalf("%+v: %v", opt, err)
+				}
+				if got := res.Report(); got != want {
+					t.Errorf("options %+v: report diverged from sequential run\nfirst divergence: %s",
+						opt, firstDiff(want, got))
+				}
+			}
+		})
+	}
+}
+
+func firstDiff(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			return fmt.Sprintf("byte %d: ...%q vs ...%q", i, a[lo:min(i+40, len(a))], b[lo:min(i+40, len(b))])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d", len(a), len(b))
+}
+
+// TestParallelDerivationEquivalence checks the structured outputs (not
+// just the rendered report): global constraints, conflicts and notes
+// must match the sequential run element-by-element.
+func TestParallelDerivationEquivalence(t *testing.T) {
+	l, r := fixture.Figure1Stores(fixture.Options{PriceConflict: true})
+	seq, err := IntegrateOptions(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1Integration(), l, r, 1,
+		Options{Parallelism: 1, NoMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, r2 := fixture.Figure1Stores(fixture.Options{PriceConflict: true})
+	par, err := IntegrateOptions(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1Integration(), l2, r2, 1,
+		Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := len(seq.Derivation.Global), len(par.Derivation.Global); a != b {
+		t.Fatalf("global count: seq %d, par %d", a, b)
+	}
+	for i := range seq.Derivation.Global {
+		if seq.Derivation.Global[i].String() != par.Derivation.Global[i].String() {
+			t.Errorf("global[%d]: %s vs %s", i, seq.Derivation.Global[i], par.Derivation.Global[i])
+		}
+	}
+	if a, b := len(seq.Derivation.Conflicts), len(par.Derivation.Conflicts); a != b {
+		t.Fatalf("conflict count: seq %d, par %d", a, b)
+	}
+	for i := range seq.Derivation.Conflicts {
+		if seq.Derivation.Conflicts[i].String() != par.Derivation.Conflicts[i].String() {
+			t.Errorf("conflict[%d]: %s vs %s", i, seq.Derivation.Conflicts[i], par.Derivation.Conflicts[i])
+		}
+	}
+	if a, b := fmt.Sprint(seq.Derivation.Notes), fmt.Sprint(par.Derivation.Notes); a != b {
+		t.Errorf("notes diverged:\nseq: %s\npar: %s", a, b)
+	}
+}
+
+// TestCacheStatsPopulated checks the memo layer actually engages on the
+// pipeline's own query stream. Two sibling local classes pair with the
+// same remote class, so both class-pair integrations ask the identical
+// explicit-conflict and implicit-conflict queries — the second pair
+// must be answered from cache.
+func TestCacheStatsPopulated(t *testing.T) {
+	localSpec := tm.MustParseDatabase(`
+Database L
+Class P
+  attributes
+    k : string
+    x : int
+  object constraints
+    ocx: x >= 2
+end P
+Class C1 isa P
+  attributes
+    a1 : int
+end C1
+Class C2 isa P
+  attributes
+    a2 : int
+end C2
+`)
+	remoteSpec := tm.MustParseDatabase(`
+Database R
+Class D
+  attributes
+    k : string
+    x : int
+  object constraints
+    ocd: x <= 50
+end D
+`)
+	ispec := tm.MustParseIntegration(`
+integration L imports R
+rule r1: Eq(A:C1, B:D) <= A.k = B.k
+rule r2: Eq(A:C2, B:D) <= A.k = B.k
+propeq(P.k, D.k, id, id, any)
+propeq(P.x, D.x, id, id, any)
+`)
+	ls := store.New(localSpec.Schema, nil)
+	rs := store.New(remoteSpec.Schema, nil)
+	res, err := Integrate(localSpec, remoteSpec, ispec, ls, rs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Derivation.CacheStats()
+	if st.Misses == 0 {
+		t.Fatalf("pipeline issued no reasoning queries: %+v", st)
+	}
+	if st.Hits == 0 {
+		t.Fatalf("second class pair repeated no queries: %+v", st)
+	}
+}
+
+// TestOptionsWorkers pins the worker-count resolution.
+func TestOptionsWorkers(t *testing.T) {
+	if (Options{Parallelism: 3}).workers() != 3 {
+		t.Fatal("explicit parallelism not honored")
+	}
+	if (Options{}).workers() < 1 {
+		t.Fatal("default parallelism must be at least 1")
+	}
+	if (Options{Parallelism: -1}).workers() < 1 {
+		t.Fatal("negative parallelism must fall back to default")
+	}
+}
+
+// TestParallelFor exercises the pool helper directly.
+func TestParallelFor(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 32} {
+		n := 100
+		out := make([]int, n)
+		parallelFor(n, workers, func(i int) { out[i] = i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d", workers, i, v)
+			}
+		}
+	}
+	// Zero units must not hang or panic.
+	parallelFor(0, 4, func(int) { t.Fatal("called for n=0") })
+}

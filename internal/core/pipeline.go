@@ -20,17 +20,29 @@ type Result struct {
 	Derivation *Derivation
 }
 
-// Integrate runs the full pipeline over two populated component stores.
-// seed drives the non-determinism of conflict-ignoring decision functions
+// Integrate runs the full pipeline over two populated component stores
+// with default options (full parallelism, memoized reasoning). seed
+// drives the non-determinism of conflict-ignoring decision functions
 // (pass 1 for reproducible runs).
 func Integrate(localSpec, remoteSpec *tm.DatabaseSpec, ispec *tm.IntegrationSpec,
 	local, remote *store.Store, seed int64) (*Result, error) {
+	return IntegrateOptions(localSpec, remoteSpec, ispec, local, remote, seed, Options{})
+}
+
+// IntegrateOptions runs the full pipeline — compile → conform → merge →
+// derive — under explicit execution options. Whatever the Parallelism,
+// the Result (including the rendered Report) is byte-identical: the
+// parallel stages merge their outputs in the sequential order, and the
+// only seeded randomness (conflict-ignoring value fusion) lives in the
+// sequential merge phase.
+func IntegrateOptions(localSpec, remoteSpec *tm.DatabaseSpec, ispec *tm.IntegrationSpec,
+	local, remote *store.Store, seed int64, opts Options) (*Result, error) {
 	spec, err := Compile(localSpec, remoteSpec, ispec)
 	if err != nil {
 		return nil, fmt.Errorf("compile: %w", err)
 	}
 	spec.Seed = seed
-	conf, err := Conform(spec, local, remote)
+	conf, err := ConformOptions(spec, local, remote, opts)
 	if err != nil {
 		return nil, fmt.Errorf("conform: %w", err)
 	}
@@ -42,7 +54,7 @@ func Integrate(localSpec, remoteSpec *tm.DatabaseSpec, ispec *tm.IntegrationSpec
 		Spec:       spec,
 		Conformed:  conf,
 		View:       view,
-		Derivation: Derive(view),
+		Derivation: DeriveOptions(view, opts),
 	}, nil
 }
 

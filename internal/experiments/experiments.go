@@ -551,16 +551,29 @@ func B2(attempts int, rates []float64) ([]B2Row, error) {
 	return rows, nil
 }
 
-// B3Row is one integration-scale measurement.
+// B3Row is one integration-scale measurement. Duration is the fully
+// sequential, cache-free run; DurationPar the default run (GOMAXPROCS
+// worker pool + memoized entailment) over a fresh store pair.
 type B3Row struct {
-	Books    int
-	Overlap  float64
-	Objects  int
-	Merged   int
-	Duration time.Duration
+	Books        int
+	Overlap      float64
+	Objects      int
+	Merged       int
+	Duration     time.Duration
+	DurationPar  time.Duration
+	CacheHitRate float64
 }
 
-// B3 measures integration wall time across sizes and overlaps.
+// Speedup is the sequential/parallel wall-time ratio.
+func (r B3Row) Speedup() float64 {
+	if r.DurationPar <= 0 {
+		return 0
+	}
+	return float64(r.Duration) / float64(r.DurationPar)
+}
+
+// B3 measures integration wall time across sizes and overlaps,
+// sequential vs parallel.
 func B3(sizes []int, overlaps []float64) ([]B3Row, error) {
 	var rows []B3Row
 	for _, n := range sizes {
@@ -570,7 +583,8 @@ func B3(sizes []int, overlaps []float64) ([]B3Row, error) {
 			p.Overlap = ov
 			local, remote := workload.Bibliographic(p)
 			t0 := time.Now()
-			res, err := core.Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1Integration(), local, remote, 1)
+			res, err := core.IntegrateOptions(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1Integration(),
+				local, remote, 1, core.Options{Parallelism: 1, NoMemo: true})
 			if err != nil {
 				return nil, err
 			}
@@ -581,17 +595,43 @@ func B3(sizes []int, overlaps []float64) ([]B3Row, error) {
 					merged++
 				}
 			}
-			rows = append(rows, B3Row{Books: n, Overlap: ov, Objects: len(res.View.Objects), Merged: merged, Duration: d})
+			localP, remoteP := workload.Bibliographic(p)
+			t0 = time.Now()
+			resP, err := core.IntegrateOptions(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1Integration(),
+				localP, remoteP, 1, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			dPar := time.Since(t0)
+			if resP.Report() != res.Report() {
+				return nil, fmt.Errorf("B3 books=%d overlap=%v: parallel report diverged from sequential", n, ov)
+			}
+			rows = append(rows, B3Row{
+				Books: n, Overlap: ov, Objects: len(res.View.Objects), Merged: merged,
+				Duration: d, DurationPar: dPar,
+				CacheHitRate: resP.Derivation.CacheStats().HitRate(),
+			})
 		}
 	}
 	return rows, nil
 }
 
-// B4Row is one derivation-cost measurement.
+// B4Row is one derivation-cost measurement. Duration is sequential and
+// cache-free; DurationPar the pooled, memoized run.
 type B4Row struct {
-	Constraints int
-	Duration    time.Duration
-	Derived     int
+	Constraints  int
+	Duration     time.Duration
+	DurationPar  time.Duration
+	CacheHitRate float64
+	Derived      int
+}
+
+// Speedup is the sequential/parallel wall-time ratio.
+func (r B4Row) Speedup() float64 {
+	if r.DurationPar <= 0 {
+		return 0
+	}
+	return float64(r.Duration) / float64(r.DurationPar)
 }
 
 // B4 measures global-constraint derivation cost against the number of
@@ -627,18 +667,31 @@ func B4(counts []int) ([]B4Row, error) {
 		ls := store.New(localSpec.Schema, nil)
 		rs := store.New(remoteSpec.Schema, nil)
 		t0 := time.Now()
-		res, err := core.Integrate(localSpec, remoteSpec, ispec, ls, rs, 1)
+		res, err := core.IntegrateOptions(localSpec, remoteSpec, ispec, ls, rs, 1,
+			core.Options{Parallelism: 1, NoMemo: true})
 		if err != nil {
 			return nil, err
 		}
 		d := time.Since(t0)
+		t0 = time.Now()
+		resP, err := core.IntegrateOptions(localSpec, remoteSpec, ispec, ls, rs, 1, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		dPar := time.Since(t0)
+		if resP.Report() != res.Report() {
+			return nil, fmt.Errorf("B4 k=%d: parallel report diverged from sequential", k)
+		}
 		derived := 0
 		for _, gc := range res.Derivation.Global {
 			if strings.HasPrefix(gc.Derivation, "derived(") {
 				derived++
 			}
 		}
-		rows = append(rows, B4Row{Constraints: 2 * k, Duration: d, Derived: derived})
+		rows = append(rows, B4Row{
+			Constraints: 2 * k, Duration: d, DurationPar: dPar,
+			CacheHitRate: resP.Derivation.CacheStats().HitRate(), Derived: derived,
+		})
 	}
 	return rows, nil
 }

@@ -4,6 +4,8 @@
 package fixture
 
 import (
+	"fmt"
+
 	"interopdb/internal/object"
 	"interopdb/internal/store"
 	"interopdb/internal/tm"
@@ -15,6 +17,16 @@ type Options struct {
 	// (26,29) locally and (22,25) remotely, making the trust-fused global
 	// state violate libprice <= shopprice.
 	PriceConflict bool
+	// Scale appends Scale extra copies of the core catalog — the
+	// equality-merged VLDB proceedings on both sides, the library-only
+	// SIGMOD proceedings, and the bookseller-only workshop notes — each
+	// under unique ISBNs/titles. Extents (and the number of merged
+	// global objects) grow linearly while every integrity constraint
+	// keeps holding; benchmarks and the parallel differential tests use
+	// it to grow the Figure 1 workload without switching to the
+	// synthetic generator. Zero means the paper's original instances
+	// only.
+	Scale int
 }
 
 // Figure1Stores builds the CSLibrary and Bookseller stores with the
@@ -141,6 +153,43 @@ func Figure1Stores(opt Options) (local, remote *store.Store) {
 			"isbn", object.Str("price-conflict"),
 			"publisher", object.Str("ACM"),
 			"shopprice", object.Real(29), "ourprice", object.Real(26),
+		))
+	}
+	// Scaled copies of the core catalog: one merged pair, one
+	// library-only and one bookseller-only publication per step.
+	for i := 1; i <= opt.Scale; i++ {
+		sfx := fmt.Sprintf("-c%d", i)
+		remote.MustInsert("Proceedings", attrs(
+			"title", object.Str("Proceedings of the 22nd VLDB Conference"+sfx),
+			"isbn", object.Str("vldb96"+sfx),
+			"publisher", ref(ieee),
+			"authors", object.NewSet(object.Str("Vijayaraman")),
+			"shopprice", object.Real(80), "libprice", object.Real(78),
+			"ref?", object.Bool(true), "rating", object.Int(8),
+		))
+		local.MustInsert("RefereedPubl", attrs(
+			"title", object.Str("Proceedings of the 22nd VLDB Conference"+sfx),
+			"isbn", object.Str("vldb96"+sfx),
+			"publisher", object.Str("IEEE"),
+			"shopprice", object.Real(80), "ourprice", object.Real(75),
+			"editors", object.NewSet(object.Str("Vijayaraman"), object.Str("Buchmann")),
+			"rating", object.Int(4), "avgAccRate", object.Real(0.18),
+		))
+		local.MustInsert("RefereedPubl", attrs(
+			"title", object.Str("Proceedings of SIGMOD"+sfx),
+			"isbn", object.Str("sigmod96"+sfx),
+			"publisher", object.Str("ACM"),
+			"shopprice", object.Real(70), "ourprice", object.Real(65),
+			"editors", object.NewSet(object.Str("Jagadish")),
+			"rating", object.Int(3), "avgAccRate", object.Real(0.2),
+		))
+		remote.MustInsert("Proceedings", attrs(
+			"title", object.Str("Workshop Notes on Interoperation"+sfx),
+			"isbn", object.Str("wkshp1"+sfx),
+			"publisher", ref(springer),
+			"authors", object.NewSet(object.Str("Various")),
+			"shopprice", object.Real(30), "libprice", object.Real(25),
+			"ref?", object.Bool(false), "rating", object.Int(5),
 		))
 	}
 	local.Enforce = true

@@ -62,14 +62,36 @@ func (d *domain) restrictAllowed(s object.Set) {
 	d.allowed = &ns
 }
 
-// exclude removes a single value.
-func (d *domain) exclude(v object.Value) {
+// exclude removes a single value, reporting whether it was new.
+func (d *domain) exclude(v object.Value) bool {
 	for _, have := range d.excluded {
 		if have.Equal(v) {
-			return
+			return false
 		}
 	}
 	d.excluded = append(d.excluded, v)
+	return true
+}
+
+// boundExcluded bumps closed integral bounds past excluded values
+// (x ∈ [0,1] with 0 excluded becomes x ∈ [1,1]), so exclusions feed
+// back into interval propagation. Requires intTighten to have run
+// (bounds closed and integral).
+func (d *domain) boundExcluded() bool {
+	if !d.integer || d.loStrict || d.hiStrict ||
+		math.IsInf(d.lo, -1) || math.IsInf(d.hi, 1) {
+		return false
+	}
+	changed := false
+	for d.lo <= d.hi && d.isExcluded(object.Int(int64(d.lo))) {
+		d.lo++
+		changed = true
+	}
+	for d.hi >= d.lo && d.isExcluded(object.Int(int64(d.hi))) {
+		d.hi--
+		changed = true
+	}
+	return changed
 }
 
 // applyCmp applies `path op val` to the domain. Unsupported combinations
@@ -110,14 +132,25 @@ func (d *domain) applyCmp(op expr.Op, val object.Value) bool {
 
 // intAdjust narrows fractional/strict bounds to integral closed bounds for
 // integer-typed attributes: x > 2.5 becomes x >= 3.
-func (d *domain) intAdjust() {
+func (d *domain) intAdjust() { d.intTighten() }
+
+// intTighten is intAdjust reporting whether a bound moved, so the
+// attribute-to-attribute propagation fixpoint can interleave integer
+// snapping with interval transfer (x ∈ (4,6) ∧ y ∈ (4,6) ∧ x < y is
+// real-satisfiable but integer-unsat: both snap to [5,5], and the next
+// transfer round exposes the contradiction).
+func (d *domain) intTighten() bool {
 	if !d.integer {
-		return
+		return false
 	}
+	changed := false
 	if !math.IsInf(d.lo, -1) {
 		lo := math.Ceil(d.lo)
 		if lo == d.lo && d.loStrict {
 			lo++
+		}
+		if lo != d.lo || d.loStrict {
+			changed = true
 		}
 		d.lo, d.loStrict = lo, false
 	}
@@ -126,8 +159,12 @@ func (d *domain) intAdjust() {
 		if hi == d.hi && d.hiStrict {
 			hi--
 		}
+		if hi != d.hi || d.hiStrict {
+			changed = true
+		}
 		d.hi, d.hiStrict = hi, false
 	}
+	return changed
 }
 
 // syncBounds tightens the numeric interval to the hull of the still-
@@ -329,11 +366,32 @@ func theory(lits []lit, types map[string]object.Type) (bool, bool) {
 
 	// Bound propagation over attribute-to-attribute comparisons, to a
 	// fixpoint (bounded by a generous iteration cap). Finite allowed sets
-	// feed their numeric hull into the interval reasoning each round.
+	// feed their numeric hull into the interval reasoning each round, and
+	// integer-typed domains snap strict/fractional bounds to closed
+	// integral ones so the transfer sees the true integer intervals.
 	for iter := 0; iter < len(rels)*4+8; iter++ {
 		changed := false
 		for _, d := range doms {
 			if d.syncBounds() {
+				changed = true
+			}
+			if d.intTighten() {
+				changed = true
+			}
+			if d.boundExcluded() {
+				changed = true
+			}
+		}
+		// Disequality against a pinned side excludes that value from the
+		// other side (x != y ∧ y = 1 removes 1 from x's domain).
+		for _, rc := range rels {
+			if rc.op != expr.OpNe {
+				continue
+			}
+			if v, ok := singleton(doms[rc.r]); ok && doms[rc.l].exclude(v) {
+				changed = true
+			}
+			if v, ok := singleton(doms[rc.l]); ok && doms[rc.r].exclude(v) {
 				changed = true
 			}
 		}

@@ -1,0 +1,149 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"interopdb/internal/expr"
+)
+
+// The derivation and validation passes of the integration pipeline ask
+// the same entailment and satisfiability questions over and over: every
+// class pair re-checks the same objective constraints, every similarity
+// rule re-derives against the same target constraint set, and the §5.2.1
+// necessary-condition checks share premises across property pairs. The
+// memo layer answers repeated queries from a concurrency-safe cache
+// keyed on the canonicalized text of the query, so a Checker can be
+// shared freely across the worker pool that fans those checks out.
+//
+// Canonicalization exploits two algebraic facts about the fragment:
+// conjunction is commutative and idempotent, so premise lists are sorted
+// and deduplicated before keying. Verdicts depend only on the formulas
+// and the Checker's configuration (Types, MaxBranches), both of which
+// are fixed for the lifetime of a Checker, so cached verdicts never go
+// stale.
+
+// CacheStats reports the effectiveness of a Checker's memo layer.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int64
+}
+
+// HitRate returns the fraction of queries answered from cache.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// String renders the stats.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d entries=%d hit-rate=%.1f%%",
+		s.Hits, s.Misses, s.Entries, 100*s.HitRate())
+}
+
+// memoTable is the concurrency-safe verdict cache. The zero value is
+// ready to use, so Checker composite literals need no constructor.
+type memoTable struct {
+	m       sync.Map // canonical key → Verdict
+	hits    atomic.Int64
+	misses  atomic.Int64
+	entries atomic.Int64
+}
+
+// get answers a query from cache, computing and storing on miss. Two
+// goroutines racing on the same key may both compute; the computation is
+// pure, so either result is correct and one store wins harmlessly.
+func (t *memoTable) get(key string, compute func() Verdict) Verdict {
+	if v, ok := t.m.Load(key); ok {
+		t.hits.Add(1)
+		return v.(Verdict)
+	}
+	t.misses.Add(1)
+	v := compute()
+	if _, loaded := t.m.LoadOrStore(key, v); !loaded {
+		t.entries.Add(1)
+	}
+	return v
+}
+
+func (t *memoTable) stats() CacheStats {
+	return CacheStats{
+		Hits:    t.hits.Load(),
+		Misses:  t.misses.Load(),
+		Entries: t.entries.Load(),
+	}
+}
+
+// CacheStats reports the Checker's cache effectiveness. Safe on a nil
+// Checker (returns zeros).
+func (c *Checker) CacheStats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return c.memo.stats()
+}
+
+// memoized routes a query through the cache unless memoization is
+// disabled or the Checker is nil (nil Checkers are legal everywhere
+// else, so they are here too). parts must be the canonicalized formula
+// texts (see canonicalize); the key is only assembled when the cache is
+// actually consulted.
+func (c *Checker) memoized(kind byte, parts []string, conclusion expr.Node, compute func() Verdict) Verdict {
+	if c == nil || c.NoMemo {
+		return compute()
+	}
+	return c.memo.get(cacheKey(kind, parts, conclusion), compute)
+}
+
+// canonicalize returns the formulas in canonical order — sorted by
+// their deterministic rendering, duplicates dropped (conjunction is
+// commutative and idempotent) — together with the rendered texts. The
+// solver consumes the canonical order and the cache keys on it, so a
+// verdict is a function of the formula *set*: premise reorderings
+// cannot yield different verdicts at the DNF branch-budget boundary,
+// which would otherwise let a cached answer disagree with a fresh
+// computation of the "same" query.
+func canonicalize(ns []expr.Node) ([]expr.Node, []string) {
+	type pair struct {
+		s string
+		n expr.Node
+	}
+	ps := make([]pair, len(ns))
+	for i, n := range ns {
+		ps[i] = pair{n.String(), n}
+	}
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].s < ps[j].s })
+	outN := make([]expr.Node, 0, len(ps))
+	outS := make([]string, 0, len(ps))
+	for _, p := range ps {
+		if len(outS) > 0 && p.s == outS[len(outS)-1] {
+			continue
+		}
+		outN = append(outN, p.n)
+		outS = append(outS, p.s)
+	}
+	return outN, outS
+}
+
+// cacheKey assembles the cache key: query kind tag, canonical formula
+// texts, and (for entailment) the conclusion's rendering.
+func cacheKey(kind byte, parts []string, conclusion expr.Node) string {
+	var b strings.Builder
+	b.WriteByte(kind)
+	for _, p := range parts {
+		b.WriteByte('\x00')
+		b.WriteString(p)
+	}
+	if conclusion != nil {
+		b.WriteByte('\x01')
+		b.WriteString(conclusion.String())
+	}
+	return b.String()
+}

@@ -8,6 +8,11 @@ import (
 // Checker carries the reasoning configuration: attribute types (path →
 // object.Type) that sharpen the theory (range bounds, integrality,
 // booleans), and a branch budget bounding the DNF enumeration.
+//
+// A Checker is safe for concurrent use: queries share only the Types
+// map (read-only after construction) and the memo table (internally
+// synchronized). Types and MaxBranches must not be mutated once the
+// first query has run — cached verdicts assume a fixed configuration.
 type Checker struct {
 	// Types maps self-rooted attribute paths ("rating",
 	// "publisher.name") to their types.
@@ -15,6 +20,12 @@ type Checker struct {
 	// MaxBranches caps DNF enumeration; exceeded → Unknown. Zero means
 	// the default (20000).
 	MaxBranches int
+	// NoMemo disables the verdict cache; every query recomputes. Used
+	// by benchmarks quantifying the memo layer and by differential
+	// tests pinning cached answers against fresh ones.
+	NoMemo bool
+
+	memo memoTable
 }
 
 func (c *Checker) maxBranches() int {
@@ -33,8 +44,17 @@ func (c *Checker) types() map[string]object.Type {
 
 // Satisfiable decides whether the conjunction of the given formulas admits
 // a model. Yes/No are definitive; Unknown arises outside the fragment or
-// past the work limit.
+// past the work limit. The conjunction is canonicalized (order- and
+// duplicate-insensitive) before solving, and repeated queries are
+// answered from the memo table.
 func (c *Checker) Satisfiable(ns ...expr.Node) Verdict {
+	canon, parts := canonicalize(ns)
+	return c.memoized('S', parts, nil, func() Verdict {
+		return c.satisfiable(canon)
+	})
+}
+
+func (c *Checker) satisfiable(ns []expr.Node) Verdict {
 	conv := &converter{}
 	parts := make(conj, 0, len(ns))
 	for _, n := range ns {
@@ -121,7 +141,16 @@ func (c *Checker) satForm(f form, sawOpaque bool) Verdict {
 }
 
 // Entails decides premises ⊨ conclusion by refuting premises ∧ ¬conclusion.
+// The premise set is canonicalized (order- and duplicate-insensitive)
+// before solving, and repeated queries are answered from the memo table.
 func (c *Checker) Entails(premises []expr.Node, conclusion expr.Node) Verdict {
+	canon, parts := canonicalize(premises)
+	return c.memoized('E', parts, conclusion, func() Verdict {
+		return c.entails(canon, conclusion)
+	})
+}
+
+func (c *Checker) entails(premises []expr.Node, conclusion expr.Node) Verdict {
 	conv := &converter{}
 	parts := make(conj, 0, len(premises)+1)
 	for _, p := range premises {

@@ -51,10 +51,20 @@ type Engine struct {
 }
 
 // New builds an engine over an integration result with optimisation on.
+// The engine shares the derivation's checker, so entailment queries the
+// optimiser repeats across Run calls — and queries already answered
+// during derivation — are served from the shared memo table.
 func New(res *core.Result) *Engine {
+	var ck *logic.Checker
+	if res.Derivation != nil {
+		ck = res.Derivation.Checker
+	}
+	if ck == nil {
+		ck = &logic.Checker{Types: res.Conformed.Types}
+	}
 	return &Engine{
 		res:            res,
-		checker:        &logic.Checker{Types: res.Conformed.Types},
+		checker:        ck,
 		UseConstraints: true,
 	}
 }

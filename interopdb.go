@@ -180,9 +180,28 @@ func Compile(local, remote *DatabaseSpec, is *IntegrationSpec) (*Spec, error) {
 
 // Integrate runs the full pipeline: compile → conform → merge → derive.
 // seed drives the non-determinism of conflict-ignoring decision functions.
+// It executes with default options: a GOMAXPROCS-sized worker pool over
+// the reasoning-heavy stages and memoized entailment. The result is
+// deterministic regardless of parallelism.
 func Integrate(local, remote *DatabaseSpec, is *IntegrationSpec, ls, rs *Store, seed int64) (*Result, error) {
 	return core.Integrate(local, remote, is, ls, rs, seed)
 }
+
+// PipelineOptions configures pipeline execution: Parallelism bounds the
+// worker pool (0 = GOMAXPROCS, 1 = sequential), NoMemo disables the
+// reasoner's entailment cache. Output is byte-identical for every
+// setting; the knobs trade wall time only.
+type PipelineOptions = core.Options
+
+// IntegrateOptions runs the full pipeline under explicit execution
+// options.
+func IntegrateOptions(local, remote *DatabaseSpec, is *IntegrationSpec, ls, rs *Store, seed int64, opts PipelineOptions) (*Result, error) {
+	return core.IntegrateOptions(local, remote, is, ls, rs, seed, opts)
+}
+
+// ReasonerCacheStats reports entailment-cache effectiveness; retrieve a
+// run's stats with res.Derivation.CacheStats().
+type ReasonerCacheStats = logic.CacheStats
 
 // Conflict kinds (§3, §5.2.1).
 const (
