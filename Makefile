@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline bench-compare
 
 all: build vet fmt-check test
 
@@ -36,6 +36,11 @@ bench:
 bench-smoke:
 	$(GO) test -bench=E11 -benchtime=1x -run='^$$' .
 
-# Regenerate the machine-readable benchmark baseline.
+# Regenerate the machine-readable benchmark baseline for this PR.
 baseline:
-	$(GO) run ./cmd/interopbench -quick -json BENCH_1.json
+	$(GO) run ./cmd/interopbench -quick -json BENCH_2.json
+
+# Diff the current baseline against the previous PR's (timing trends,
+# E-series pass/fail drift, new/dropped benchmark sections).
+bench-compare:
+	$(GO) run ./cmd/benchcompare BENCH_1.json BENCH_2.json

@@ -1,6 +1,6 @@
 package interopdb
 
-// One benchmark per reproduced artifact (DESIGN.md §5): the E-series
+// One benchmark per reproduced artifact (DESIGN.md §6): the E-series
 // regenerates every worked example and figure of the paper, the B-series
 // measures the motivating performance claims on synthetic workloads, and
 // the micro-benchmarks cover the substrates. Regenerate the numbers with:
@@ -209,6 +209,92 @@ func BenchmarkMemoizedEntailment(b *testing.B) {
 		}
 		b.ReportMetric(100*c.CacheStats().HitRate(), "cache-hit-%")
 	})
+}
+
+// --- serving fast path: extent indexes + compiled predicates --------------
+
+// serveEngine builds a query engine over the scaled Figure 1 fixture.
+func serveEngine(b *testing.B, scale int) *view.Engine {
+	b.Helper()
+	local, remote := fixture.Figure1Stores(fixture.Options{Scale: scale})
+	res, err := core.Integrate(tm.Figure1Library(), tm.Figure1Bookseller(),
+		tm.Figure1IntegrationRepaired(), local, remote, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return view.New(res)
+}
+
+// benchServe times one query with the indexed+compiled fast path against
+// the pure interpreter scan on the same engine.
+func benchServe(b *testing.B, q view.Query, wantRows int) {
+	e := serveEngine(b, 50)
+	for _, mode := range []struct {
+		tag string
+		idx bool
+	}{{"indexed", true}, {"scan", false}} {
+		b.Run(mode.tag, func(b *testing.B) {
+			e.UseIndexes = mode.idx
+			// Warm the lazily-built indexes and the entailment memo
+			// outside the timed region.
+			if _, _, err := e.Run(q); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, _, err := e.Run(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != wantRows {
+					b.Fatalf("rows = %d, want %d", len(rows), wantRows)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeEquality: selective equality query at Scale 50 — the
+// hash index answers it with one probe.
+func BenchmarkServeEquality(b *testing.B) {
+	benchServe(b, view.Query{Class: "Item", Where: expr.MustParse("isbn = 'vldb96-c25'")}, 1)
+}
+
+// BenchmarkServeRange: selective range query at Scale 50 — the ordered
+// index narrows the candidates, the compiled residual filters them.
+func BenchmarkServeRange(b *testing.B) {
+	benchServe(b, view.Query{Class: "Proceedings",
+		Where: expr.MustParse("rating >= 7 and shopprice < 75")}, 1)
+}
+
+// BenchmarkServeValidateInsert: duplicate-key validation across extent
+// sizes — the indexed probe is O(1) while the reference path copies and
+// scans the extent per insert.
+func BenchmarkServeValidateInsert(b *testing.B) {
+	for _, scale := range []int{5, 50} {
+		e := serveEngine(b, scale)
+		doomed := map[string]object.Value{
+			"title": object.Str("dup"), "isbn": object.Str("vldb96"),
+			"shopprice": object.Real(10), "libprice": object.Real(5),
+		}
+		for _, mode := range []struct {
+			tag string
+			idx bool
+		}{{"indexed", true}, {"scan", false}} {
+			b.Run("scale="+itoa(scale)+"/"+mode.tag, func(b *testing.B) {
+				e.UseIndexes = mode.idx
+				if rejs := e.ValidateInsert("Item", doomed); len(rejs) == 0 {
+					b.Fatal("duplicate key not caught")
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if rejs := e.ValidateInsert("Item", doomed); len(rejs) == 0 {
+						b.Fatal("duplicate key not caught")
+					}
+				}
+			})
+		}
+	}
 }
 
 // B5: baseline comparison (class-based precision, union-all rejections).

@@ -1,0 +1,179 @@
+// Command benchcompare diffs two interopbench -json reports (e.g. the
+// committed BENCH_1.json baseline against a freshly generated
+// BENCH_2.json): E-series pass/fail changes, shared B-series timing
+// metrics with relative deltas, and sections present in only one report.
+// It is wired into `make bench-compare` and the CI benchmark smoke step.
+//
+// Usage:
+//
+//	benchcompare OLD.json NEW.json
+//	benchcompare -max-regress 50 OLD.json NEW.json   # exit 1 on >50% slowdown
+//
+// Without -max-regress the comparison is informational (exit 0 unless a
+// file is unreadable): single-run wall times are noisy, so CI uses it to
+// surface trends, not to gate on them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type eResult struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	Passed bool   `json:"passed"`
+}
+
+// row is one generic B-series measurement: identity fields are compared
+// for matching, nanosecond fields for deltas.
+type row map[string]any
+
+type report struct {
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Quick      bool      `json:"quick"`
+	EResults   []eResult `json:"e_results"`
+	Sections   map[string][]row
+}
+
+// sections lists the B-series arrays with their identity keys (used to
+// match rows across reports) and their timing keys (compared).
+var sections = []struct {
+	name   string
+	idKeys []string
+	nsKeys []string
+}{
+	{"b1", []string{"Query"}, []string{"OptTime", "BaseTime"}},
+	{"b3", []string{"books", "overlap"}, []string{"seq_ns", "par_ns"}},
+	{"b4", []string{"constraints"}, []string{"seq_ns", "par_ns"}},
+	{"b7", []string{"scale", "kind", "detail"}, []string{"scan_ns", "fast_ns"}},
+}
+
+func load(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	rep.Sections = map[string][]row{}
+	for _, s := range sections {
+		if msg, ok := raw[s.name]; ok {
+			var rows []row
+			if err := json.Unmarshal(msg, &rows); err != nil {
+				return nil, fmt.Errorf("%s section %s: %w", path, s.name, err)
+			}
+			rep.Sections[s.name] = rows
+		}
+	}
+	return &rep, nil
+}
+
+func ident(r row, keys []string) string {
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%v|", r[k])
+	}
+	return out
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0, "exit 1 when a shared timing metric slows down by more than this percentage (0 = informational only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcompare [-max-regress pct] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	exitOn(err)
+	newRep, err := load(flag.Arg(1))
+	exitOn(err)
+
+	fmt.Printf("comparing %s (gomaxprocs=%d quick=%v) → %s (gomaxprocs=%d quick=%v)\n",
+		flag.Arg(0), oldRep.GoMaxProcs, oldRep.Quick, flag.Arg(1), newRep.GoMaxProcs, newRep.Quick)
+
+	// E-series: pass/fail drift is always a finding.
+	regressions := 0
+	oldE := map[string]bool{}
+	for _, e := range oldRep.EResults {
+		oldE[e.ID] = e.Passed
+	}
+	for _, e := range newRep.EResults {
+		was, ok := oldE[e.ID]
+		switch {
+		case !ok:
+			fmt.Printf("  %s: new scenario (passed=%v)\n", e.ID, e.Passed)
+		case was && !e.Passed:
+			fmt.Printf("  %s: REGRESSED pass→fail\n", e.ID)
+			regressions++
+		case !was && e.Passed:
+			fmt.Printf("  %s: fixed fail→pass\n", e.ID)
+		}
+	}
+
+	for _, s := range sections {
+		oldRows, newRows := oldRep.Sections[s.name], newRep.Sections[s.name]
+		switch {
+		case oldRows == nil && newRows == nil:
+			continue
+		case oldRows == nil:
+			fmt.Printf("%s: new section (%d rows) — no baseline to compare\n", s.name, len(newRows))
+			continue
+		case newRows == nil:
+			fmt.Printf("%s: section dropped (was %d rows)\n", s.name, len(oldRows))
+			continue
+		}
+		byID := map[string]row{}
+		for _, r := range oldRows {
+			byID[ident(r, s.idKeys)] = r
+		}
+		fmt.Printf("%s:\n", s.name)
+		for _, nr := range newRows {
+			id := ident(nr, s.idKeys)
+			or, ok := byID[id]
+			if !ok {
+				fmt.Printf("  %-52s new row\n", id)
+				continue
+			}
+			for _, k := range s.nsKeys {
+				ov, ook := asFloat(or[k])
+				nv, nok := asFloat(nr[k])
+				if !ook || !nok || ov <= 0 {
+					continue
+				}
+				pct := 100 * (nv - ov) / ov
+				marker := ""
+				if *maxRegress > 0 && pct > *maxRegress {
+					marker = "  << REGRESSION"
+					regressions++
+				}
+				fmt.Printf("  %-52s %-10s %12.0fns → %12.0fns  %+6.1f%%%s\n", id, k, ov, nv, pct, marker)
+			}
+		}
+	}
+
+	if *maxRegress > 0 && regressions > 0 {
+		fmt.Printf("%d regression(s) beyond %.0f%%\n", regressions, *maxRegress)
+		os.Exit(1)
+	}
+}
+
+func asFloat(v any) (float64, bool) {
+	f, ok := v.(float64)
+	return f, ok
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+}

@@ -1,10 +1,12 @@
 // Command interopbench runs the full reproduction suite: the E1–E11
 // scenario reproductions (every worked example and figure of the paper)
-// and the B1–B6 measurements (query optimisation, transaction validation,
+// and the B1–B7 measurements (query optimisation, transaction validation,
 // scale sweeps, derivation cost, baseline comparison, conflict
-// detection). Its output is the source of EXPERIMENTS.md. The scale and
-// derivation sweeps (B3, B4) measure sequential vs parallel pipeline
-// execution and report the reasoner's cache hit rate.
+// detection, indexed query serving). Its output is the source of
+// EXPERIMENTS.md. The scale and derivation sweeps (B3, B4) measure
+// sequential vs parallel pipeline execution and report the reasoner's
+// cache hit rate; B7 measures the indexed+compiled serving fast path
+// against the pure interpreter scan.
 //
 // Usage:
 //
@@ -38,6 +40,7 @@ type report struct {
 	B4         []b4JSON              `json:"b4,omitempty"`
 	B5         *experiments.B5Result `json:"b5,omitempty"`
 	B6         []experiments.B6Row   `json:"b6,omitempty"`
+	B7         []b7JSON              `json:"b7,omitempty"`
 }
 
 type eResult struct {
@@ -56,6 +59,20 @@ type b3JSON struct {
 	ParNanos     int64   `json:"par_ns"`
 	Speedup      float64 `json:"speedup"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// b7JSON flattens B7Row for trend tracking across baselines.
+type b7JSON struct {
+	Scale     int     `json:"scale"`
+	Extent    int     `json:"extent"`
+	Kind      string  `json:"kind"`
+	Detail    string  `json:"detail"`
+	ScanNanos int64   `json:"scan_ns"`
+	FastNanos int64   `json:"fast_ns"`
+	Speedup   float64 `json:"speedup"`
+	Rows      int     `json:"rows"`
+	Scanned   int     `json:"scanned"`
+	IndexHits int     `json:"index_hits"`
 }
 
 type b4JSON struct {
@@ -178,6 +195,25 @@ func runB(quick bool, rep *report) {
 			r.WeakenedConstraints, r.Conflicts, r.Suggestions)
 	}
 	rep.B6 = b6
+
+	scales := []int{1, 10, 50}
+	serveIters := 200
+	if quick {
+		scales = []int{1, 10}
+		serveIters = 50
+	}
+	fmt.Println("\nB7: indexed query serving vs pure scan (scaled Figure 1 fixture)")
+	b7, err := experiments.B7(scales, serveIters)
+	exitOn(err)
+	for _, r := range b7 {
+		fmt.Printf("  scale=%3d extent=%4d %-15s %-40s scan %10v | indexed %10v | %6.1fx | rows=%d scanned=%d hits=%d\n",
+			r.Scale, r.Extent, r.Kind, r.Detail, r.ScanTime, r.FastTime, r.Speedup(), r.Rows, r.Scanned, r.IndexHits)
+		rep.B7 = append(rep.B7, b7JSON{
+			Scale: r.Scale, Extent: r.Extent, Kind: r.Kind, Detail: r.Detail,
+			ScanNanos: r.ScanTime.Nanoseconds(), FastNanos: r.FastTime.Nanoseconds(),
+			Speedup: r.Speedup(), Rows: r.Rows, Scanned: r.Scanned, IndexHits: r.IndexHits,
+		})
+	}
 }
 
 func max(a, b int) int {

@@ -154,6 +154,64 @@ func (v *GlobalView) Env(self *GObj) *expr.Env {
 	return env
 }
 
+// DeclaresAttr reports whether any class of the object declares the
+// attribute — the same resolution Env's SelfAttrs uses, so callers can
+// predict whether an identifier evaluates to Null for an object missing
+// it (declared), to a same-named constant, or to an unknown-identifier
+// error (undeclared). The extent-index planner uses it to decline
+// attributes whose per-row resolution is not simply the stored value.
+func (v *GlobalView) DeclaresAttr(g *GObj, attr string) bool {
+	for cls := range g.Classes {
+		org, ok := v.Origin[cls]
+		if !ok {
+			continue
+		}
+		for _, a := range v.Conformed.SchemaOf(org.Side).AllAttrs(org.Class) {
+			if a.Name == attr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ApplyInsert registers an object newly shipped to a component database in
+// the integrated view, so the serving path (queries, key-uniqueness
+// validation) reflects it without re-running integration. The object is
+// classified along its origin class's inheritance chain; Sim-rule
+// classification, entity resolution against the other side, and PropEq
+// value conversion are not re-run — attrs are stored as given and must
+// already be in the conformed (global) domain, the same domain
+// ValidateInsert evaluates; a full re-integration remains the way to
+// pick those up. src is the component-store reference the insert
+// received, registered for Deref.
+func (v *GlobalView) ApplyInsert(class string, attrs map[string]object.Value, src object.Ref) (*GObj, error) {
+	org, ok := v.Origin[class]
+	if !ok {
+		return nil, fmt.Errorf("no origin class for global class %s", class)
+	}
+	cp := make(map[string]object.Value, len(attrs))
+	for k, val := range attrs {
+		cp[k] = val
+	}
+	g := &GObj{
+		ID:      len(v.Objects) + 1,
+		Parts:   map[Side][]*CObj{},
+		Attrs:   cp,
+		Classes: map[string]bool{},
+	}
+	g.Parts[org.Side] = append(g.Parts[org.Side], &CObj{
+		Src: src, Side: org.Side, Class: org.Class, Attrs: cp,
+	})
+	for _, cn := range v.Conformed.SchemaOf(org.Side).Supers(org.Class) {
+		v.addToClass(g, org.Side, cn)
+	}
+	v.Objects = append(v.Objects, g)
+	v.byRef[g.Identity()] = g
+	v.byRef[src] = g
+	return g, nil
+}
+
 // Merge runs the merging phase: entity resolution over the equality rules
 // (explicit and descriptivity-implied), value fusion through decision
 // functions, Sim-rule classification, and derivation of the global class

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment of DESIGN.md §5 (E1–E11 scenario reproductions, B1–B6
+// per experiment of DESIGN.md §6 (E1–E11 scenario reproductions, B1–B7
 // measurements). cmd/interopbench prints their results; the root-level
 // benchmarks wrap them with testing.B; EXPERIMENTS.md records their
 // outputs against the paper's claims.
@@ -764,6 +764,118 @@ func B6() ([]B6Row, error) {
 			sugg += len(c.Suggestions)
 		}
 		rows = append(rows, B6Row{WeakenedConstraints: k, Conflicts: len(res.Derivation.Conflicts), Suggestions: sugg})
+	}
+	return rows, nil
+}
+
+// B7Row is one query-serving measurement: the indexed+compiled fast
+// path (extent indexes answer sargable conjuncts, the residual is a
+// compiled predicate, key uniqueness probes an incremental index)
+// against the pure interpreter scan on the same engine and extent.
+type B7Row struct {
+	Scale     int
+	Extent    int           // extent size of the probed class
+	Kind      string        // equality | range | validate-insert
+	Detail    string        // query text or probe description
+	ScanTime  time.Duration // per operation, UseIndexes = false
+	FastTime  time.Duration // per operation, UseIndexes = true
+	Rows      int           // result rows (queries only)
+	Scanned   int           // objects evaluated on the fast path
+	IndexHits int
+}
+
+// Speedup is the scan/fast wall-time ratio.
+func (r B7Row) Speedup() float64 {
+	if r.FastTime <= 0 {
+		return 0
+	}
+	return float64(r.ScanTime) / float64(r.FastTime)
+}
+
+// B7 measures query serving and insert validation over the scaled
+// Figure 1 fixture. Each operation runs iters times per mode; answers
+// are cross-checked between modes before timing.
+func B7(scales []int, iters int) ([]B7Row, error) {
+	var rows []B7Row
+	for _, scale := range scales {
+		local, remote := fixture.Figure1Stores(fixture.Options{Scale: scale})
+		res, err := core.Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), local, remote, 1)
+		if err != nil {
+			return nil, err
+		}
+		e := view.New(res)
+		eqIsbn := fmt.Sprintf("vldb96-c%d", max(1, scale/2))
+		if scale == 0 {
+			eqIsbn = "vldb96"
+		}
+		queries := []view.Query{
+			{Class: "Item", Where: expr.MustParse(fmt.Sprintf("isbn = '%s'", eqIsbn))},
+			{Class: "Item", Where: expr.MustParse("shopprice <= 20")},
+			{Class: "Proceedings", Where: expr.MustParse("rating >= 7 and shopprice < 75")},
+		}
+		kinds := []string{"equality", "range", "range"}
+		for qi, q := range queries {
+			e.UseIndexes = true
+			fastRows, fastStats, err := e.Run(q)
+			if err != nil {
+				return nil, err
+			}
+			e.UseIndexes = false
+			scanRows, _, err := e.Run(q)
+			if err != nil {
+				return nil, err
+			}
+			if len(fastRows) != len(scanRows) {
+				return nil, fmt.Errorf("B7 scale=%d %q: indexed path changed answers: %d vs %d",
+					scale, q.Where, len(fastRows), len(scanRows))
+			}
+			timeOp := func(useIdx bool) (time.Duration, error) {
+				e.UseIndexes = useIdx
+				t0 := time.Now()
+				for i := 0; i < iters; i++ {
+					if _, _, err := e.Run(q); err != nil {
+						return 0, fmt.Errorf("B7 scale=%d %q: %w", scale, q.Where, err)
+					}
+				}
+				return time.Since(t0) / time.Duration(iters), nil
+			}
+			scanT, err := timeOp(false)
+			if err != nil {
+				return nil, err
+			}
+			fastT, err := timeOp(true)
+			if err != nil {
+				return nil, err
+			}
+			e.UseIndexes = true
+			rows = append(rows, B7Row{
+				Scale: scale, Extent: len(res.View.Extent(q.Class)),
+				Kind: kinds[qi], Detail: q.Where.String(),
+				ScanTime: scanT, FastTime: fastT,
+				Rows: len(fastRows), Scanned: fastStats.Scanned, IndexHits: fastStats.IndexHits,
+			})
+		}
+		// Insert validation: O(1) key-index probe vs full extent copy.
+		attrs := map[string]object.Value{
+			"title": object.Str("B7 probe"), "isbn": object.Str("vldb96"), // duplicate key
+			"shopprice": object.Real(10), "libprice": object.Real(5),
+		}
+		timeVal := func(useIdx bool) time.Duration {
+			e.UseIndexes = useIdx
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				e.ValidateInsert("Item", attrs)
+			}
+			return time.Since(t0) / time.Duration(iters)
+		}
+		scanT := timeVal(false)
+		fastT := timeVal(true)
+		e.UseIndexes = true
+		rows = append(rows, B7Row{
+			Scale: scale, Extent: len(res.View.Extent("Item")),
+			Kind: "validate-insert", Detail: "duplicate-key probe on Item",
+			ScanTime: scanT, FastTime: fastT,
+		})
 	}
 	return rows, nil
 }

@@ -1,0 +1,164 @@
+package expr
+
+import (
+	"testing"
+
+	"interopdb/internal/object"
+)
+
+// compileEnv builds an environment matching the evaluator tests: a self
+// object, one constant set, one scalar constant, a two-class extension
+// provider and a deref table.
+func compileEnv() *Env {
+	pub := MapObject{"name": object.Str("IEEE"), "location": object.Str("NY")}
+	self := MapObject{
+		"title":     object.Str("Proceedings of VLDB"),
+		"rating":    object.Int(8),
+		"shopprice": object.Real(80),
+		"libprice":  object.Real(78),
+		"ref?":      object.Bool(true),
+		"publisher": object.Ref{DB: "BS", OID: 1},
+		"authors":   object.NewSet(object.Str("A"), object.Str("B")),
+	}
+	other := MapObject{"rating": object.Int(4), "shopprice": object.Real(30)}
+	return &Env{
+		Vars: map[string]Object{"self": self},
+		Consts: map[string]object.Value{
+			"KNOWNPUBLISHERS": object.NewSet(object.Str("IEEE"), object.Str("ACM")),
+			"MAX":             object.Real(100),
+		},
+		SelfAttrs: map[string]bool{
+			"title": true, "rating": true, "shopprice": true, "libprice": true,
+			"ref?": true, "publisher": true, "authors": true, "missing": true,
+		},
+		Ext: func(class string) []Object {
+			if class == "Item" {
+				return []Object{self, other}
+			}
+			return nil
+		},
+		SelfExt: []Object{self, other},
+		Deref: func(r object.Ref) (Object, bool) {
+			if r.DB == "BS" && r.OID == 1 {
+				return pub, true
+			}
+			return nil, false
+		},
+	}
+}
+
+// TestCompileMatchesInterpreter pins the compiled closure chain to the
+// tree-walking interpreter over the full expression fragment: values,
+// truth values and error presence/messages must all agree.
+func TestCompileMatchesInterpreter(t *testing.T) {
+	srcs := []string{
+		// Comparisons, arithmetic, connectives.
+		"rating >= 7",
+		"rating < 7",
+		"shopprice - libprice = 2",
+		"shopprice * 2 > MAX",
+		"shopprice / 2 <= libprice",
+		"rating >= 7 and shopprice <= MAX",
+		"rating >= 9 or shopprice <= MAX",
+		"publisher.name = 'IEEE' implies ref? = true",
+		"not (rating < 7)",
+		"-rating <= 0",
+		// Null handling: declared-but-absent attribute.
+		"missing = 5",
+		"missing = missing",
+		"missing != 5",
+		"missing + 1 = 2",
+		"not missing",
+		// Paths, refs, sets, builtins.
+		"publisher.name = 'IEEE'",
+		"publisher.name in KNOWNPUBLISHERS",
+		"'A' in authors",
+		"'Z' not in authors",
+		"rating in {7,8,9}",
+		"rating in {shopprice, 8}",
+		"contains(title, 'VLDB')",
+		"length(title) > 3",
+		"length(authors) = 2",
+		"abs(libprice - shopprice) = 2",
+		// Aggregates and quantifiers fall back to the interpreter.
+		"(sum (collect x for x in self) over shopprice) < 200",
+		"(avg (collect x for x in Item) over rating) >= 6",
+		"(count (collect x for x in Item)) = 2",
+		"forall i in Item | i.rating >= 4",
+		"exists i in Item | i.rating >= 8",
+		// Errors must match too.
+		"title + 1 = 2",
+		"unknownname = 1",
+		"title < 5",
+		"unknownfn(rating)",
+		"rating in shopprice",
+		"not shopprice",
+	}
+	for _, src := range srcs {
+		n := MustParse(src)
+		prog := Compile(n)
+		env := compileEnv()
+		iv, ierr := env.Eval(n)
+		cv, cerr := prog.Eval(compileEnv())
+		if (ierr == nil) != (cerr == nil) {
+			t.Errorf("%q: interpreter err=%v, compiled err=%v", src, ierr, cerr)
+			continue
+		}
+		if ierr != nil {
+			if ierr.Error() != cerr.Error() {
+				t.Errorf("%q: error mismatch: %q vs %q", src, ierr, cerr)
+			}
+			continue
+		}
+		if !iv.Equal(cv) || iv.String() != cv.String() {
+			t.Errorf("%q: interpreter=%s compiled=%s", src, iv, cv)
+		}
+		ib, ierr := env.EvalBool(n)
+		cb, cerr := prog.EvalBool(compileEnv())
+		if (ierr == nil) != (cerr == nil) || ib != cb {
+			t.Errorf("%q: EvalBool mismatch: (%v,%v) vs (%v,%v)", src, ib, ierr, cb, cerr)
+		}
+	}
+}
+
+// TestCompileReusableAcrossRows: one Program, many self objects — the
+// pattern the query engine uses.
+func TestCompileReusableAcrossRows(t *testing.T) {
+	prog := Compile(MustParse("rating >= 6 and shopprice < 100"))
+	rows := []MapObject{
+		{"rating": object.Int(8), "shopprice": object.Real(80)},
+		{"rating": object.Int(4), "shopprice": object.Real(30)},
+		{"rating": object.Int(9), "shopprice": object.Real(120)},
+	}
+	want := []bool{true, false, false}
+	for i, row := range rows {
+		env := &Env{Vars: map[string]Object{"self": row}}
+		got, err := prog.EvalBool(env)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if got != want[i] {
+			t.Errorf("row %d: got %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func BenchmarkCompiledVsInterpreted(b *testing.B) {
+	n := MustParse("rating >= 6 and shopprice < 100 and publisher.name = 'IEEE'")
+	env := compileEnv()
+	b.Run("interpreted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := env.EvalBool(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		prog := Compile(n)
+		for i := 0; i < b.N; i++ {
+			if _, err := prog.EvalBool(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

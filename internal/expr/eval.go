@@ -68,11 +68,17 @@ func (env *Env) Eval(n Node) (object.Value, error) {
 	if err != nil {
 		return nil, err
 	}
+	return coerceValue(r, n)
+}
+
+// coerceValue narrows an evalAny result to a plain value; objects are not
+// values (they only decay to references in comparison operands).
+func coerceValue(r any, at Node) (object.Value, error) {
 	switch r := r.(type) {
 	case object.Value:
 		return r, nil
 	case Object:
-		return nil, evalErrf("object used where a value is required: %s", n)
+		return nil, evalErrf("object used where a value is required: %s", at)
 	default:
 		return nil, evalErrf("internal: bad eval result %T", r)
 	}
@@ -399,7 +405,13 @@ func (env *Env) evalCall(n Call) (any, error) {
 		}
 		args[i] = v
 	}
-	switch n.Fn {
+	return callBuiltin(n.Fn, args)
+}
+
+// callBuiltin dispatches a builtin function over already-evaluated
+// arguments; shared by the interpreter and the predicate compiler.
+func callBuiltin(fn string, args []object.Value) (object.Value, error) {
+	switch fn {
 	case "contains":
 		if len(args) != 2 {
 			return nil, evalErrf("contains takes 2 arguments")
@@ -448,7 +460,7 @@ func (env *Env) evalCall(n Call) (any, error) {
 			return nil, evalErrf("abs requires a numeric argument")
 		}
 	default:
-		return nil, evalErrf("unknown function %q", n.Fn)
+		return nil, evalErrf("unknown function %q", fn)
 	}
 }
 
@@ -569,24 +581,30 @@ func EvalKey(ext []Object, attrs []string) (bool, error) {
 	}
 	seen := make(map[string]bool, len(ext))
 	for _, o := range ext {
-		var b strings.Builder
-		null := false
-		for _, a := range attrs {
-			v, ok := o.Get(a)
-			if !ok || v.Kind() == object.KindNull {
-				null = true
-				break
-			}
-			fmt.Fprintf(&b, "%016x|", object.Hash(v))
-		}
-		if null {
+		k, ok := KeyString(o, attrs)
+		if !ok {
 			continue
 		}
-		k := b.String()
 		if seen[k] {
 			return false, nil
 		}
 		seen[k] = true
 	}
 	return true, nil
+}
+
+// KeyString encodes an object's composite key as a comparable string; it
+// returns false when any key part is missing or null (such objects never
+// participate in key conflicts). The encoding is the one EvalKey uses, so
+// incremental key-uniqueness indexes agree with the full scan.
+func KeyString(o Object, attrs []string) (string, bool) {
+	var b strings.Builder
+	for _, a := range attrs {
+		v, ok := o.Get(a)
+		if !ok || v.Kind() == object.KindNull {
+			return "", false
+		}
+		fmt.Fprintf(&b, "%016x|", object.Hash(v))
+	}
+	return b.String(), true
 }

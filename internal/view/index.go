@@ -1,0 +1,522 @@
+package view
+
+import (
+	"sort"
+	"strings"
+
+	"interopdb/internal/core"
+	"interopdb/internal/expr"
+	"interopdb/internal/logic"
+	"interopdb/internal/object"
+)
+
+// The extent-index subsystem: per-class hash indexes on
+// equality-restricted attributes, ordered (sorted-slice) indexes on
+// range-restricted attributes, and composite-key uniqueness indexes for
+// insert validation. Indexes are chosen automatically from the sargable
+// fragment logic.ExtractRestriction recognises, built lazily on first
+// use, and maintained incrementally when ShipInsert grows the view.
+//
+// Index answers are exact mirrors of the scan semantics: only non-null
+// stored values are indexed (the interpreter evaluates comparisons and
+// membership against null/missing attributes to false), hash probes
+// re-check candidate values with Equal to discard collisions, and an
+// ordered index declines to serve a probe whose constant is not
+// order-comparable with every indexed value — the conjunct then falls
+// back to the residual scan, which surfaces the same evaluation error the
+// pure scan path would.
+
+// probeKind classifies a sargable conjunct.
+type probeKind int
+
+const (
+	probeEq probeKind = iota
+	probeRange
+	probeIn
+)
+
+// probe is one index-answerable conjunct of a query predicate.
+type probe struct {
+	conj expr.Node
+	attr string
+	kind probeKind
+	op   expr.Op      // for probeRange
+	val  object.Value // for probeEq and probeRange
+	set  *object.Set  // for probeIn
+}
+
+// sargableProbe recognises a conjunct the extent indexes can answer: an
+// unguarded restriction on a direct (single-segment, stored) attribute.
+// Guarded restrictions, dotted paths (they read through references),
+// != comparisons and null constants (indexes hold only non-null values,
+// but the interpreter evaluates null = null to true) stay in the
+// residual predicate.
+func sargableProbe(c expr.Node) (probe, bool) {
+	r, ok := logic.ExtractRestriction(c)
+	if !ok || r.Guard != nil || strings.Contains(r.Path, ".") {
+		return probe{}, false
+	}
+	if r.IsSet() {
+		return probe{conj: c, attr: r.Path, kind: probeIn, set: r.Set}, true
+	}
+	if r.Val == nil || r.Val.Kind() == object.KindNull {
+		return probe{}, false
+	}
+	switch r.Op {
+	case expr.OpEq:
+		return probe{conj: c, attr: r.Path, kind: probeEq, val: r.Val}, true
+	case expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
+		return probe{conj: c, attr: r.Path, kind: probeRange, op: r.Op, val: r.Val}, true
+	default:
+		return probe{}, false
+	}
+}
+
+// kindClass partitions value kinds into groups that object.Compare can
+// totally order among themselves; 0 marks kinds the ordered index never
+// holds.
+func kindClass(v object.Value) int {
+	switch v.Kind() {
+	case object.KindInt, object.KindReal:
+		return 1
+	case object.KindString:
+		return 2
+	case object.KindBool:
+		return 3
+	case object.KindRef:
+		return 4
+	case object.KindSet:
+		return 5
+	default: // null, tuple: not indexed for ordering
+		return 0
+	}
+}
+
+// eqIndex is a hash index: value hash → ascending extent positions of
+// objects holding a non-null value with that hash. ok is false when some
+// extent member neither holds nor declares the attribute: for such
+// objects the interpreter resolves the name to a same-named constant or
+// an unknown-identifier error, not to the stored value, so the index
+// declines and the conjunct stays in the residual scan.
+type eqIndex struct {
+	ok  bool
+	pos map[uint64][]int
+}
+
+// ordEntry is one ordered-index entry.
+type ordEntry struct {
+	val object.Value
+	pos int
+}
+
+// ordIndex is a sorted-slice index over the non-null values of one
+// attribute. ok is false when the extent holds values from different
+// kind classes (no total order) or when some member neither holds nor
+// declares the attribute (see eqIndex): the index then declines every
+// probe.
+type ordIndex struct {
+	ok      bool
+	class   int // kindClass shared by all entries; 0 when empty
+	entries []ordEntry
+}
+
+// keyIndex is the composite-key uniqueness set consumed by
+// ValidateInsert: the KeyString encodings present in the extent. preDup
+// records a duplicate already in the extent (then every insert is
+// rejected, matching expr.EvalKey over the combined extension).
+type keyIndex struct {
+	seen   map[string]bool
+	preDup bool
+}
+
+// classIndexes holds the lazily-built indexes of one global class.
+type classIndexes struct {
+	eq  map[string]*eqIndex
+	ord map[string]*ordIndex
+	key map[string]*keyIndex // joined key attrs → index
+}
+
+// classIdx returns (creating if needed) the index set of a class. Caller
+// holds the e.imu write lock.
+func (e *Engine) classIdx(class string) *classIndexes {
+	ci := e.idx[class]
+	if ci == nil {
+		ci = &classIndexes{
+			eq:  map[string]*eqIndex{},
+			ord: map[string]*ordIndex{},
+			key: map[string]*keyIndex{},
+		}
+		e.idx[class] = ci
+	}
+	return ci
+}
+
+func buildEq(view *core.GlobalView, ext []*core.GObj, attr string) *eqIndex {
+	ix := &eqIndex{ok: true, pos: map[uint64][]int{}}
+	for p, g := range ext {
+		v, ok := g.Get(attr)
+		if !ok {
+			if !view.DeclaresAttr(g, attr) {
+				ix.ok = false
+				ix.pos = nil
+				return ix
+			}
+			continue // declared-but-absent evaluates to null: never matches
+		}
+		if v.Kind() == object.KindNull {
+			continue
+		}
+		h := object.Hash(v)
+		ix.pos[h] = append(ix.pos[h], p)
+	}
+	return ix
+}
+
+func buildOrd(view *core.GlobalView, ext []*core.GObj, attr string) *ordIndex {
+	ix := &ordIndex{ok: true}
+	for p, g := range ext {
+		v, ok := g.Get(attr)
+		if !ok {
+			if !view.DeclaresAttr(g, attr) {
+				ix.ok = false
+				ix.entries = nil
+				return ix
+			}
+			continue
+		}
+		if v.Kind() == object.KindNull {
+			continue
+		}
+		kc := kindClass(v)
+		if kc == 0 || (ix.class != 0 && kc != ix.class) {
+			ix.ok = false
+			ix.entries = nil
+			return ix
+		}
+		ix.class = kc
+		ix.entries = append(ix.entries, ordEntry{val: v, pos: p})
+	}
+	sort.SliceStable(ix.entries, func(i, j int) bool {
+		c, ok := object.Compare(ix.entries[i].val, ix.entries[j].val)
+		return ok && c < 0
+	})
+	return ix
+}
+
+func buildKey(ext []*core.GObj, attrs []string) *keyIndex {
+	ix := &keyIndex{seen: make(map[string]bool, len(ext))}
+	for _, g := range ext {
+		k, ok := expr.KeyString(g, attrs)
+		if !ok {
+			continue
+		}
+		if ix.seen[k] {
+			ix.preDup = true
+		}
+		ix.seen[k] = true
+	}
+	return ix
+}
+
+// servePrefix answers the maximal index-answerable prefix of the
+// query's conjuncts, returning the intersected candidate positions
+// (ascending extent order), the number of conjuncts served, and the
+// residual conjuncts in their original order. served==0 means no index
+// applied and the caller should scan.
+//
+// Only a prefix may be served: the scan evaluates conjuncts left to
+// right with short-circuiting, so a row pruned by a served conjunct is a
+// row the scan would have short-circuited at that same conjunct — but
+// only if every earlier conjunct is also served (served conjuncts are
+// proven error-free on every row; a residual conjunct to the left could
+// error on a row the index prunes, and that error must surface exactly
+// as it does on the scan path). Serving stops at the first conjunct
+// that is not sargable or whose index declines.
+//
+// The fast path probes already-built indexes under the read lock, so
+// concurrent planning stays parallel; only a missing index takes the
+// write lock to build. Caller must hold e.mu (read) so the extent is
+// stable.
+func (e *Engine) servePrefix(class string, ext []*core.GObj, conjs []expr.Node) (pos []int, served int, residual []expr.Node) {
+	e.imu.RLock()
+	lists, served, residual, missing := e.serveConjuncts(e.idx[class], ext, conjs, false)
+	e.imu.RUnlock()
+	if missing {
+		e.imu.Lock()
+		lists, served, residual, _ = e.serveConjuncts(e.classIdx(class), ext, conjs, true)
+		e.imu.Unlock()
+	}
+	if served == 0 {
+		return nil, 0, residual
+	}
+	// Intersect smallest-first (probe results are fresh slices, so this
+	// needs no lock).
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	pos = append([]int{}, lists[0]...)
+	for _, l := range lists[1:] {
+		pos = intersectSorted(pos, l)
+		if len(pos) == 0 {
+			break
+		}
+	}
+	return pos, served, residual
+}
+
+// serveConjuncts runs the prefix-serving loop over the conjuncts.
+// missing=true aborts the pass: a needed index is not built and
+// build=false (the caller retries under the write lock). Caller holds
+// e.imu (read when build=false, write when build=true); ci may be nil
+// when the class has no indexes yet.
+func (e *Engine) serveConjuncts(ci *classIndexes, ext []*core.GObj, conjs []expr.Node, build bool) (lists [][]int, served int, residual []expr.Node, missing bool) {
+	i := 0
+	for ; i < len(conjs); i++ {
+		pr, sarg := sargableProbe(conjs[i])
+		if !sarg {
+			break
+		}
+		list, ok, miss := e.serveProbe(ci, ext, pr, build)
+		if miss {
+			return nil, 0, nil, true
+		}
+		if !ok {
+			break
+		}
+		lists = append(lists, list)
+		served++
+	}
+	return lists, served, conjs[i:], false
+}
+
+// serveProbe answers one probe from the class indexes, or declines
+// (ok=false) when the index cannot mirror the interpreter's semantics
+// for it. With build, missing indexes are built on the spot (caller
+// holds the e.imu write lock); otherwise a missing index reports
+// missing=true. Probe results are freshly allocated slices.
+func (e *Engine) serveProbe(ci *classIndexes, ext []*core.GObj, pr probe, build bool) (list []int, ok, missing bool) {
+	switch pr.kind {
+	case probeEq, probeIn:
+		var ix *eqIndex
+		if ci != nil {
+			ix = ci.eq[pr.attr]
+		}
+		if ix == nil {
+			if !build {
+				return nil, false, true
+			}
+			ix = buildEq(e.res.View, ext, pr.attr)
+			ci.eq[pr.attr] = ix
+		}
+		if !ix.ok {
+			return nil, false, false
+		}
+		if pr.kind == probeEq {
+			return eqProbe(ix, ext, pr.attr, pr.val), true, false
+		}
+		var union []int
+		for _, elem := range pr.set.Elems() {
+			if elem.Kind() == object.KindNull {
+				continue // null never matches a stored value
+			}
+			union = append(union, eqProbe(ix, ext, pr.attr, elem)...)
+		}
+		sort.Ints(union)
+		return dedupSorted(union), true, false
+	default: // probeRange
+		var ix *ordIndex
+		if ci != nil {
+			ix = ci.ord[pr.attr]
+		}
+		if ix == nil {
+			if !build {
+				return nil, false, true
+			}
+			ix = buildOrd(e.res.View, ext, pr.attr)
+			ci.ord[pr.attr] = ix
+		}
+		if !ix.ok || (len(ix.entries) > 0 && kindClass(pr.val) != ix.class) {
+			// No total order with this constant: the residual scan
+			// reproduces the interpreter's comparison semantics
+			// (including errors on incomparable values).
+			return nil, false, false
+		}
+		return rangeProbe(ix, pr.op, pr.val), true, false
+	}
+}
+
+// eqProbe returns the ascending positions whose stored value equals val
+// (hash collisions are discarded by re-checking Equal).
+func eqProbe(ix *eqIndex, ext []*core.GObj, attr string, val object.Value) []int {
+	var out []int
+	for _, p := range ix.pos[object.Hash(val)] {
+		if v, ok := ext[p].Get(attr); ok && v.Equal(val) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// rangeProbe returns the ascending positions whose stored value satisfies
+// value ⊙ c for an ordering comparison.
+func rangeProbe(ix *ordIndex, op expr.Op, c object.Value) []int {
+	n := len(ix.entries)
+	// lower = first entry with val >= c; upper = first entry with val > c.
+	lower := sort.Search(n, func(i int) bool {
+		cmp, _ := object.Compare(ix.entries[i].val, c)
+		return cmp >= 0
+	})
+	upper := sort.Search(n, func(i int) bool {
+		cmp, _ := object.Compare(ix.entries[i].val, c)
+		return cmp > 0
+	})
+	var lo, hi int
+	switch op {
+	case expr.OpLt:
+		lo, hi = 0, lower
+	case expr.OpLe:
+		lo, hi = 0, upper
+	case expr.OpGt:
+		lo, hi = upper, n
+	case expr.OpGe:
+		lo, hi = lower, n
+	}
+	out := make([]int, 0, hi-lo)
+	for _, en := range ix.entries[lo:hi] {
+		out = append(out, en.pos)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// keyViolated probes the composite-key uniqueness index with the proposed
+// object; the index is built on first use (write lock), then probed
+// under the read lock. Mutation after publication only happens in
+// noteInsert, which runs with e.mu held exclusively, so probing under
+// e.mu (read) + e.imu (read) is race-free. Caller must hold e.mu (read).
+func (e *Engine) keyViolated(class string, attrs []string, obj expr.Object) bool {
+	sig := strings.Join(attrs, "\x00")
+	e.imu.RLock()
+	var ix *keyIndex
+	if ci := e.idx[class]; ci != nil {
+		ix = ci.key[sig]
+	}
+	e.imu.RUnlock()
+	if ix == nil {
+		e.imu.Lock()
+		ci := e.classIdx(class)
+		ix = ci.key[sig]
+		if ix == nil {
+			ix = buildKey(e.res.View.Extent(class), attrs)
+			ci.key[sig] = ix
+		}
+		e.imu.Unlock()
+	}
+	if ix.preDup {
+		return true
+	}
+	k, ok := expr.KeyString(obj, attrs)
+	return ok && ix.seen[k]
+}
+
+// noteInsert maintains the built indexes after the view gained g (already
+// appended to its class extents). Hash and key indexes extend
+// incrementally; ordered indexes insert in place (or flip to declined
+// when the new value breaks the total order). Caller must hold e.mu
+// (write).
+func (e *Engine) noteInsert(g *core.GObj) {
+	e.imu.Lock()
+	defer e.imu.Unlock()
+	for class := range g.Classes {
+		ci := e.idx[class]
+		if ci == nil {
+			continue
+		}
+		pos := len(e.res.View.Extent(class)) - 1
+		for attr, ix := range ci.eq {
+			if !ix.ok {
+				continue
+			}
+			v, ok := g.Get(attr)
+			if !ok {
+				if !e.res.View.DeclaresAttr(g, attr) {
+					ix.ok = false
+					ix.pos = nil
+				}
+				continue
+			}
+			if v.Kind() == object.KindNull {
+				continue
+			}
+			h := object.Hash(v)
+			ix.pos[h] = append(ix.pos[h], pos) // pos is the maximum: order kept
+		}
+		for attr, ix := range ci.ord {
+			if !ix.ok {
+				continue
+			}
+			v, ok := g.Get(attr)
+			if !ok {
+				if !e.res.View.DeclaresAttr(g, attr) {
+					ix.ok = false
+					ix.entries = nil
+				}
+				continue
+			}
+			if v.Kind() == object.KindNull {
+				continue
+			}
+			kc := kindClass(v)
+			if kc == 0 || (ix.class != 0 && kc != ix.class) {
+				ix.ok = false
+				ix.entries = nil
+				continue
+			}
+			ix.class = kc
+			at := sort.Search(len(ix.entries), func(i int) bool {
+				cmp, _ := object.Compare(ix.entries[i].val, v)
+				return cmp > 0
+			})
+			ix.entries = append(ix.entries, ordEntry{})
+			copy(ix.entries[at+1:], ix.entries[at:])
+			ix.entries[at] = ordEntry{val: v, pos: pos}
+		}
+		for sig, ix := range ci.key {
+			attrs := strings.Split(sig, "\x00")
+			k, ok := expr.KeyString(g, attrs)
+			if !ok {
+				continue
+			}
+			if ix.seen[k] {
+				ix.preDup = true
+			}
+			ix.seen[k] = true
+		}
+	}
+}
+
+func dedupSorted(in []int) []int {
+	out := in[:0]
+	for i, x := range in {
+		if i == 0 || x != in[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func intersectSorted(a, b []int) []int {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

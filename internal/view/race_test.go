@@ -1,0 +1,99 @@
+package view
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"interopdb/internal/core"
+	"interopdb/internal/expr"
+	"interopdb/internal/fixture"
+	"interopdb/internal/object"
+	"interopdb/internal/tm"
+)
+
+// TestConcurrentServe exercises the fresh data-race surface of the
+// serving fast path under the race detector: the shared entailment memo,
+// the lazily-built extent indexes (hash, ordered and key), the per-class
+// constraint cache, and view growth through ShipInsert — all from
+// concurrent Run, ValidateInsert and ShipInsert callers.
+func TestConcurrentServe(t *testing.T) {
+	local, remote := fixture.Figure1Stores(fixture.Options{Scale: 10})
+	res, err := core.Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), local, remote, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(res)
+
+	queries := []Query{
+		{Class: "Proceedings", Where: expr.MustParse("rating >= 7")},
+		{Class: "Item", Where: expr.MustParse("isbn = 'vldb96'")},
+		{Class: "Item", Where: expr.MustParse("shopprice < 40 and libprice > 20")},
+		{Class: "Proceedings", Where: expr.MustParse("publisher.name = 'IEEE' and ref? = false")},
+		{Class: "Proceedings", Where: expr.MustParse("rating in {5, 8}")},
+		{Class: "Item", Select: []string{"title", "isbn"}},
+	}
+	attrsFor := func(isbn string) map[string]object.Value {
+		return map[string]object.Value{
+			"title": object.Str("Concurrent " + isbn), "isbn": object.Str(isbn),
+			"publisher": object.Ref{DB: "Bookseller", OID: 2}, // ACM
+			"shopprice": object.Real(12), "libprice": object.Real(9),
+			"ref?": object.Bool(true), "rating": object.Int(8),
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				q := queries[(w+i)%len(queries)]
+				if _, _, err := e.Run(q); err != nil {
+					errs <- fmt.Errorf("Run(%v): %w", q.Where, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				// A mix of doomed and clean inserts.
+				a := attrsFor(fmt.Sprintf("probe-%d-%d", w, i))
+				if i%2 == 0 {
+					a["isbn"] = object.Str("vldb96") // duplicate key
+				}
+				e.ValidateInsert("Item", a)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			a := attrsFor(fmt.Sprintf("shipped-%d", i))
+			if err := e.ShipInsert(remote, "Proceedings", a); err != nil {
+				errs <- fmt.Errorf("ShipInsert %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// All shipped inserts are visible afterwards.
+	rows, _, err := e.Run(Query{Class: "Proceedings", Where: expr.MustParse("contains(title, 'Concurrent')")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Errorf("shipped inserts visible = %d, want 10", len(rows))
+	}
+}

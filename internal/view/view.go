@@ -9,6 +9,7 @@ package view
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"interopdb/internal/core"
 	"interopdb/internal/expr"
@@ -30,7 +31,8 @@ type Query struct {
 
 // Stats reports what the optimiser did for one query.
 type Stats struct {
-	// Scanned counts objects actually evaluated.
+	// Scanned counts objects actually evaluated (or projected, for
+	// predicate-free queries).
 	Scanned int
 	// PrunedEmpty is true when the global constraints refuted the
 	// predicate outright and the scan was skipped.
@@ -38,22 +40,58 @@ type Stats struct {
 	// DroppedConjuncts counts predicate conjuncts implied by the global
 	// constraints and removed from the residual predicate.
 	DroppedConjuncts int
+	// IndexHits counts predicate conjuncts answered from extent indexes
+	// instead of being evaluated per row.
+	IndexHits int
+	// CandidateRows is the number of rows the serving loop considered:
+	// the intersected index candidate set when indexes applied, the full
+	// extent otherwise (and 0 for pruned-empty queries).
+	CandidateRows int
 }
 
 // Engine runs queries and validates updates against an integration
-// result.
+// result. It is safe for concurrent use: Run and ValidateInsert may run
+// in parallel with each other; ShipInsert serialises against them while
+// it grows the view and maintains the extent indexes.
 type Engine struct {
 	res     *core.Result
 	checker *logic.Checker
 	// UseConstraints toggles constraint-based optimisation; off, the
 	// engine behaves like the drop-all baseline.
 	UseConstraints bool
+	// UseIndexes toggles the indexed+compiled serving fast path: extent
+	// indexes answer sargable conjuncts and the residual predicate is
+	// compiled once per query. Off, Run scans the whole extent with the
+	// tree-walking interpreter and ValidateInsert probes keys with a
+	// full extent copy — the reference path the differential tests
+	// compare against.
+	UseIndexes bool
+
+	// mu guards the view snapshot: Run and ValidateInsert hold it for
+	// read, ShipInsert for write while applying a shipped insert.
+	mu sync.RWMutex
+	// imu guards the lazily-built structures below: probes and cache
+	// hits run under the read lock (concurrent planning stays parallel
+	// once indexes are built); only building a missing index or cache
+	// entry takes the write lock.
+	imu  sync.RWMutex
+	idx  map[string]*classIndexes
+	cons map[string]*classCons
 }
 
-// New builds an engine over an integration result with optimisation on.
-// The engine shares the derivation's checker, so entailment queries the
-// optimiser repeats across Run calls — and queries already answered
-// during derivation — are served from the shared memo table.
+// classCons caches one class's scope-all global constraints, split by
+// how the serving path consumes them (satellite of the paper's §1 uses:
+// object constraints restrict predicates, key constraints gate inserts).
+type classCons struct {
+	object   []expr.Node             // object constraint formulas
+	objectGC []core.GlobalConstraint // same constraints, with provenance
+	keys     []core.GlobalConstraint // key constraints (Expr is expr.Key)
+}
+
+// New builds an engine over an integration result with optimisation and
+// indexing on. The engine shares the derivation's checker, so entailment
+// queries the optimiser repeats across Run calls — and queries already
+// answered during derivation — are served from the shared memo table.
 func New(res *core.Result) *Engine {
 	var ck *logic.Checker
 	if res.Derivation != nil {
@@ -66,33 +104,66 @@ func New(res *core.Result) *Engine {
 		res:            res,
 		checker:        ck,
 		UseConstraints: true,
+		UseIndexes:     true,
+		idx:            map[string]*classIndexes{},
+		cons:           map[string]*classCons{},
 	}
 }
 
-// constraintsFor collects the scope-all global constraint formulas of a
-// class (object constraints only; key and aggregate constraints do not
-// restrict single-object predicates).
-func (e *Engine) constraintsFor(class string) []expr.Node {
-	var out []expr.Node
+// consFor returns the cached scope-all constraints of a class, collected
+// from the derivation exactly once per class (Run and ValidateInsert
+// previously re-traversed Derivation.Global on every call). The cached
+// struct is immutable after publication, so the read path shares a lock.
+func (e *Engine) consFor(class string) *classCons {
+	e.imu.RLock()
+	cc, ok := e.cons[class]
+	e.imu.RUnlock()
+	if ok {
+		return cc
+	}
+	e.imu.Lock()
+	defer e.imu.Unlock()
+	if cc, ok := e.cons[class]; ok {
+		return cc
+	}
+	cc = &classCons{}
 	for _, gc := range e.res.Derivation.GlobalFor(class, core.ScopeAll) {
+		if _, isKey := gc.Expr.(expr.Key); isKey {
+			cc.keys = append(cc.keys, gc)
+			continue
+		}
 		if gc.Kind != schema.ObjectConstraint {
 			continue
 		}
-		out = append(out, gc.Expr)
+		cc.object = append(cc.object, gc.Expr)
+		cc.objectGC = append(cc.objectGC, gc)
 	}
-	return out
+	e.cons[class] = cc
+	return cc
 }
 
 // Run executes a query. With UseConstraints, the derived global
 // constraints prune provably-empty queries without touching the extent
-// and drop implied conjuncts from the residual predicate.
+// and drop implied conjuncts from the residual predicate. With
+// UseIndexes, sargable conjuncts (equality, range and finite-set
+// restrictions on stored attributes) are answered from lazily-built
+// extent indexes and the remaining predicate is compiled once and
+// applied to the narrowed candidate set only.
 func (e *Engine) Run(q Query) ([]Row, Stats, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	var stats Stats
 	ext := e.res.View.Extent(q.Class)
 	pred := q.Where
 
+	// With pred == nil there is nothing to refute or simplify, so the
+	// constraint phase is skipped even when Select projects attributes
+	// the constraints pin to constants: serving pinned constants without
+	// reading the extent would fabricate attributes absent objects lack
+	// and lose stored representations — see
+	// TestPinnedSelectShortCircuitOutOfScope for the demonstration.
 	if e.UseConstraints && pred != nil {
-		cons := e.constraintsFor(q.Class)
+		cons := e.consFor(q.Class).object
 		if len(cons) > 0 {
 			all := append(append([]expr.Node{}, cons...), pred)
 			if e.checker.Satisfiable(all...) == logic.No {
@@ -112,6 +183,74 @@ func (e *Engine) Run(q Query) ([]Row, Stats, error) {
 		}
 	}
 
+	if !e.UseIndexes {
+		return e.runScan(q, ext, pred, stats)
+	}
+
+	// Plan: serve the maximal index-answerable prefix of the conjuncts
+	// from the extent indexes (see servePrefix for why only a prefix is
+	// safe); the residual is compiled once and evaluated per candidate.
+	candidates := -1 // -1 = full extent
+	var positions []int
+	var residual []expr.Node
+	if pred != nil {
+		pos, served, rest := e.servePrefix(q.Class, ext, conjuncts(pred))
+		residual = rest
+		if served > 0 {
+			stats.IndexHits = served
+			positions, candidates = pos, len(pos)
+		}
+	}
+
+	var prog *expr.Program
+	if resid := conjoinNodes(residual); resid != nil {
+		prog = expr.Compile(resid)
+	}
+	evalRow := func(g *core.GObj) (bool, error) {
+		stats.Scanned++
+		if prog == nil {
+			return true, nil
+		}
+		ok, err := prog.EvalBool(e.res.View.Env(g))
+		if err != nil {
+			return false, fmt.Errorf("query on %s: %w", q.Class, err)
+		}
+		return ok, nil
+	}
+
+	var rows []Row
+	if candidates >= 0 {
+		stats.CandidateRows = candidates
+		for _, p := range positions {
+			g := ext[p]
+			ok, err := evalRow(g)
+			if err != nil {
+				return nil, stats, err
+			}
+			if ok {
+				rows = append(rows, projectRow(g, q.Select))
+			}
+		}
+		return rows, stats, nil
+	}
+	stats.CandidateRows = len(ext)
+	for _, g := range ext {
+		ok, err := evalRow(g)
+		if err != nil {
+			return nil, stats, err
+		}
+		if ok {
+			rows = append(rows, projectRow(g, q.Select))
+		}
+	}
+	return rows, stats, nil
+}
+
+// runScan is the reference serving path: a full extent scan with the
+// tree-walking interpreter. Differential tests pin the indexed path's
+// rows against it.
+func (e *Engine) runScan(q Query, ext []*core.GObj, pred expr.Node, stats Stats) ([]Row, Stats, error) {
+	stats.CandidateRows = len(ext)
 	var rows []Row
 	for _, g := range ext {
 		stats.Scanned++
@@ -178,8 +317,13 @@ func (r Rejection) Error() string {
 // ValidateInsert checks an intended insert into a global class against
 // the scope-all global object constraints, before any subtransaction is
 // sent to a component database. It returns the violated constraints
-// (empty means the insert may proceed to the local managers).
+// (empty means the insert may proceed to the local managers). With
+// UseIndexes, key uniqueness is answered from an incremental
+// composite-key index in O(1) instead of copying and scanning the whole
+// extent per insert.
 func (e *Engine) ValidateInsert(class string, attrs map[string]object.Value) []Rejection {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	var out []Rejection
 	obj := expr.MapObject(attrs)
 	selfAttrs := map[string]bool{}
@@ -198,10 +342,8 @@ func (e *Engine) ValidateInsert(class string, attrs map[string]object.Value) []R
 		Consts:    e.res.Conformed.Consts,
 		Deref:     func(r object.Ref) (expr.Object, bool) { return e.res.View.Deref(r) },
 	}
-	for _, gc := range e.res.Derivation.GlobalFor(class, core.ScopeAll) {
-		if gc.Kind != schema.ObjectConstraint {
-			continue
-		}
+	cc := e.consFor(class)
+	for _, gc := range cc.objectGC {
 		ok, err := env.EvalBool(gc.Expr)
 		if err != nil {
 			continue // constraints outside the evaluable fragment are skipped
@@ -210,17 +352,22 @@ func (e *Engine) ValidateInsert(class string, attrs map[string]object.Value) []R
 			out = append(out, Rejection{Constraint: gc, Detail: "violated by proposed state"})
 		}
 	}
-	// Key constraints: probe the current global extent.
-	for _, gc := range e.res.Derivation.GlobalFor(class, core.ScopeAll) {
-		k, ok := gc.Expr.(expr.Key)
-		if !ok {
-			continue
+	// Key constraints: probe the key-uniqueness index (or, on the
+	// reference path, the full extent).
+	for _, gc := range cc.keys {
+		k := gc.Expr.(expr.Key)
+		violated := false
+		if e.UseIndexes {
+			violated = e.keyViolated(class, k.Attrs, obj)
+		} else {
+			ext := []expr.Object{obj}
+			for _, g := range e.res.View.Extent(class) {
+				ext = append(ext, g)
+			}
+			holds, err := expr.EvalKey(ext, k.Attrs)
+			violated = err == nil && !holds
 		}
-		ext := []expr.Object{obj}
-		for _, g := range e.res.View.Extent(class) {
-			ext = append(ext, g)
-		}
-		if holds, err := expr.EvalKey(ext, k.Attrs); err == nil && !holds {
+		if violated {
 			out = append(out, Rejection{Constraint: gc, Detail: fmt.Sprintf("duplicate key %v", k.Attrs)})
 		}
 	}
@@ -229,19 +376,36 @@ func (e *Engine) ValidateInsert(class string, attrs map[string]object.Value) []R
 
 // ShipInsert decomposes a validated insert into a component-store insert
 // (into the origin class of the global class) and executes it, reporting
-// whether the local transaction manager accepted it. It is used by the
-// benchmarks to count avoided round-trips.
+// whether the local transaction manager accepted it. On success the
+// object is also applied to the integrated view (classified along its
+// origin chain) and the built extent indexes are maintained, so
+// subsequent queries and key-uniqueness checks see it without
+// re-integration. attrs must be in the conformed (global) domain — the
+// domain ValidateInsert evaluates; PropEq value conversion between that
+// domain and an origin class's native one is not applied (matching the
+// component insert, which also receives attrs as given).
 func (e *Engine) ShipInsert(st *store.Store, class string, attrs map[string]object.Value) error {
 	org, ok := e.res.View.Origin[class]
 	if !ok {
 		return fmt.Errorf("no origin class for global class %s", class)
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	tx := st.Begin()
-	if _, err := tx.Insert(org.Class, attrs); err != nil {
+	oid, err := tx.Insert(org.Class, attrs)
+	if err != nil {
 		tx.Rollback()
 		return err
 	}
-	return tx.Commit()
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	g, err := e.res.View.ApplyInsert(class, attrs, object.Ref{DB: st.Name(), OID: oid})
+	if err != nil {
+		return fmt.Errorf("insert committed locally but not applied to the view: %w", err)
+	}
+	e.noteInsert(g)
+	return nil
 }
 
 // Classes lists the queryable global classes in sorted order.

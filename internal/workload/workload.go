@@ -2,7 +2,7 @@
 // the paper's Figure 1 schemas (bibliographic domain) and the
 // introduction's personnel schemas, for the benchmark harness. The paper
 // has no published datasets; these generators are the documented
-// substitution (DESIGN.md §4).
+// substitution (DESIGN.md §6).
 package workload
 
 import (
