@@ -32,15 +32,18 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# One-iteration smoke of the full-pipeline benchmark, as in CI.
+# One-iteration smoke of the full-pipeline, serving and mutation
+# benchmarks, as in CI.
 bench-smoke:
 	$(GO) test -bench=E11 -benchtime=1x -run='^$$' .
+	$(GO) test -bench=Serve -benchtime=1x -run='^$$' .
+	$(GO) test -bench=B8 -benchtime=1x -run='^$$' .
 
 # Regenerate the machine-readable benchmark baseline for this PR.
 baseline:
-	$(GO) run ./cmd/interopbench -quick -json BENCH_2.json
+	$(GO) run ./cmd/interopbench -quick -json BENCH_3.json
 
 # Diff the current baseline against the previous PR's (timing trends,
 # E-series pass/fail drift, new/dropped benchmark sections).
 bench-compare:
-	$(GO) run ./cmd/benchcompare BENCH_1.json BENCH_2.json
+	$(GO) run ./cmd/benchcompare BENCH_2.json BENCH_3.json

@@ -425,3 +425,14 @@ func ftoa(f float64) string {
 		return "x"
 	}
 }
+
+// BenchmarkB8_MutationThroughput runs the mutation-lifecycle experiment
+// once per iteration (batched ShipTx vs singleton inserts, delta vs full
+// validation) at the base fixture scale.
+func BenchmarkB8_MutationThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.B8([]int{1}, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -49,6 +49,7 @@ var sections = []struct {
 	{"b3", []string{"books", "overlap"}, []string{"seq_ns", "par_ns"}},
 	{"b4", []string{"constraints"}, []string{"seq_ns", "par_ns"}},
 	{"b7", []string{"scale", "kind", "detail"}, []string{"scan_ns", "fast_ns"}},
+	{"b8", []string{"scale", "mode"}, []string{"per_op_ns"}},
 }
 
 func load(path string) (*report, error) {

@@ -1,12 +1,14 @@
 // Command interopbench runs the full reproduction suite: the E1–E11
 // scenario reproductions (every worked example and figure of the paper)
-// and the B1–B7 measurements (query optimisation, transaction validation,
+// and the B1–B8 measurements (query optimisation, transaction validation,
 // scale sweeps, derivation cost, baseline comparison, conflict
-// detection, indexed query serving). Its output is the source of
-// EXPERIMENTS.md. The scale and derivation sweeps (B3, B4) measure
-// sequential vs parallel pipeline execution and report the reasoner's
-// cache hit rate; B7 measures the indexed+compiled serving fast path
-// against the pure interpreter scan.
+// detection, indexed query serving, mutation throughput). Its output is
+// the source of EXPERIMENTS.md. The scale and derivation sweeps (B3, B4)
+// measure sequential vs parallel pipeline execution and report the
+// reasoner's cache hit rate; B7 measures the indexed+compiled serving
+// fast path against the pure interpreter scan; B8 measures batched
+// ShipTx against singleton insert transactions and delta-restricted
+// update validation against a full CheckAll.
 //
 // Usage:
 //
@@ -41,6 +43,7 @@ type report struct {
 	B5         *experiments.B5Result `json:"b5,omitempty"`
 	B6         []experiments.B6Row   `json:"b6,omitempty"`
 	B7         []b7JSON              `json:"b7,omitempty"`
+	B8         []b8JSON              `json:"b8,omitempty"`
 }
 
 type eResult struct {
@@ -73,6 +76,18 @@ type b7JSON struct {
 	Rows      int     `json:"rows"`
 	Scanned   int     `json:"scanned"`
 	IndexHits int     `json:"index_hits"`
+}
+
+// b8JSON flattens B8Row for trend tracking across baselines.
+type b8JSON struct {
+	Scale      int     `json:"scale"`
+	Mode       string  `json:"mode"`
+	Ops        int     `json:"ops"`
+	TotalNanos int64   `json:"total_ns"`
+	PerOpNanos int64   `json:"per_op_ns"`
+	Throughput float64 `json:"throughput_ops_per_s"`
+	DeltaPairs int     `json:"delta_pairs,omitempty"`
+	FullPairs  int     `json:"full_pairs,omitempty"`
 }
 
 type b4JSON struct {
@@ -212,6 +227,27 @@ func runB(quick bool, rep *report) {
 			Scale: r.Scale, Extent: r.Extent, Kind: r.Kind, Detail: r.Detail,
 			ScanNanos: r.ScanTime.Nanoseconds(), FastNanos: r.FastTime.Nanoseconds(),
 			Speedup: r.Speedup(), Rows: r.Rows, Scanned: r.Scanned, IndexHits: r.IndexHits,
+		})
+	}
+
+	batch := 100
+	if quick {
+		batch = 50
+	}
+	fmt.Printf("\nB8: mutation throughput — batched ShipTx vs singleton inserts, delta vs full validation (%d ops)\n", batch)
+	b8, err := experiments.B8(scales, batch)
+	exitOn(err)
+	for _, r := range b8 {
+		extra := ""
+		if r.Mode == "validate-delta" || r.Mode == "validate-full" {
+			extra = fmt.Sprintf(" | pairs delta=%d full=%d", r.DeltaPairs, r.FullPairs)
+		}
+		fmt.Printf("  scale=%3d %-18s ops=%4d total %12v | per-op %12v | %9.0f ops/s%s\n",
+			r.Scale, r.Mode, r.Ops, r.Total, r.PerOp, r.Throughput(), extra)
+		rep.B8 = append(rep.B8, b8JSON{
+			Scale: r.Scale, Mode: r.Mode, Ops: r.Ops,
+			TotalNanos: r.Total.Nanoseconds(), PerOpNanos: r.PerOp.Nanoseconds(),
+			Throughput: r.Throughput(), DeltaPairs: r.DeltaPairs, FullPairs: r.FullPairs,
 		})
 	}
 }

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+
+	"interopdb/internal/expr"
+	"interopdb/internal/object"
+)
+
+// This file grows the integrated view in place for the full mutation
+// lifecycle: ApplyInsert (merge.go) gained siblings ApplyUpdate and
+// ApplyDelete, used by the view engine after a component-store commit so
+// queries and validation reflect shipped mutations without
+// re-integration. Like ApplyInsert, they work in the conformed (global)
+// domain and do not re-run entity resolution or PropEq value conversion;
+// what they DO re-run is Sim-rule classification, so an update that
+// moves an object across a derived-class membership predicate (e.g. a
+// proceedings whose ref? flips to true joining RefereedPubl) lands in
+// the right extents. None of the Apply* methods are safe for concurrent
+// use — the view engine serialises them behind its write lock.
+
+// ByID resolves a global object by its integrated-view ID.
+func (v *GlobalView) ByID(id int) (*GObj, bool) {
+	o, ok := v.byRef[object.Ref{DB: "global", OID: object.OID(id)}]
+	return o, ok
+}
+
+// ensureNextID initialises the ID counter past the current maximum.
+// Deletes call it before splicing an object out, so the deleted ID is
+// counted and stays burned.
+func (v *GlobalView) ensureNextID() {
+	if v.nextID != 0 {
+		return
+	}
+	v.nextID = 1
+	for _, g := range v.Objects {
+		if g.ID >= v.nextID {
+			v.nextID = g.ID + 1
+		}
+	}
+}
+
+// nextObjectID allocates a fresh global ID. IDs are never reused: a
+// deleted object's ID stays burned so stale references cannot alias a
+// later insert.
+func (v *GlobalView) nextObjectID() int {
+	v.ensureNextID()
+	id := v.nextID
+	v.nextID++
+	return id
+}
+
+// ApplyUpdate assigns the given attributes on a global object (partial
+// update; attributes not mentioned are unchanged) and reclassifies it
+// across the Sim-derived class memberships. It returns the previous
+// values of the touched attributes (attrs absent before the update map to
+// nil) and the names of every class whose extent gained or lost the
+// object, so callers can maintain or invalidate per-class indexes.
+//
+// The new values are written to the global object and to all of its
+// constituents: attrs must be in the conformed (global) domain, the same
+// domain ApplyInsert stores and the view engine evaluates.
+func (v *GlobalView) ApplyUpdate(g *GObj, attrs map[string]object.Value) (old map[string]object.Value, changed []string, err error) {
+	if _, ok := v.byRef[g.Identity()]; !ok {
+		return nil, nil, fmt.Errorf("object g%d is not part of the integrated view", g.ID)
+	}
+	old = make(map[string]object.Value, len(attrs))
+	for k, val := range attrs {
+		old[k] = g.Attrs[k] // nil when previously absent
+		g.Attrs[k] = val
+		for _, ms := range g.Parts {
+			for _, m := range ms {
+				if m.Attrs != nil {
+					m.Attrs[k] = val
+				}
+			}
+		}
+	}
+	changed, err = v.reclassify(g)
+	return old, changed, err
+}
+
+// ApplyDelete removes a global object from the integrated view: every
+// class extent it belongs to, the object list, and the reference table
+// (both its global identity and its constituents' source refs). It
+// returns the names of the classes whose extents shrank.
+func (v *GlobalView) ApplyDelete(g *GObj) ([]string, error) {
+	if _, ok := v.byRef[g.Identity()]; !ok {
+		return nil, fmt.Errorf("object g%d is not part of the integrated view", g.ID)
+	}
+	v.ensureNextID() // count the doomed ID before it vanishes: never reused
+	var classes []string
+	for cls := range g.Classes {
+		v.removeFromClass(g, cls)
+		classes = append(classes, cls)
+	}
+	for i, o := range v.Objects {
+		if o == g {
+			v.Objects = append(v.Objects[:i], v.Objects[i+1:]...)
+			break
+		}
+	}
+	delete(v.byRef, g.Identity())
+	for _, ms := range g.Parts {
+		for _, m := range ms {
+			if cur, ok := v.byRef[m.Src]; ok && cur == g {
+				delete(v.byRef, m.Src)
+			}
+		}
+	}
+	v.pruneMemberID(g.ID)
+	return classes, nil
+}
+
+// removeFromClass splices the object out of one class extent.
+func (v *GlobalView) removeFromClass(g *GObj, class string) {
+	delete(g.Classes, class)
+	ext := v.classExt[class]
+	for i, o := range ext {
+		if o == g {
+			v.classExt[class] = append(ext[:i], ext[i+1:]...)
+			return
+		}
+	}
+}
+
+// pruneMemberID drops a deleted object's ID from the derived-class
+// member reports.
+func (v *GlobalView) pruneMemberID(id int) {
+	drop := func(ids []int) []int {
+		for i, x := range ids {
+			if x == id {
+				return append(ids[:i], ids[i+1:]...)
+			}
+		}
+		return ids
+	}
+	for i := range v.VirtualSubclasses {
+		v.VirtualSubclasses[i].MemberIDs = drop(v.VirtualSubclasses[i].MemberIDs)
+	}
+	for i := range v.ApproxSupers {
+		v.ApproxSupers[i].MemberIDs = drop(v.ApproxSupers[i].MemberIDs)
+	}
+}
+
+// simConds returns the conformed intraobject conjuncts of a Sim rule,
+// computed once per rule (conformation rewrites are pure functions of
+// the spec, so the cache never invalidates).
+func (v *GlobalView) simConds(r *SimRule) []expr.Node {
+	if v.simCondCache == nil {
+		v.simCondCache = map[*SimRule][]expr.Node{}
+	}
+	conds, ok := v.simCondCache[r]
+	if !ok {
+		conds = v.conformSimConds(r)
+		v.simCondCache[r] = conds
+	}
+	return conds
+}
+
+// reclassify recomputes the object's predicate-dependent class
+// memberships after an attribute update. Constituent-chain classes (the
+// origin classes and their superclasses) are value-independent and kept;
+// Sim-rule targets, approximate-similarity superclasses and virtual
+// intersection subclasses are re-derived from the new attribute values.
+// It returns the classes whose extents changed. Lattice edges (ISA) are
+// integration-time artifacts and are not recomputed.
+func (v *GlobalView) reclassify(g *GObj) ([]string, error) {
+	c := v.Conformed
+
+	// Value-independent memberships: the constituents' conformed class
+	// chains (classifyConstituents's rule, per object).
+	desired := map[string]bool{}
+	for _, side := range []Side{LocalSide, RemoteSide} {
+		db := c.SchemaOf(side)
+		for _, m := range g.Parts[side] {
+			for _, cn := range db.Supers(m.Class) {
+				desired[v.GlobalName(side, cn)] = true
+			}
+		}
+	}
+
+	// Sim-rule memberships, re-evaluated against the updated constituents.
+	type approxPending struct{ rule *SimRule }
+	var approx []approxPending
+	for _, r := range c.Spec.SimRules {
+		match, err := v.simRuleHolds(r, g)
+		if err != nil {
+			return nil, err
+		}
+		targetSide := r.SrcSide.Other()
+		if r.Approximate() {
+			// ext(Cv) ⊇ ext(C) ∪ matching sources: membership via the
+			// target class is settled below, after strict rules ran.
+			if match {
+				desired[r.Virtual] = true
+			}
+			approx = append(approx, approxPending{rule: r})
+			continue
+		}
+		if match {
+			for _, cn := range c.SchemaOf(targetSide).Supers(r.Target) {
+				desired[v.GlobalName(targetSide, cn)] = true
+			}
+		}
+	}
+	for _, ap := range approx {
+		r := ap.rule
+		if desired[v.GlobalName(r.SrcSide.Other(), r.Target)] {
+			desired[r.Virtual] = true
+		}
+	}
+
+	// Virtual intersection subclasses: membership in both parents.
+	for i := range v.VirtualSubclasses {
+		vs := &v.VirtualSubclasses[i]
+		if desired[vs.LocalClass] && desired[vs.RemoteClass] {
+			desired[vs.Name] = true
+		}
+	}
+
+	// Diff against the current membership.
+	var changed []string
+	for cls := range g.Classes {
+		if !desired[cls] {
+			v.removeFromClass(g, cls)
+			changed = append(changed, cls)
+		}
+	}
+	for cls := range desired {
+		if g.Classes[cls] {
+			continue
+		}
+		changed = append(changed, cls)
+		if org, ok := v.Origin[cls]; ok {
+			v.addToClass(g, org.Side, org.Class)
+		} else {
+			v.addVirtualMember(g, cls)
+		}
+	}
+
+	// Keep the derived-class member reports in step.
+	syncMembers := func(ids []int, name string) []int {
+		has := false
+		for _, id := range ids {
+			if id == g.ID {
+				has = true
+				break
+			}
+		}
+		if g.Classes[name] && !has {
+			return append(ids, g.ID)
+		}
+		if !g.Classes[name] && has {
+			for i, id := range ids {
+				if id == g.ID {
+					return append(ids[:i], ids[i+1:]...)
+				}
+			}
+		}
+		return ids
+	}
+	for i := range v.VirtualSubclasses {
+		v.VirtualSubclasses[i].MemberIDs = syncMembers(v.VirtualSubclasses[i].MemberIDs, v.VirtualSubclasses[i].Name)
+	}
+	for i := range v.ApproxSupers {
+		v.ApproxSupers[i].MemberIDs = syncMembers(v.ApproxSupers[i].MemberIDs, v.ApproxSupers[i].Name)
+	}
+	return changed, nil
+}
+
+// simRuleHolds evaluates one Sim rule's conformed intraobject condition
+// against the object's constituents on the rule's source side. The rule
+// applies when any constituent whose class falls under the source class
+// satisfies every conjunct (mirroring classifySim, which walks the
+// source class's conformed extent).
+func (v *GlobalView) simRuleHolds(r *SimRule, g *GObj) (bool, error) {
+	c := v.Conformed
+	db := c.SchemaOf(r.SrcSide)
+	conds := v.simConds(r)
+	for _, m := range g.Parts[r.SrcSide] {
+		if !db.IsA(m.Class, r.SrcClass) {
+			continue
+		}
+		env := &expr.Env{
+			Vars:   map[string]expr.Object{r.SrcVar: m},
+			Consts: c.Consts,
+			Deref:  func(x object.Ref) (expr.Object, bool) { return c.Deref(x) },
+		}
+		match := true
+		for _, cond := range conds {
+			ok, err := env.EvalBool(cond)
+			if err != nil {
+				return false, fmt.Errorf("rule %s on g%d: %w", r.Raw.Name, g.ID, err)
+			}
+			if !ok {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true, nil
+		}
+	}
+	return false, nil
+}

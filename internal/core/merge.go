@@ -94,6 +94,11 @@ type GlobalView struct {
 	VirtualSubclasses []VirtualSubclass
 	ApproxSupers      []ApproxSuper
 	byRef             map[object.Ref]*GObj
+	// nextID allocates global object IDs (lazily initialised past the
+	// merge-time maximum; never reused after a delete).
+	nextID int
+	// simCondCache memoizes conformSimConds per rule for reclassification.
+	simCondCache map[*SimRule][]expr.Node
 }
 
 // Extent returns the members of a global class.
@@ -195,7 +200,7 @@ func (v *GlobalView) ApplyInsert(class string, attrs map[string]object.Value, sr
 		cp[k] = val
 	}
 	g := &GObj{
-		ID:      len(v.Objects) + 1,
+		ID:      v.nextObjectID(),
 		Parts:   map[Side][]*CObj{},
 		Attrs:   cp,
 		Classes: map[string]bool{},

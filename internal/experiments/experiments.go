@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment of DESIGN.md §6 (E1–E11 scenario reproductions, B1–B7
+// per experiment of DESIGN.md §6 (E1–E11 scenario reproductions, B1–B8
 // measurements). cmd/interopbench prints their results; the root-level
 // benchmarks wrap them with testing.B; EXPERIMENTS.md records their
 // outputs against the paper's claims.
@@ -876,6 +876,129 @@ func B7(scales []int, iters int) ([]B7Row, error) {
 			Kind: "validate-insert", Detail: "duplicate-key probe on Item",
 			ScanTime: scanT, FastTime: fastT,
 		})
+	}
+	return rows, nil
+}
+
+// B8Row is one mutation-throughput measurement over the scaled Figure 1
+// fixture (DESIGN.md §7): shipping N singleton insert transactions versus
+// one batched ShipTx (the local manager validates once per commit, so
+// batching amortises the deferred CheckAll), and the constraint×row work
+// of a delta-restricted ValidateUpdate versus exhaustive re-validation.
+type B8Row struct {
+	Scale int
+	Mode  string // "singleton-inserts", "batched-tx", "validate-delta"
+	Ops   int
+	Total time.Duration
+	PerOp time.Duration
+	// Validation-work comparison, set on validate-delta rows only.
+	DeltaPairs int
+	FullPairs  int
+}
+
+// Throughput is the measured mutation rate in operations per second.
+func (r B8Row) Throughput() float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Total.Seconds()
+}
+
+// B8 measures the mutation lifecycle at each fixture scale. Both
+// shipping modes run against fresh, identical integrations; the final
+// extents are cross-checked before the timings are reported.
+func B8(scales []int, batch int) ([]B8Row, error) {
+	var rows []B8Row
+	for _, scale := range scales {
+		build := func() (*view.Engine, *store.Store, error) {
+			local, remote := fixture.Figure1Stores(fixture.Options{Scale: scale})
+			res, err := core.Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), local, remote, 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			return view.New(res), remote, nil
+		}
+		mkAttrs := func(remote *store.Store, i int) map[string]object.Value {
+			pub := remote.Extent("Publisher")[0]
+			return map[string]object.Value{
+				"title": object.Str(fmt.Sprintf("B8 insert %d", i)), "isbn": object.Str(fmt.Sprintf("b8-%d-%d", scale, i)),
+				"publisher": object.Ref{DB: remote.Name(), OID: pub.OID()},
+				"shopprice": object.Real(20), "libprice": object.Real(15),
+			}
+		}
+
+		// Mode 1: N singleton transactions, one local commit (and one
+		// deferred local validation) each.
+		eS, remoteS, err := build()
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		for i := 0; i < batch; i++ {
+			if err := eS.ShipInsert(remoteS, "Item", mkAttrs(remoteS, i)); err != nil {
+				return nil, fmt.Errorf("B8 scale=%d singleton insert %d: %w", scale, i, err)
+			}
+		}
+		singleton := time.Since(t0)
+
+		// Mode 2: one batched transaction, one local commit total.
+		eB, remoteB, err := build()
+		if err != nil {
+			return nil, err
+		}
+		ops := make([]view.Mutation, batch)
+		for i := range ops {
+			ops[i] = view.Mutation{Kind: view.MutInsert, Class: "Item", Attrs: mkAttrs(remoteB, i)}
+		}
+		t0 = time.Now()
+		if err := eB.ShipTx(remoteB, ops); err != nil {
+			return nil, fmt.Errorf("B8 scale=%d batched tx: %w", scale, err)
+		}
+		batched := time.Since(t0)
+
+		// Both modes must converge to the same integrated state.
+		nS := len(eS.Classes())
+		nB := len(eB.Classes())
+		if nS != nB {
+			return nil, fmt.Errorf("B8 scale=%d: modes diverged: %d vs %d classes", scale, nS, nB)
+		}
+		sRows, _, err := eS.Run(view.Query{Class: "Item"})
+		if err != nil {
+			return nil, err
+		}
+		bRows, _, err := eB.Run(view.Query{Class: "Item"})
+		if err != nil {
+			return nil, err
+		}
+		if len(sRows) != len(bRows) {
+			return nil, fmt.Errorf("B8 scale=%d: modes diverged: %d vs %d Item rows", scale, len(sRows), len(bRows))
+		}
+
+		// Validation work: delta-restricted update check vs full sweep.
+		var target int
+		for _, g := range eB.Result().View.Extent("Proceedings") {
+			if v, ok := g.Get("isbn"); ok && v.Equal(object.Str("vldb96")) {
+				target = g.ID
+			}
+		}
+		t0 = time.Now()
+		_, delta, err := eB.ValidateUpdate("Proceedings", target, map[string]object.Value{"ref?": object.Bool(true)})
+		if err != nil {
+			return nil, fmt.Errorf("B8 scale=%d validate: %w", scale, err)
+		}
+		deltaT := time.Since(t0)
+		t0 = time.Now()
+		_, full := eB.CheckAll()
+		fullT := time.Since(t0)
+
+		rows = append(rows,
+			B8Row{Scale: scale, Mode: "singleton-inserts", Ops: batch, Total: singleton, PerOp: singleton / time.Duration(batch)},
+			B8Row{Scale: scale, Mode: "batched-tx", Ops: batch, Total: batched, PerOp: batched / time.Duration(batch)},
+			B8Row{Scale: scale, Mode: "validate-delta", Ops: 1, Total: deltaT, PerOp: deltaT,
+				DeltaPairs: delta.PairsChecked, FullPairs: full.PairsChecked},
+			B8Row{Scale: scale, Mode: "validate-full", Ops: 1, Total: fullT, PerOp: fullT,
+				DeltaPairs: delta.PairsChecked, FullPairs: full.PairsChecked},
+		)
 	}
 	return rows, nil
 }

@@ -583,6 +583,26 @@ func AttrsUsed(n Node) map[string]bool {
 	return out
 }
 
+// UsesExtents reports whether the formula reads class extensions — a
+// quantifier or an aggregate anywhere in the tree. Such a formula's truth
+// value on one object can change when *other* objects are inserted,
+// updated or deleted, so delta-restricted checking must re-evaluate it on
+// extent-changing mutations even when the touched attributes don't
+// intersect its attribute footprint. Pure self-formulas (no extent
+// reads) depend only on the object's own state.
+func UsesExtents(n Node) bool {
+	uses := false
+	Walk(n, func(x Node) bool {
+		switch x.(type) {
+		case Quant, Agg:
+			uses = true
+			return false
+		}
+		return !uses
+	})
+	return uses
+}
+
 func copyBound(m map[string]bool) map[string]bool {
 	out := make(map[string]bool, len(m)+2)
 	for k, v := range m {

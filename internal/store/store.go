@@ -216,6 +216,22 @@ func (s *Store) Insert(class string, attrs map[string]object.Value) (object.OID,
 	return oid, nil
 }
 
+// insertReserved registers an object under an OID reserved earlier by
+// Tx.Insert. Attributes were validated at staging time; constraint
+// checking is the committing transaction's responsibility.
+func (s *Store) insertReserved(oid object.OID, class string, attrs map[string]object.Value) error {
+	if _, taken := s.objs[oid]; taken {
+		return fmt.Errorf("store %s: reserved OID %s already occupied", s.Name(), oid)
+	}
+	cp := make(map[string]object.Value, len(attrs))
+	for k, v := range attrs {
+		cp[k] = v
+	}
+	s.objs[oid] = &Obj{oid: oid, db: s.Name(), class: class, attrs: cp}
+	s.byClass[class] = append(s.byClass[class], oid)
+	return nil
+}
+
 // MustInsert inserts and panics on error; for tests and embedded fixtures.
 func (s *Store) MustInsert(class string, attrs map[string]object.Value) object.OID {
 	oid, err := s.Insert(class, attrs)

@@ -34,8 +34,13 @@ type txOp struct {
 // Begin starts a transaction.
 func (s *Store) Begin() *Tx { return &Tx{s: s} }
 
-// Insert stages an insert and returns the OID the object will get if the
-// transaction commits.
+// Insert stages an insert and returns the OID the object will have if the
+// transaction commits. The OID is reserved on the store at staging time
+// (not predicted from the current counter), so it stays valid no matter
+// what the store allocates between staging and commit: interleaved direct
+// inserts, other transactions staging or committing, and any mix of
+// deletes and inserts inside this batch. A reservation is never reused —
+// a rolled-back or failed transaction leaves a hole in the OID sequence.
 func (t *Tx) Insert(class string, attrs map[string]object.Value) (object.OID, error) {
 	if t.done {
 		return 0, fmt.Errorf("transaction already finished")
@@ -47,7 +52,8 @@ func (t *Tx) Insert(class string, attrs map[string]object.Value) (object.OID, er
 	for k, v := range attrs {
 		cp[k] = v
 	}
-	oid := t.s.nextOID + object.OID(t.pendingInserts())
+	oid := t.s.nextOID
+	t.s.nextOID++
 	t.ops = append(t.ops, txOp{kind: opInsert, class: class, oid: oid, attrs: cp})
 	return oid, nil
 }
@@ -83,16 +89,6 @@ func (t *Tx) Delete(oid object.OID) error {
 	}
 	t.ops = append(t.ops, txOp{kind: opDelete, class: class, oid: oid})
 	return nil
-}
-
-func (t *Tx) pendingInserts() int {
-	n := 0
-	for _, op := range t.ops {
-		if op.kind == opInsert {
-			n++
-		}
-	}
-	return n
 }
 
 // classOf resolves the class of an object visible to the transaction
@@ -144,11 +140,14 @@ func (t *Tx) Commit() error {
 	for _, op := range t.ops {
 		switch op.kind {
 		case opInsert:
-			oid, err := s.Insert(op.class, op.attrs)
-			if err != nil {
+			oid := op.oid
+			if err := s.insertReserved(oid, op.class, op.attrs); err != nil {
 				return fail(err)
 			}
-			undos = append(undos, func() { s.removeObj(oid); s.nextOID-- })
+			// The reservation is not released on undo: the OID stays
+			// burned so no later allocation can collide with a reference
+			// the caller may have kept.
+			undos = append(undos, func() { s.removeObj(oid) })
 		case opUpdate:
 			o, ok := s.objs[op.oid]
 			if !ok {

@@ -1,0 +1,159 @@
+package store
+
+import (
+	"testing"
+
+	"interopdb/internal/object"
+)
+
+// itemAttrs builds a valid Item pointing at the given publisher.
+func itemAttrs(s *Store, pub object.OID, isbn string) map[string]object.Value {
+	return map[string]object.Value{
+		"title": object.Str("item " + isbn), "isbn": object.Str(isbn),
+		"publisher": object.Ref{DB: s.Name(), OID: pub},
+		"shopprice": object.Real(10), "libprice": object.Real(9),
+	}
+}
+
+// TestTxOIDStableWithDeletesBeforeInserts pins the OID-reservation fix:
+// a batch that stages deletes before inserts must hand out insert OIDs
+// that name the staged objects after commit, not a stale or colliding
+// slot. (The old nextOID+pendingInserts prediction was only coincidence-
+// correct for a lone transaction and broke under any interleaving.)
+func TestTxOIDStableWithDeletesBeforeInserts(t *testing.T) {
+	s := newBookseller(t)
+	pub := seedPublisher(t, s, "IEEE")
+	victim := s.MustInsert("Item", itemAttrs(s, pub, "victim"))
+
+	tx := s.Begin()
+	if err := tx.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	a, err := tx.Insert("Item", itemAttrs(s, pub, "after-delete-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tx.Insert("Item", itemAttrs(s, pub, "after-delete-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b || a == victim || b == victim {
+		t.Fatalf("staged OIDs collide: a=%v b=%v victim=%v", a, b, victim)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	for oid, isbn := range map[object.OID]string{a: "after-delete-a", b: "after-delete-b"} {
+		o, ok := s.Get(oid)
+		if !ok {
+			t.Fatalf("object %v missing after commit", oid)
+		}
+		if v, _ := o.Get("isbn"); !v.Equal(object.Str(isbn)) {
+			t.Errorf("OID %v names the wrong object: isbn = %v, want %s", oid, v, isbn)
+		}
+	}
+	if _, ok := s.Get(victim); ok {
+		t.Error("deleted object still present")
+	}
+}
+
+// TestTxOIDNoCollisionAcrossInterleavedTxs is the regression the old
+// prediction scheme failed: two transactions staged against the same
+// store predicted the same OID, so the second transaction's handle
+// silently aliased the first transaction's committed object.
+func TestTxOIDNoCollisionAcrossInterleavedTxs(t *testing.T) {
+	s := newBookseller(t)
+	pub := seedPublisher(t, s, "IEEE")
+
+	tx1 := s.Begin()
+	tx2 := s.Begin()
+	o1, err := tx1.Insert("Item", itemAttrs(s, pub, "tx1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := tx2.Insert("Item", itemAttrs(s, pub, "tx2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 == o2 {
+		t.Fatalf("interleaved transactions reserved the same OID %v", o1)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for oid, isbn := range map[object.OID]string{o1: "tx1", o2: "tx2"} {
+		o, ok := s.Get(oid)
+		if !ok {
+			t.Fatalf("object %v missing", oid)
+		}
+		if v, _ := o.Get("isbn"); !v.Equal(object.Str(isbn)) {
+			t.Errorf("OID %v holds isbn %v, want %s", oid, v, isbn)
+		}
+	}
+}
+
+// TestTxOIDSurvivesDirectInsertBetweenStageAndCommit: a direct store
+// insert after staging must not claim the staged OID.
+func TestTxOIDSurvivesDirectInsertBetweenStageAndCommit(t *testing.T) {
+	s := newBookseller(t)
+	pub := seedPublisher(t, s, "IEEE")
+
+	tx := s.Begin()
+	staged, err := tx.Insert("Item", itemAttrs(s, pub, "staged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := s.MustInsert("Item", itemAttrs(s, pub, "direct"))
+	if direct == staged {
+		t.Fatalf("direct insert claimed the reserved OID %v", staged)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	o, ok := s.Get(staged)
+	if !ok {
+		t.Fatal("staged object missing after commit")
+	}
+	if v, _ := o.Get("isbn"); !v.Equal(object.Str("staged")) {
+		t.Errorf("staged OID holds isbn %v, want staged", v)
+	}
+}
+
+// TestTxOIDReservationNeverReused: a failed or rolled-back transaction
+// burns its reservations; later allocations skip the holes, so a handle
+// kept from the failed batch can never name a different object.
+func TestTxOIDReservationNeverReused(t *testing.T) {
+	s := newBookseller(t)
+	pub := seedPublisher(t, s, "IEEE")
+
+	tx := s.Begin()
+	doomed, err := tx.Insert("Item", map[string]object.Value{
+		"title": object.Str("t"), "isbn": object.Str("bad"),
+		"publisher": object.Ref{DB: s.Name(), OID: pub},
+		"shopprice": object.Real(10), "libprice": object.Real(99), // violates oc1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit should fail on oc1")
+	}
+	later := s.MustInsert("Item", itemAttrs(s, pub, "later"))
+	if later == doomed {
+		t.Errorf("OID %v from a failed transaction was reused", doomed)
+	}
+	if _, ok := s.Get(doomed); ok {
+		t.Error("failed transaction left its object behind")
+	}
+
+	tx2 := s.Begin()
+	rolled, _ := tx2.Insert("Item", itemAttrs(s, pub, "rolled"))
+	tx2.Rollback()
+	after := s.MustInsert("Item", itemAttrs(s, pub, "after-rollback"))
+	if after == rolled {
+		t.Errorf("OID %v from a rolled-back transaction was reused", rolled)
+	}
+}

@@ -120,13 +120,38 @@ type ordIndex struct {
 	entries []ordEntry
 }
 
-// keyIndex is the composite-key uniqueness set consumed by
-// ValidateInsert: the KeyString encodings present in the extent. preDup
-// records a duplicate already in the extent (then every insert is
-// rejected, matching expr.EvalKey over the combined extension).
+// keyIndex is the composite-key uniqueness index consumed by
+// ValidateInsert and ValidateUpdate: a multiplicity count per KeyString
+// encoding present in the extent, plus the number of keys held by more
+// than one object. Counting (rather than a set) lets noteUpdate and
+// noteDelete maintain the index incrementally as objects change keys or
+// leave the extent. preDup() reports a duplicate already in the extent
+// (then every insert is rejected, matching expr.EvalKey over the
+// combined extension).
 type keyIndex struct {
-	seen   map[string]bool
-	preDup bool
+	count map[string]int
+	dups  int
+}
+
+func (ix *keyIndex) preDup() bool { return ix.dups > 0 }
+
+// add registers one object's key encoding.
+func (ix *keyIndex) add(k string) {
+	ix.count[k]++
+	if ix.count[k] == 2 {
+		ix.dups++
+	}
+}
+
+// remove unregisters one object's key encoding.
+func (ix *keyIndex) remove(k string) {
+	if ix.count[k] == 2 {
+		ix.dups--
+	}
+	ix.count[k]--
+	if ix.count[k] <= 0 {
+		delete(ix.count, k)
+	}
 }
 
 // classIndexes holds the lazily-built indexes of one global class.
@@ -204,16 +229,13 @@ func buildOrd(view *core.GlobalView, ext []*core.GObj, attr string) *ordIndex {
 }
 
 func buildKey(ext []*core.GObj, attrs []string) *keyIndex {
-	ix := &keyIndex{seen: make(map[string]bool, len(ext))}
+	ix := &keyIndex{count: make(map[string]int, len(ext))}
 	for _, g := range ext {
 		k, ok := expr.KeyString(g, attrs)
 		if !ok {
 			continue
 		}
-		if ix.seen[k] {
-			ix.preDup = true
-		}
-		ix.seen[k] = true
+		ix.add(k)
 	}
 	return ix
 }
@@ -410,11 +432,11 @@ func (e *Engine) keyViolated(class string, attrs []string, obj expr.Object) bool
 		}
 		e.imu.Unlock()
 	}
-	if ix.preDup {
+	if ix.preDup() {
 		return true
 	}
 	k, ok := expr.KeyString(obj, attrs)
-	return ok && ix.seen[k]
+	return ok && ix.count[k] > 0
 }
 
 // noteInsert maintains the built indexes after the view gained g (already
@@ -485,12 +507,173 @@ func (e *Engine) noteInsert(g *core.GObj) {
 			if !ok {
 				continue
 			}
-			if ix.seen[k] {
-				ix.preDup = true
-			}
-			ix.seen[k] = true
+			ix.add(k)
 		}
 	}
+}
+
+// valEq compares two possibly-nil attribute values.
+func valEq(a, b object.Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Equal(b)
+}
+
+// indexable reports whether a value is held by the eq/ord indexes (only
+// non-null stored values are indexed).
+func indexable(v object.Value) bool { return v != nil && v.Kind() != object.KindNull }
+
+// noteUpdate maintains the built indexes after an in-place attribute
+// update of g (extent positions are unchanged by an update, so hash and
+// ordered indexes move the object's entries between buckets instead of
+// rebuilding; key indexes re-count the old and new key encodings). old
+// maps each touched attribute to its previous value (nil = previously
+// absent). Classes whose *membership* changed are handled separately by
+// noteReclass. Caller must hold e.mu (write).
+func (e *Engine) noteUpdate(g *core.GObj, old map[string]object.Value) {
+	e.imu.Lock()
+	defer e.imu.Unlock()
+	for class := range g.Classes {
+		ci := e.idx[class]
+		if ci == nil {
+			continue
+		}
+		pos := -1 // resolved lazily: only needed when an eq/ord index moves
+		findPos := func() int {
+			if pos >= 0 {
+				return pos
+			}
+			for p, o := range e.res.View.Extent(class) {
+				if o == g {
+					pos = p
+					return pos
+				}
+			}
+			return -1
+		}
+		for attr, oldVal := range old {
+			newVal, hasNew := g.Get(attr)
+			if !hasNew {
+				newVal = nil
+			}
+			if valEq(oldVal, newVal) {
+				continue
+			}
+			if ix := ci.eq[attr]; ix != nil && ix.ok {
+				p := findPos()
+				if p < 0 {
+					ix.ok = false
+					ix.pos = nil
+				} else {
+					if indexable(oldVal) {
+						removePos(ix.pos, object.Hash(oldVal), p)
+					}
+					if indexable(newVal) {
+						h := object.Hash(newVal)
+						ix.pos[h] = insertSorted(ix.pos[h], p)
+					}
+				}
+			}
+			if ix := ci.ord[attr]; ix != nil && ix.ok {
+				p := findPos()
+				if p < 0 {
+					ix.ok = false
+					ix.entries = nil
+				} else {
+					if indexable(oldVal) {
+						for i, en := range ix.entries {
+							if en.pos == p {
+								ix.entries = append(ix.entries[:i], ix.entries[i+1:]...)
+								break
+							}
+						}
+					}
+					if indexable(newVal) {
+						kc := kindClass(newVal)
+						if kc == 0 || (ix.class != 0 && kc != ix.class) {
+							ix.ok = false
+							ix.entries = nil
+						} else {
+							ix.class = kc
+							at := sort.Search(len(ix.entries), func(i int) bool {
+								cmp, _ := object.Compare(ix.entries[i].val, newVal)
+								return cmp > 0
+							})
+							ix.entries = append(ix.entries, ordEntry{})
+							copy(ix.entries[at+1:], ix.entries[at:])
+							ix.entries[at] = ordEntry{val: newVal, pos: p}
+						}
+					}
+				}
+			}
+		}
+		for sig, ix := range ci.key {
+			attrs := strings.Split(sig, "\x00")
+			touched := false
+			for _, a := range attrs {
+				if _, ok := old[a]; ok {
+					touched = true
+					break
+				}
+			}
+			if !touched {
+				continue
+			}
+			prev := overlayObj{base: g, set: old}
+			if k, ok := expr.KeyString(prev, attrs); ok {
+				ix.remove(k)
+			}
+			if k, ok := expr.KeyString(g, attrs); ok {
+				ix.add(k)
+			}
+		}
+	}
+}
+
+// noteDelete discards the built indexes of every class the deleted
+// object belonged to: a removal shifts the extent positions the hash and
+// ordered indexes are keyed on, so they are rebuilt lazily on next use
+// (key indexes could be maintained, but they are rebuilt with the rest
+// for a single invalidation rule). Caller must hold e.mu (write).
+func (e *Engine) noteDelete(classes []string) {
+	e.imu.Lock()
+	defer e.imu.Unlock()
+	for _, class := range classes {
+		delete(e.idx, class)
+	}
+}
+
+// noteReclass discards the built indexes of classes whose extent gained
+// or lost the object through membership reclassification (an update that
+// moved the object across a derived-class membership predicate). Caller
+// must hold e.mu (write).
+func (e *Engine) noteReclass(classes []string) {
+	e.imu.Lock()
+	defer e.imu.Unlock()
+	for _, class := range classes {
+		delete(e.idx, class)
+	}
+}
+
+// removePos deletes one position from a hash bucket in place.
+func removePos(pos map[uint64][]int, h uint64, p int) {
+	lst := pos[h]
+	for i, x := range lst {
+		if x == p {
+			pos[h] = append(lst[:i], lst[i+1:]...)
+			return
+		}
+	}
+}
+
+// insertSorted inserts a position keeping the slice ascending.
+func insertSorted(lst []int, p int) []int {
+	at := sort.SearchInts(lst, p)
+	lst = append(lst, 0)
+	copy(lst[at+1:], lst[at:])
+	lst[at] = p
+	return lst
 }
 
 func dedupSorted(in []int) []int {

@@ -1,0 +1,609 @@
+package view
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"interopdb/internal/core"
+	"interopdb/internal/expr"
+	"interopdb/internal/fixture"
+	"interopdb/internal/object"
+	"interopdb/internal/store"
+	"interopdb/internal/tm"
+)
+
+// scaledEngineStores builds the engine over the repaired Figure 1 spec
+// at the given fixture scale and keeps the component stores for the
+// Ship* methods.
+func scaledEngineStores(t testing.TB, scale int) (*Engine, *store.Store, *store.Store) {
+	t.Helper()
+	local, remote := fixture.Figure1Stores(fixture.Options{Scale: scale})
+	res, err := core.Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), local, remote, 1)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	return New(res), local, remote
+}
+
+// findByISBN returns the Item member holding the isbn.
+func findByISBN(t testing.TB, e *Engine, isbn string) *core.GObj {
+	t.Helper()
+	for _, g := range e.res.View.Extent("Item") {
+		if v, ok := g.Get("isbn"); ok && v.Equal(object.Str(isbn)) {
+			return g
+		}
+	}
+	t.Fatalf("no Item with isbn %q", isbn)
+	return nil
+}
+
+// TestValidateUpdateDeltaVsCheckAll pins the acceptance criterion: at
+// Scale 50 a delta-restricted ValidateUpdate re-checks strictly fewer
+// constraint×row pairs than exhaustive re-validation, and skips
+// constraints whose footprint the update cannot touch.
+func TestValidateUpdateDeltaVsCheckAll(t *testing.T) {
+	e, _, _ := scaledEngineStores(t, 50)
+	g := findByISBN(t, e, "vldb96")
+
+	// Touching ref? intersects the IEEE constraint's footprint: exactly
+	// one constraint×row pair is evaluated.
+	rejs, upd, err := e.ValidateUpdate("Proceedings", g.ID, map[string]object.Value{"ref?": object.Bool(true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 0 {
+		t.Fatalf("ref? := true on a refereed proceedings rejected: %v", rejs)
+	}
+	if upd.ConstraintsChecked == 0 || upd.PairsChecked == 0 {
+		t.Fatalf("delta check did no work: %+v", upd)
+	}
+
+	// Touching only the authors set intersects no constraint footprint
+	// in the object's whole class group (title would: the ProceedingsLike
+	// disjunction reads it): zero pairs, everything skipped.
+	_, none, err := e.ValidateUpdate("Proceedings", g.ID, map[string]object.Value{"authors": object.NewSet(object.Str("Zobel"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.PairsChecked != 0 {
+		t.Errorf("authors-only update evaluated %d pairs, want 0", none.PairsChecked)
+	}
+	if none.ConstraintsSkipped == 0 {
+		t.Errorf("authors-only update skipped nothing: %+v", none)
+	}
+
+	viols, full := e.CheckAll()
+	if len(viols) != 0 {
+		t.Fatalf("CheckAll on the untouched fixture found violations: %v", viols)
+	}
+	if upd.PairsChecked >= full.PairsChecked {
+		t.Errorf("delta update checked %d pairs, CheckAll %d — want strictly fewer",
+			upd.PairsChecked, full.PairsChecked)
+	}
+	t.Logf("scale 50: ValidateUpdate pairs=%d skipped=%d; CheckAll pairs=%d",
+		upd.PairsChecked, upd.ConstraintsSkipped, full.PairsChecked)
+}
+
+// TestValidateUpdateRejectsWithRepair: clearing ref? on an IEEE-published
+// proceedings violates the derived objective constraint; the rejection
+// carries the minimal repair (restore ref? = true), and applying the
+// repair validates cleanly.
+func TestValidateUpdateRejectsWithRepair(t *testing.T) {
+	e, _, _ := scaledEngineStores(t, 1)
+	g := findByISBN(t, e, "vldb96") // published by IEEE
+
+	rejs, _, err := e.ValidateUpdate("Proceedings", g.ID, map[string]object.Value{"ref?": object.Bool(false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 1 {
+		t.Fatalf("rejections = %v, want exactly the IEEE constraint", rejs)
+	}
+	if got := rejs[0].Constraint.Expr.String(); got != "publisher.name = 'IEEE' implies ref? = true" {
+		t.Errorf("rejected by %q", got)
+	}
+	if len(rejs[0].Repairs) == 0 {
+		t.Fatal("rejection carries no repair proposal")
+	}
+	rep := rejs[0].Repairs[0]
+	if rep.Kind != RepairSetAttr || rep.Attr != "ref?" || !rep.Value.Equal(object.Bool(true)) {
+		t.Errorf("repair = %+v, want set ref? := true", rep)
+	}
+
+	// The proposed repair restores consistency.
+	again, _, err := e.ValidateUpdate("Proceedings", g.ID, map[string]object.Value{rep.Attr: rep.Value})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Errorf("repaired update still rejected: %v", again)
+	}
+}
+
+// TestValidateUpdateKeyConflict: moving an object onto another object's
+// key is rejected with a tuple-deletion repair naming the conflicting
+// tuple; a delete of that tuple earlier in the same batch frees the key.
+func TestValidateUpdateKeyConflict(t *testing.T) {
+	e, _, _ := scaledEngineStores(t, 1)
+	holder := findByISBN(t, e, "vldb96")
+	mover := findByISBN(t, e, "tp-book")
+
+	rejs, _, err := e.ValidateUpdate("Item", mover.ID, map[string]object.Value{"isbn": object.Str("vldb96")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 1 {
+		t.Fatalf("rejections = %v, want one key violation", rejs)
+	}
+	if len(rejs[0].Repairs) != 1 || rejs[0].Repairs[0].Kind != RepairDeleteTuple || rejs[0].Repairs[0].ID != holder.ID {
+		t.Errorf("repairs = %v, want delete-tuple g%d", rejs[0].Repairs, holder.ID)
+	}
+
+	// Batch order matters: delete the holder first and the key is free.
+	rejs, _, err = e.ValidateTx([]Mutation{
+		{Kind: MutDelete, Class: "Item", ID: holder.ID},
+		{Kind: MutUpdate, Class: "Item", ID: mover.ID, Attrs: map[string]object.Value{"isbn": object.Str("vldb96")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 0 {
+		t.Errorf("delete-then-update batch rejected: %v", rejs)
+	}
+
+	// Reversed, the update still sees the holder.
+	rejs, _, err = e.ValidateTx([]Mutation{
+		{Kind: MutUpdate, Class: "Item", ID: mover.ID, Attrs: map[string]object.Value{"isbn": object.Str("vldb96")}},
+		{Kind: MutDelete, Class: "Item", ID: holder.ID},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 1 {
+		t.Errorf("update-then-delete batch: rejections = %v, want one", rejs)
+	}
+}
+
+// TestValidateTxIntraBatchInserts: two staged inserts claiming one key
+// conflict with each other before anything ships.
+func TestValidateTxIntraBatchInserts(t *testing.T) {
+	e, _, remote := scaledEngineStores(t, 1)
+	_ = remote
+	mk := func(isbn string) map[string]object.Value {
+		return map[string]object.Value{
+			"title": object.Str("batch " + isbn), "isbn": object.Str(isbn),
+			"publisher": object.Ref{DB: "Bookseller", OID: 3},
+			"shopprice": object.Real(20), "libprice": object.Real(15),
+		}
+	}
+	rejs, _, err := e.ValidateTx([]Mutation{
+		{Kind: MutInsert, Class: "Item", Attrs: mk("twin")},
+		{Kind: MutInsert, Class: "Item", Attrs: mk("twin")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 1 {
+		t.Fatalf("intra-batch duplicate key: rejections = %v, want one", rejs)
+	}
+	if len(rejs[0].Repairs) != 0 {
+		t.Errorf("conflict with a staged insert has no deletable tuple, got %v", rejs[0].Repairs)
+	}
+
+	// Distinct keys pass.
+	rejs, _, err = e.ValidateTx([]Mutation{
+		{Kind: MutInsert, Class: "Item", Attrs: mk("twin-a")},
+		{Kind: MutInsert, Class: "Item", Attrs: mk("twin-b")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 0 {
+		t.Errorf("distinct keys rejected: %v", rejs)
+	}
+}
+
+// TestValidateDeleteSkipsSelfConstraints: a deletion cannot violate the
+// removed object's own constraints or a key, so with no extent-reading
+// constraints derived for the class the delta rule checks zero pairs.
+func TestValidateDeleteSkipsSelfConstraints(t *testing.T) {
+	e, _, _ := scaledEngineStores(t, 1)
+	g := findByISBN(t, e, "wkshp1")
+	rejs, stats, err := e.ValidateDelete("Proceedings", g.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 0 {
+		t.Errorf("delete rejected: %v", rejs)
+	}
+	if stats.PairsChecked != 0 {
+		t.Errorf("delete validation evaluated %d pairs, want 0 (no extent-reading constraints)", stats.PairsChecked)
+	}
+	if stats.ConstraintsSkipped == 0 {
+		t.Error("delete validation skipped nothing")
+	}
+}
+
+// TestShipUpdateLifecycle: a shipped update commits at the component
+// store, updates the integrated view, maintains the extent indexes, and
+// reclassifies the object across Sim memberships.
+func TestShipUpdateLifecycle(t *testing.T) {
+	e, _, remote := scaledEngineStores(t, 1)
+	g := findByISBN(t, e, "caise96") // bookseller-only refereed proceedings
+
+	// Warm the indexes so maintenance (not lazy rebuild) is exercised.
+	for _, q := range []Query{
+		{Class: "Proceedings", Where: expr.MustParse("rating >= 7")},
+		{Class: "Item", Where: expr.MustParse("isbn = 'caise96'")},
+		{Class: "RefereedPubl", Where: expr.MustParse("rating >= 7")},
+	} {
+		if _, _, err := e.Run(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := e.ShipUpdate(remote, "Proceedings", g.ID, map[string]object.Value{"rating": object.Int(9)}); err != nil {
+		t.Fatalf("ShipUpdate: %v", err)
+	}
+	// The component store saw the update.
+	for _, o := range remote.FindByAttr("Proceedings", "isbn", object.Str("caise96")) {
+		if v, _ := o.Get("rating"); !v.Equal(object.Int(9)) {
+			t.Errorf("store rating = %v, want 9", v)
+		}
+	}
+	// Indexed and scan paths agree on the new value.
+	runBoth(t, e, Query{Class: "Proceedings", Where: expr.MustParse("rating >= 9")})
+	rows, _, err := e.Run(Query{Class: "Proceedings", Where: expr.MustParse("rating >= 9"), Select: []string{"isbn"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rows {
+		if r["isbn"].Equal(object.Str("caise96")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("updated rating not served")
+	}
+
+	// Clearing ref? moves the object out of RefereedPubl (r3 membership).
+	if err := e.ShipUpdate(remote, "Proceedings", g.ID, map[string]object.Value{"ref?": object.Bool(false), "rating": object.Int(5)}); err != nil {
+		t.Fatalf("ShipUpdate ref?: %v", err)
+	}
+	runBoth(t, e, Query{Class: "RefereedPubl", Where: expr.MustParse("rating >= 1")})
+	rrows, _, err := e.Run(Query{Class: "RefereedPubl", Select: []string{"isbn"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rrows {
+		if r["isbn"] != nil && r["isbn"].Equal(object.Str("caise96")) {
+			t.Error("object still served from RefereedPubl after ref? := false")
+		}
+	}
+
+	// A local rejection leaves everything untouched: rating 2 with
+	// ref? = true violates the Bookseller's oc2 at the store.
+	g2 := findByISBN(t, e, "vldb96")
+	before, _, _ := e.Run(Query{Class: "Proceedings", Where: expr.MustParse("rating >= 8")})
+	if err := e.ShipUpdate(remote, "Proceedings", g2.ID, map[string]object.Value{"rating": object.Int(2)}); err == nil {
+		t.Fatal("rating 2 on a refereed proceedings must be rejected by the local manager")
+	}
+	after, _, _ := e.Run(Query{Class: "Proceedings", Where: expr.MustParse("rating >= 8")})
+	if len(before) != len(after) {
+		t.Errorf("rejected update changed the view: %d vs %d rows", len(before), len(after))
+	}
+}
+
+// TestShipDeleteLifecycle: a shipped delete removes the object from the
+// component store and the view; a locally rejected delete is a no-op.
+func TestShipDeleteLifecycle(t *testing.T) {
+	e, local, remote := scaledEngineStores(t, 1)
+
+	// Deleting the only ACM item violates db1 (every publisher has an
+	// item) at the Bookseller: rejected, view unchanged.
+	mono := findByISBN(t, e, "tp-book")
+	if err := e.ShipDelete("Item", mono.ID, local, remote); err == nil {
+		t.Fatal("deleting ACM's only item must be rejected by db1")
+	}
+	if _, ok := e.res.View.ByID(mono.ID); !ok {
+		t.Fatal("rejected delete removed the object from the view")
+	}
+
+	// Warm indexes, then delete a bookseller-only workshop proceedings
+	// (Springer keeps other items, so db1 holds).
+	for _, q := range []Query{
+		{Class: "Item", Where: expr.MustParse("isbn = 'wkshp1'")},
+		{Class: "Proceedings", Where: expr.MustParse("rating >= 1")},
+	} {
+		if _, _, err := e.Run(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wk := findByISBN(t, e, "wkshp1")
+	if err := e.ShipDelete("Proceedings", wk.ID, local, remote); err != nil {
+		t.Fatalf("ShipDelete: %v", err)
+	}
+	if len(remote.FindByAttr("Item", "isbn", object.Str("wkshp1"))) != 0 {
+		t.Error("store still holds the deleted object")
+	}
+	runBoth(t, e, Query{Class: "Item", Where: expr.MustParse("isbn = 'wkshp1'")})
+	rows, _, err := e.Run(Query{Class: "Item", Where: expr.MustParse("isbn = 'wkshp1'")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("deleted object still served: %v", rows)
+	}
+
+	// The freed key is insertable again (index counts maintained).
+	attrs := map[string]object.Value{
+		"title": object.Str("reborn"), "isbn": object.Str("wkshp1"),
+		"publisher": object.Ref{DB: "Bookseller", OID: 3},
+		"shopprice": object.Real(10), "libprice": object.Real(5),
+	}
+	if rejs := e.ValidateInsert("Item", attrs); len(rejs) != 0 {
+		t.Errorf("insert reclaiming a freed key rejected: %v", rejs)
+	}
+}
+
+// TestShipTxMixedBatch: a mixed batch ships as one deferred-validation
+// local transaction — all-or-nothing at the store AND at the view.
+func TestShipTxMixedBatch(t *testing.T) {
+	e, _, remote := scaledEngineStores(t, 1)
+	upd := findByISBN(t, e, "caise96")
+	del := findByISBN(t, e, "wkshp1")
+	mk := func(isbn string, lib, shop float64) map[string]object.Value {
+		return map[string]object.Value{
+			"title": object.Str("batch " + isbn), "isbn": object.Str(isbn),
+			"publisher": object.Ref{DB: "Bookseller", OID: 3},
+			"shopprice": object.Real(shop), "libprice": object.Real(lib),
+		}
+	}
+
+	itemsBefore := len(e.res.View.Extent("Item"))
+	// A failing batch: the second insert violates oc1 (libprice >
+	// shopprice) at deferred local validation. Nothing — including the
+	// valid first ops — may stick.
+	err := e.ShipTx(remote, []Mutation{
+		{Kind: MutInsert, Class: "Item", Attrs: mk("batch-ok", 10, 20)},
+		{Kind: MutUpdate, Class: "Proceedings", ID: upd.ID, Attrs: map[string]object.Value{"rating": object.Int(9)}},
+		{Kind: MutInsert, Class: "Item", Attrs: mk("batch-bad", 99, 20)},
+	})
+	if err == nil {
+		t.Fatal("batch with an oc1 violation must fail at commit")
+	}
+	if n := len(e.res.View.Extent("Item")); n != itemsBefore {
+		t.Fatalf("failed batch changed the view: %d vs %d items", n, itemsBefore)
+	}
+	if v, _ := upd.Get("rating"); !v.Equal(object.Int(7)) {
+		t.Errorf("failed batch leaked an update: rating = %v", v)
+	}
+	if len(remote.FindByAttr("Item", "isbn", object.Str("batch-ok"))) != 0 {
+		t.Error("failed batch leaked an insert into the store")
+	}
+
+	// The clean batch commits once and applies everywhere.
+	err = e.ShipTx(remote, []Mutation{
+		{Kind: MutInsert, Class: "Item", Attrs: mk("batch-ok", 10, 20)},
+		{Kind: MutUpdate, Class: "Proceedings", ID: upd.ID, Attrs: map[string]object.Value{"rating": object.Int(9)}},
+		{Kind: MutDelete, Class: "Proceedings", ID: del.ID},
+	})
+	if err != nil {
+		t.Fatalf("ShipTx: %v", err)
+	}
+	if n := len(e.res.View.Extent("Item")); n != itemsBefore { // +1 insert −1 delete
+		t.Errorf("view Item extent = %d, want %d", n, itemsBefore)
+	}
+	if v, _ := upd.Get("rating"); !v.Equal(object.Int(9)) {
+		t.Errorf("rating after batch = %v, want 9", v)
+	}
+	if _, ok := e.res.View.ByID(del.ID); ok {
+		t.Error("batched delete not applied to the view")
+	}
+	runBoth(t, e, Query{Class: "Item", Where: expr.MustParse("isbn = 'batch-ok'")})
+}
+
+// mutationQueries is the differential battery evaluated after every
+// random mutation.
+var mutationQueries = []Query{
+	{Class: "Item", Where: expr.MustParse("isbn = 'vldb96'")},
+	{Class: "Item", Where: expr.MustParse("shopprice <= 30")},
+	{Class: "Item", Where: expr.MustParse("shopprice > 20 and libprice < 60")},
+	{Class: "Proceedings", Where: expr.MustParse("rating >= 7")},
+	{Class: "Proceedings", Where: expr.MustParse("ref? = true")},
+	{Class: "Proceedings", Where: expr.MustParse("rating in {5, 8, 9}")},
+	{Class: "Proceedings", Where: expr.MustParse("rating >= 7 and publisher.name = 'IEEE'")},
+	{Class: "RefereedPubl", Where: expr.MustParse("rating >= 1")},
+	{Class: "NonRefereedPubl", Where: expr.MustParse("rating <= 6")},
+	{Class: "Item", Select: []string{"title", "isbn"}},
+}
+
+// checkViewInvariants asserts the view's structural consistency: class
+// membership and extents agree both ways, and every extent member is
+// resolvable by ID.
+func checkViewInvariants(t *testing.T, e *Engine) {
+	t.Helper()
+	v := e.res.View
+	for _, cls := range v.ClassNames {
+		for _, g := range v.Extent(cls) {
+			if !g.Classes[cls] {
+				t.Fatalf("g%d in extent of %s but Classes disagrees", g.ID, cls)
+			}
+			if _, ok := v.ByID(g.ID); !ok {
+				t.Fatalf("g%d in extent of %s but not resolvable by ID", g.ID, cls)
+			}
+		}
+	}
+	for _, g := range v.Objects {
+		for cls := range g.Classes {
+			found := false
+			for _, o := range v.Extent(cls) {
+				if o == g {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("g%d claims class %s but extent disagrees", g.ID, cls)
+			}
+		}
+	}
+}
+
+// TestMutationDifferentialRandomized drives 200+ random mixed mutations
+// (ship-insert / ship-update / ship-delete / batched tx) through the
+// engine at several scales, asserting after every operation that the
+// indexed serving path, the pure-scan path and the view state agree —
+// the invariant that pins noteUpdate/noteDelete/noteReclass index
+// maintenance and ApplyUpdate/ApplyDelete reclassification.
+func TestMutationDifferentialRandomized(t *testing.T) {
+	for _, scale := range []int{1, 10, 50} {
+		t.Run(fmt.Sprintf("scale=%d", scale), func(t *testing.T) {
+			e, local, remote := scaledEngineStores(t, scale)
+			rng := rand.New(rand.NewSource(int64(scale) * 7919))
+			nops := 200
+			if scale == 50 {
+				nops = 60 // full battery per op: keep the runtime bounded
+			}
+
+			publishers := remote.Extent("Publisher")
+			randItem := func() *core.GObj {
+				ext := e.res.View.Extent("Item")
+				if len(ext) == 0 {
+					return nil
+				}
+				return ext[rng.Intn(len(ext))]
+			}
+			mkInsert := func(i int) map[string]object.Value {
+				pub := publishers[rng.Intn(len(publishers))]
+				a := map[string]object.Value{
+					"title": object.Str(fmt.Sprintf("rnd-%d", i)), "isbn": object.Str(fmt.Sprintf("rnd-%d-%d", scale, i)),
+					"publisher": object.Ref{DB: remote.Name(), OID: pub.OID()},
+					"shopprice": object.Real(float64(10 + rng.Intn(80))),
+				}
+				a["libprice"] = object.Real(float64(rng.Intn(20)) + 5)
+				if rng.Intn(8) == 0 {
+					a["libprice"] = object.Real(200) // violates oc1 → local rejection
+				}
+				return a
+			}
+			shipped, rejected := 0, 0
+			for i := 0; i < nops; i++ {
+				var err error
+				switch rng.Intn(10) {
+				case 0, 1, 2: // insert
+					err = e.ShipInsert(remote, "Item", mkInsert(i))
+				case 3, 4, 5: // update
+					if g := randItem(); g != nil {
+						attrs := map[string]object.Value{}
+						switch rng.Intn(4) {
+						case 0:
+							attrs["shopprice"] = object.Real(float64(10 + rng.Intn(90)))
+							attrs["libprice"] = object.Real(float64(rng.Intn(15)))
+						case 1:
+							attrs["title"] = object.Str(fmt.Sprintf("renamed-%d", i))
+						case 2:
+							attrs["rating"] = object.Int(int64(1 + rng.Intn(10))) // may hit oc2/oc3 locally
+						case 3:
+							attrs["ref?"] = object.Bool(rng.Intn(2) == 0)
+							attrs["rating"] = object.Int(int64(7 + rng.Intn(3)))
+						}
+						err = e.ShipUpdate(remote, "Item", g.ID, attrs)
+					}
+				case 6, 7: // delete
+					if g := randItem(); g != nil {
+						err = e.ShipDelete("Item", g.ID, local, remote)
+					}
+				default: // mixed batch
+					ops := []Mutation{{Kind: MutInsert, Class: "Item", Attrs: mkInsert(1000 + i)}}
+					if g := randItem(); g != nil && rng.Intn(2) == 0 {
+						ops = append(ops, Mutation{Kind: MutUpdate, Class: "Item", ID: g.ID,
+							Attrs: map[string]object.Value{"shopprice": object.Real(float64(20 + rng.Intn(60)))}})
+					}
+					err = e.ShipTx(remote, ops)
+				}
+				if err != nil {
+					rejected++ // local manager refused (or object spans stores): state must be unchanged
+				} else {
+					shipped++
+				}
+				for _, q := range mutationQueries {
+					runBoth(t, e, q)
+				}
+				if i%20 == 0 {
+					checkViewInvariants(t, e)
+					// Key-probe differential: the maintained key index and
+					// the reference extent sweep agree.
+					probe := map[string]object.Value{
+						"title": object.Str("probe"), "isbn": object.Str("vldb96"),
+						"shopprice": object.Real(10), "libprice": object.Real(5),
+					}
+					e.UseIndexes = true
+					fast := len(e.ValidateInsert("Item", probe))
+					e.UseIndexes = false
+					slow := len(e.ValidateInsert("Item", probe))
+					e.UseIndexes = true
+					if fast != slow {
+						t.Fatalf("op %d: key-index probe diverges from extent sweep: %d vs %d", i, fast, slow)
+					}
+				}
+			}
+			checkViewInvariants(t, e)
+			if shipped == 0 {
+				t.Error("randomized run shipped nothing")
+			}
+			t.Logf("scale %d: %d shipped, %d locally rejected", scale, shipped, rejected)
+		})
+	}
+}
+
+// TestValidateVerdictIndependentOfNamedClass pins the class-closure fix:
+// validation checks the constraint group of EVERY class the object
+// belongs to, so the same doomed update is rejected no matter which of
+// the object's classes the caller names (a clean verdict via a
+// superclass would ship a mutation the local manager then refuses).
+func TestValidateVerdictIndependentOfNamedClass(t *testing.T) {
+	e, _, _ := scaledEngineStores(t, 1)
+	g := findByISBN(t, e, "vldb96") // IEEE-published: ref? = false violates oc1
+	for _, class := range []string{"Proceedings", "Item", "Publication", "RefereedPubl"} {
+		if !g.Classes[class] {
+			t.Fatalf("fixture drift: vldb96 not in %s", class)
+		}
+		rejs, _, err := e.ValidateUpdate(class, g.ID, map[string]object.Value{"ref?": object.Bool(false)})
+		if err != nil {
+			t.Fatalf("via %s: %v", class, err)
+		}
+		found := false
+		for _, r := range rejs {
+			if r.Constraint.Expr.String() == "publisher.name = 'IEEE' implies ref? = true" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("update validated via %s missed the IEEE rejection: %v", class, rejs)
+		}
+	}
+
+	// Inserts get the chain closure too: a Proceedings insert must
+	// satisfy Item's key constraint.
+	rejs := e.ValidateInsert("Proceedings", map[string]object.Value{
+		"title": object.Str("dup"), "isbn": object.Str("vldb96"), // Item key collision
+		"publisher": object.Ref{DB: "Bookseller", OID: 3},
+		"shopprice": object.Real(20), "libprice": object.Real(15),
+		"ref?": object.Bool(true), "rating": object.Int(8),
+	})
+	foundKey := false
+	for _, r := range rejs {
+		if _, isKey := r.Constraint.Expr.(expr.Key); isKey {
+			foundKey = true
+			if len(r.Repairs) != 1 || r.Repairs[0].Kind != RepairDeleteTuple {
+				t.Errorf("key rejection repairs = %v, want one delete-tuple", r.Repairs)
+			}
+		}
+	}
+	if !foundKey {
+		t.Errorf("Proceedings insert with duplicate isbn missed Item's key constraint: %v", rejs)
+	}
+}

@@ -97,3 +97,92 @@ func TestConcurrentServe(t *testing.T) {
 		t.Errorf("shipped inserts visible = %d, want 10", len(rows))
 	}
 }
+
+// TestConcurrentMutate exercises the mutation lifecycle's concurrency
+// contract under the race detector: Run and ValidateTx share the read
+// lock while ShipUpdate/ShipDelete/ShipTx serialise view growth, index
+// maintenance and reclassification behind the write lock.
+func TestConcurrentMutate(t *testing.T) {
+	local, remote := fixture.Figure1Stores(fixture.Options{Scale: 10})
+	res, err := core.Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), local, remote, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(res)
+
+	queries := []Query{
+		{Class: "Proceedings", Where: expr.MustParse("rating >= 7")},
+		{Class: "Item", Where: expr.MustParse("shopprice <= 30")},
+		{Class: "RefereedPubl", Where: expr.MustParse("rating >= 1")},
+		{Class: "Item", Select: []string{"title", "isbn"}},
+	}
+	var ids []int
+	for _, g := range res.View.Extent("Item") {
+		ids = append(ids, g.ID)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := queries[(w+i)%len(queries)]
+				if _, _, err := e.Run(q); err != nil {
+					errs <- fmt.Errorf("Run(%v): %w", q.Where, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := ids[(w*17+i)%len(ids)]
+				// Both validation reads and shipped writes; local
+				// rejections and vanished objects are expected outcomes.
+				if _, _, err := e.ValidateUpdate("Item", id, map[string]object.Value{
+					"shopprice": object.Real(float64(20 + i)),
+				}); err != nil {
+					continue // object deleted by the mutator goroutine
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			id := ids[(i*13)%len(ids)]
+			switch i % 3 {
+			case 0:
+				_ = e.ShipUpdate(remote, "Item", id, map[string]object.Value{
+					"shopprice": object.Real(float64(25 + i)), "libprice": object.Real(10),
+				})
+			case 1:
+				_ = e.ShipDelete("Item", id, local, remote)
+			case 2:
+				_ = e.ShipTx(remote, []Mutation{
+					{Kind: MutInsert, Class: "Item", Attrs: map[string]object.Value{
+						"title": object.Str(fmt.Sprintf("race-%d", i)), "isbn": object.Str(fmt.Sprintf("race-%d", i)),
+						"publisher": object.Ref{DB: "Bookseller", OID: 3},
+						"shopprice": object.Real(15), "libprice": object.Real(10),
+					}},
+				})
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The engine still serves a consistent view afterwards.
+	if viols, _ := e.CheckAll(); len(viols) != 0 {
+		t.Errorf("view inconsistent after concurrent mutation: %v", viols)
+	}
+}

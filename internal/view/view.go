@@ -3,7 +3,9 @@
 // view — eliminating subqueries known to yield empty results — and
 // validation of update transactions — rejecting subtransactions that the
 // local transaction managers would certainly refuse, before they are
-// shipped.
+// shipped. The full mutation lifecycle (insert, update, delete, mixed
+// batches) is validated with delta-restricted checking and shipped
+// through the Engine's Ship* methods; see mutate.go and DESIGN.md §7.
 package view
 
 import (
@@ -49,10 +51,11 @@ type Stats struct {
 	CandidateRows int
 }
 
-// Engine runs queries and validates updates against an integration
-// result. It is safe for concurrent use: Run and ValidateInsert may run
-// in parallel with each other; ShipInsert serialises against them while
-// it grows the view and maintains the extent indexes.
+// Engine runs queries and validates mutations against an integration
+// result, and ships validated mutations to the component stores. It is
+// safe for concurrent use: Run and the Validate* methods may run in
+// parallel with each other; the Ship* methods serialise against them
+// while they mutate the view and maintain the extent indexes.
 type Engine struct {
 	res     *core.Result
 	checker *logic.Checker
@@ -74,18 +77,30 @@ type Engine struct {
 	// hits run under the read lock (concurrent planning stays parallel
 	// once indexes are built); only building a missing index or cache
 	// entry takes the write lock.
-	imu  sync.RWMutex
-	idx  map[string]*classIndexes
-	cons map[string]*classCons
+	imu   sync.RWMutex
+	idx   map[string]*classIndexes
+	cons  map[string]*classCons
+	mcons map[string]*consGroup
 }
 
 // classCons caches one class's scope-all global constraints, split by
 // how the serving path consumes them (satellite of the paper's §1 uses:
-// object constraints restrict predicates, key constraints gate inserts).
+// object constraints restrict predicates, key constraints gate inserts
+// and updates). Each object constraint carries its attribute footprint
+// and whether it reads class extensions, precomputed once so
+// delta-restricted validation (ValidateUpdate/ValidateTx) can skip the
+// constraints a mutation provably cannot violate.
 type classCons struct {
 	object   []expr.Node             // object constraint formulas
 	objectGC []core.GlobalConstraint // same constraints, with provenance
-	keys     []core.GlobalConstraint // key constraints (Expr is expr.Key)
+	// objectAttrs[i] is the attribute footprint of object[i]: the
+	// self-rooted attributes its truth value can depend on.
+	objectAttrs []map[string]bool
+	// objectExt[i] reports whether object[i] reads class extensions
+	// (quantifier or aggregate): such a constraint can flip on any
+	// extent-changing mutation, so the delta rule always re-checks it.
+	objectExt []bool
+	keys      []core.GlobalConstraint // key constraints (Expr is expr.Key)
 }
 
 // New builds an engine over an integration result with optimisation and
@@ -107,6 +122,7 @@ func New(res *core.Result) *Engine {
 		UseIndexes:     true,
 		idx:            map[string]*classIndexes{},
 		cons:           map[string]*classCons{},
+		mcons:          map[string]*consGroup{},
 	}
 }
 
@@ -137,6 +153,8 @@ func (e *Engine) consFor(class string) *classCons {
 		}
 		cc.object = append(cc.object, gc.Expr)
 		cc.objectGC = append(cc.objectGC, gc)
+		cc.objectAttrs = append(cc.objectAttrs, expr.AttrsUsed(gc.Expr))
+		cc.objectExt = append(cc.objectExt, expr.UsesExtents(gc.Expr))
 	}
 	e.cons[class] = cc
 	return cc
@@ -303,10 +321,16 @@ func conjoinNodes(ns []expr.Node) expr.Node {
 	return out
 }
 
-// Rejection explains why an update was rejected before shipping.
+// Rejection explains why a mutation was rejected before shipping, and —
+// when the engine can compute one — carries minimal-change repair
+// proposals that would make the mutation acceptable.
 type Rejection struct {
 	Constraint core.GlobalConstraint
 	Detail     string
+	// Repairs lists verified minimal-change proposals (smallest attribute
+	// adjustment, or a tuple deletion for key conflicts) that restore
+	// consistency; empty when no mechanical repair was found.
+	Repairs []Repair
 }
 
 // Error implements error.
@@ -315,63 +339,86 @@ func (r Rejection) Error() string {
 }
 
 // ValidateInsert checks an intended insert into a global class against
-// the scope-all global object constraints, before any subtransaction is
-// sent to a component database. It returns the violated constraints
-// (empty means the insert may proceed to the local managers). With
-// UseIndexes, key uniqueness is answered from an incremental
-// composite-key index in O(1) instead of copying and scanning the whole
-// extent per insert.
+// the scope-all global object constraints of every class the inserted
+// object would join (the origin class's chain — a Proceedings insert is
+// also an Item and must satisfy Item's constraints), before any
+// subtransaction is sent to a component database. It returns the
+// violated constraints with repair proposals (empty means the insert
+// may proceed to the local managers). With UseIndexes, key uniqueness
+// is answered from an incremental composite-key index in O(1) instead
+// of copying and scanning the whole extent per insert.
 func (e *Engine) ValidateInsert(class string, attrs map[string]object.Value) []Rejection {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	var out []Rejection
 	obj := expr.MapObject(attrs)
-	selfAttrs := map[string]bool{}
-	for k := range attrs {
-		selfAttrs[k] = true
-	}
-	// Declared attributes of the class count as known-but-null.
-	if org, ok := e.res.View.Origin[class]; ok {
-		for _, a := range e.res.Conformed.SchemaOf(org.Side).AllAttrs(org.Class) {
-			selfAttrs[a.Name] = true
-		}
-	}
 	env := &expr.Env{
 		Vars:      map[string]expr.Object{"self": obj},
-		SelfAttrs: selfAttrs,
+		SelfAttrs: e.insertSelfAttrs(class, attrs),
 		Consts:    e.res.Conformed.Consts,
-		Deref:     func(r object.Ref) (expr.Object, bool) { return e.res.View.Deref(r) },
+		Ext: func(cls string) []expr.Object {
+			ext := e.res.View.Extent(cls)
+			objs := make([]expr.Object, len(ext))
+			for i, g := range ext {
+				objs[i] = g
+			}
+			return objs
+		},
+		Deref: func(r object.Ref) (expr.Object, bool) { return e.res.View.Deref(r) },
 	}
-	cc := e.consFor(class)
-	for _, gc := range cc.objectGC {
-		ok, err := env.EvalBool(gc.Expr)
+	cg := e.consForClasses(e.insertChainClasses(class))
+	for _, oc := range cg.object {
+		ok, err := env.EvalBool(oc.gc.Expr)
 		if err != nil {
 			continue // constraints outside the evaluable fragment are skipped
 		}
 		if !ok {
-			out = append(out, Rejection{Constraint: gc, Detail: "violated by proposed state"})
+			out = append(out, Rejection{
+				Constraint: oc.gc,
+				Detail:     "violated by proposed state",
+				Repairs:    e.proposeConstraintRepairs(oc.gc.Expr, cg.objectExprs, obj, env),
+			})
 		}
 	}
-	// Key constraints: probe the key-uniqueness index (or, on the
-	// reference path, the full extent).
-	for _, gc := range cc.keys {
-		k := gc.Expr.(expr.Key)
+	// Key constraints: probe the key-uniqueness index of each declaring
+	// class (or, on the reference path, its full extent).
+	for _, kc := range cg.keys {
 		violated := false
 		if e.UseIndexes {
-			violated = e.keyViolated(class, k.Attrs, obj)
+			violated = e.keyViolated(kc.class, kc.attrs, obj)
 		} else {
 			ext := []expr.Object{obj}
-			for _, g := range e.res.View.Extent(class) {
+			for _, g := range e.res.View.Extent(kc.class) {
 				ext = append(ext, g)
 			}
-			holds, err := expr.EvalKey(ext, k.Attrs)
+			holds, err := expr.EvalKey(ext, kc.attrs)
 			violated = err == nil && !holds
 		}
 		if violated {
-			out = append(out, Rejection{Constraint: gc, Detail: fmt.Sprintf("duplicate key %v", k.Attrs)})
+			out = append(out, Rejection{
+				Constraint: kc.gc,
+				Detail:     fmt.Sprintf("duplicate key %v", kc.attrs),
+				Repairs:    keyRepairs(e.findKeyHolderID(kc.class, kc.attrs, obj)),
+			})
 		}
 	}
 	return out
+}
+
+// findKeyHolderID locates the extent member holding the proposed
+// object's key (0 when none — e.g. the extent held a pre-existing
+// duplicate and the probe rejected on that).
+func (e *Engine) findKeyHolderID(class string, attrs []string, obj expr.Object) int {
+	key, ok := expr.KeyString(obj, attrs)
+	if !ok {
+		return 0
+	}
+	for _, g := range e.res.View.Extent(class) {
+		if k, ok := expr.KeyString(g, attrs); ok && k == key {
+			return g.ID
+		}
+	}
+	return 0
 }
 
 // ShipInsert decomposes a validated insert into a component-store insert
@@ -407,6 +454,12 @@ func (e *Engine) ShipInsert(st *store.Store, class string, attrs map[string]obje
 	e.noteInsert(g)
 	return nil
 }
+
+// Result returns the integration result the engine serves. Mutating the
+// view behind the engine's back bypasses its locking and index
+// maintenance — treat it as read-only and mutate through the Ship*
+// methods.
+func (e *Engine) Result() *core.Result { return e.res }
 
 // Classes lists the queryable global classes in sorted order.
 func (e *Engine) Classes() []string {

@@ -274,6 +274,43 @@ type Row = view.Row
 // NewQueryEngine builds a query engine over an integration result.
 func NewQueryEngine(res *Result) *QueryEngine { return view.New(res) }
 
+// Rejection explains why a mutation was rejected before shipping; it
+// carries the violated global constraint and minimal-change repair
+// proposals.
+type Rejection = view.Rejection
+
+// Repair is one verified minimal-change proposal attached to a
+// Rejection: the smallest attribute adjustment, or a tuple deletion for
+// key conflicts.
+type Repair = view.Repair
+
+// RepairKind discriminates Repair proposals.
+type RepairKind = view.RepairKind
+
+// Repair proposal kinds.
+const (
+	RepairSetAttr     = view.RepairSetAttr
+	RepairDeleteTuple = view.RepairDeleteTuple
+)
+
+// Mutation is one staged operation of a batch transaction against the
+// integrated view (ValidateTx/ShipTx).
+type Mutation = view.Mutation
+
+// MutationKind discriminates Mutation operations.
+type MutationKind = view.MutationKind
+
+// Mutation kinds.
+const (
+	MutInsert = view.MutInsert
+	MutUpdate = view.MutUpdate
+	MutDelete = view.MutDelete
+)
+
+// ValidateStats counts the constraint×row work a validation performed,
+// making the delta restriction's saving over a full CheckAll observable.
+type ValidateStats = view.ValidateStats
+
 // ParseQuery parses the textual query form, e.g.
 // "select title, rating from Proceedings where rating >= 7".
 func ParseQuery(src string) (Query, error) { return view.ParseQuery(src) }

@@ -166,3 +166,61 @@ func TestPublicAPIConflictConstants(t *testing.T) {
 		t.Errorf("expected strict-sim conflicts in the original spec: %v", kinds)
 	}
 }
+
+// TestPublicAPIMutationLifecycle exercises the public mutation surface:
+// delta-restricted validation with repairs, batched shipping, and the
+// updated view being served.
+func TestPublicAPIMutationLifecycle(t *testing.T) {
+	local, remote := Figure1Stores(FixtureOptions{})
+	res, err := Integrate(Figure1Library(), Figure1Bookseller(), Figure1IntegrationRepaired(), local, remote, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewQueryEngine(res)
+
+	// Find the IEEE-published VLDB proceedings.
+	var id int
+	for _, g := range res.View.Extent("Proceedings") {
+		if v, ok := g.Get("isbn"); ok && v.Equal(Str("vldb96")) {
+			id = g.ID
+		}
+	}
+	if id == 0 {
+		t.Fatal("vldb96 not found")
+	}
+
+	// A doomed update is rejected with a repair proposal.
+	rejs, stats, err := e.ValidateUpdate("Proceedings", id, map[string]Value{"ref?": Bool(false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rejs) != 1 || len(rejs[0].Repairs) == 0 {
+		t.Fatalf("rejections = %v, want one with repairs", rejs)
+	}
+	if stats.PairsChecked == 0 {
+		t.Error("validation did no work")
+	}
+
+	// A clean batch ships and is served.
+	err = e.ShipTx(remote, []Mutation{
+		{Kind: MutInsert, Class: "Item", Attrs: map[string]Value{
+			"title": Str("API batch"), "isbn": Str("api-batch-1"),
+			"publisher": Ref{DB: "Bookseller", OID: 3},
+			"shopprice": Real(20), "libprice": Real(15),
+		}},
+		{Kind: MutUpdate, Class: "Proceedings", ID: id, Attrs: map[string]Value{"rating": Int(9)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := e.Run(Query{Class: "Item", Where: MustParseExpr("isbn = 'api-batch-1'")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("batched insert not served: %v", rows)
+	}
+	if viols, _ := e.CheckAll(); len(viols) != 0 {
+		t.Errorf("CheckAll after batch: %v", viols)
+	}
+}
