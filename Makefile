@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline bench-compare
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline bench-compare profile
 
 all: build vet fmt-check test
 
@@ -41,9 +41,18 @@ bench-smoke:
 
 # Regenerate the machine-readable benchmark baseline for this PR.
 baseline:
-	$(GO) run ./cmd/interopbench -quick -json BENCH_3.json
+	$(GO) run ./cmd/interopbench -quick -json BENCH_4.json
 
-# Diff the current baseline against the previous PR's (timing trends,
-# E-series pass/fail drift, new/dropped benchmark sections).
+# Diff the current baseline against the previous PR's and GATE: shared
+# timing metrics regressing beyond -max-regress fail (sub-10µs rows are
+# noise-floored; E-series pass→fail drift always fails).
 bench-compare:
-	$(GO) run ./cmd/benchcompare BENCH_2.json BENCH_3.json
+	$(GO) run ./cmd/benchcompare -max-regress 100 BENCH_3.json BENCH_4.json
+
+# CPU/heap profiles of the full benchmark suite, so perf work starts
+# from a flame graph instead of a guess:
+#   make profile
+#   go tool pprof -http=:8080 cpu.pprof
+profile:
+	$(GO) run ./cmd/interopbench -quick -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: go tool pprof cpu.pprof"

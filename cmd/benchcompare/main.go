@@ -1,17 +1,22 @@
 // Command benchcompare diffs two interopbench -json reports (e.g. the
-// committed BENCH_1.json baseline against a freshly generated
-// BENCH_2.json): E-series pass/fail changes, shared B-series timing
-// metrics with relative deltas, and sections present in only one report.
-// It is wired into `make bench-compare` and the CI benchmark smoke step.
+// committed BENCH_3.json baseline against BENCH_4.json): E-series
+// pass/fail changes, shared B-series timing metrics with relative
+// deltas, and sections present in only one report. It is wired into
+// `make bench-compare` and the CI benchmark smoke step, where it GATES:
+// a shared timing metric regressing beyond -max-regress fails the
+// build, so serve/mutation regressions cannot land silently.
 //
 // Usage:
 //
-//	benchcompare OLD.json NEW.json
-//	benchcompare -max-regress 50 OLD.json NEW.json   # exit 1 on >50% slowdown
+//	benchcompare -max-regress 100 OLD.json NEW.json    # exit 1 on >100% slowdown
+//	benchcompare -max-regress 50 -regress-floor 20000 OLD.json NEW.json
 //
-// Without -max-regress the comparison is informational (exit 0 unless a
-// file is unreadable): single-run wall times are noisy, so CI uses it to
-// surface trends, not to gate on them.
+// -max-regress is required: an ungated comparison hides regressions
+// behind green CI. Sub-floor rows (default 10µs baseline) are reported
+// but never gated — single-run sub-10µs wall times jitter far beyond
+// any sensible threshold, and gating them would only teach people to
+// ignore the gate. E-series pass→fail drift always counts as a
+// regression, regardless of thresholds.
 package main
 
 import (
@@ -45,11 +50,12 @@ var sections = []struct {
 	idKeys []string
 	nsKeys []string
 }{
-	{"b1", []string{"Query"}, []string{"OptTime", "BaseTime"}},
+	{"b1", []string{"Query"}, []string{"OptTime", "BaseTime", "OptColdTime", "BaseColdTime"}},
 	{"b3", []string{"books", "overlap"}, []string{"seq_ns", "par_ns"}},
 	{"b4", []string{"constraints"}, []string{"seq_ns", "par_ns"}},
 	{"b7", []string{"scale", "kind", "detail"}, []string{"scan_ns", "fast_ns"}},
 	{"b8", []string{"scale", "mode"}, []string{"per_op_ns"}},
+	{"b9", []string{"readers"}, []string{"per_op_ns"}},
 }
 
 func load(path string) (*report, error) {
@@ -87,10 +93,15 @@ func ident(r row, keys []string) string {
 }
 
 func main() {
-	maxRegress := flag.Float64("max-regress", 0, "exit 1 when a shared timing metric slows down by more than this percentage (0 = informational only)")
+	maxRegress := flag.Float64("max-regress", 0, "REQUIRED: exit 1 when a shared timing metric slows down by more than this percentage")
+	regressFloor := flag.Float64("regress-floor", 10000, "ignore rows whose baseline is below this many nanoseconds (noise floor)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcompare [-max-regress pct] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: benchcompare -max-regress pct [-regress-floor ns] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	if *maxRegress <= 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: -max-regress is required (a positive percentage); an ungated comparison hides regressions")
 		os.Exit(2)
 	}
 	oldRep, err := load(flag.Arg(0))
@@ -152,19 +163,25 @@ func main() {
 				}
 				pct := 100 * (nv - ov) / ov
 				marker := ""
-				if *maxRegress > 0 && pct > *maxRegress {
+				switch {
+				case ov < *regressFloor:
+					if pct > *maxRegress {
+						marker = "  (sub-floor: not gated)"
+					}
+				case pct > *maxRegress:
 					marker = "  << REGRESSION"
 					regressions++
 				}
-				fmt.Printf("  %-52s %-10s %12.0fns → %12.0fns  %+6.1f%%%s\n", id, k, ov, nv, pct, marker)
+				fmt.Printf("  %-52s %-14s %12.0fns → %12.0fns  %+6.1f%%%s\n", id, k, ov, nv, pct, marker)
 			}
 		}
 	}
 
-	if *maxRegress > 0 && regressions > 0 {
+	if regressions > 0 {
 		fmt.Printf("%d regression(s) beyond %.0f%%\n", regressions, *maxRegress)
 		os.Exit(1)
 	}
+	fmt.Printf("gate passed: no shared timing metric regressed beyond %.0f%% (floor %.0fns)\n", *maxRegress, *regressFloor)
 }
 
 func asFloat(v any) (float64, bool) {

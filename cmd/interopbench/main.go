@@ -1,14 +1,18 @@
 // Command interopbench runs the full reproduction suite: the E1–E11
 // scenario reproductions (every worked example and figure of the paper)
-// and the B1–B8 measurements (query optimisation, transaction validation,
+// and the B1–B9 measurements (query optimisation, transaction validation,
 // scale sweeps, derivation cost, baseline comparison, conflict
-// detection, indexed query serving, mutation throughput). Its output is
-// the source of EXPERIMENTS.md. The scale and derivation sweeps (B3, B4)
-// measure sequential vs parallel pipeline execution and report the
-// reasoner's cache hit rate; B7 measures the indexed+compiled serving
-// fast path against the pure interpreter scan; B8 measures batched
-// ShipTx against singleton insert transactions and delta-restricted
-// update validation against a full CheckAll.
+// detection, indexed query serving, mutation throughput, concurrent
+// lock-free serving). Its output is the source of EXPERIMENTS.md. The
+// scale and derivation sweeps (B3, B4) measure sequential vs parallel
+// pipeline execution and report the reasoner's cache hit rate; B7
+// measures the indexed+compiled serving fast path against the pure
+// interpreter scan; B8 measures batched ShipTx against singleton insert
+// transactions and delta-restricted update validation against a full
+// CheckAll; B1 reports cold (planning + cost-gated constraint phase)
+// against steady-state (plan-cached) serving; B9 measures concurrent
+// readers against the snapshot path under a mutating writer, with the
+// plan-cache hit rate.
 //
 // Usage:
 //
@@ -17,6 +21,8 @@
 //	interopbench -only B          # measurements only
 //	interopbench -quick           # smaller B-series sweeps
 //	interopbench -json BENCH.json # also write machine-readable results
+//	interopbench -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                              # pprof output (see `make profile`)
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"interopdb/internal/experiments"
@@ -44,6 +51,7 @@ type report struct {
 	B6         []experiments.B6Row   `json:"b6,omitempty"`
 	B7         []b7JSON              `json:"b7,omitempty"`
 	B8         []b8JSON              `json:"b8,omitempty"`
+	B9         []b9JSON              `json:"b9,omitempty"`
 }
 
 type eResult struct {
@@ -90,6 +98,18 @@ type b8JSON struct {
 	FullPairs  int     `json:"full_pairs,omitempty"`
 }
 
+// b9JSON flattens B9Row for trend tracking across baselines.
+type b9JSON struct {
+	Readers       int     `json:"readers"`
+	Ops           int     `json:"ops"`
+	TotalNanos    int64   `json:"total_ns"`
+	PerOpNanos    int64   `json:"per_op_ns"`
+	Throughput    float64 `json:"throughput_qps"`
+	Mutations     int     `json:"mutations"`
+	PlanHitRate   float64 `json:"plan_hit_rate"`
+	SolverQueries int64   `json:"solver_queries"`
+}
+
 type b4JSON struct {
 	Constraints  int     `json:"constraints"`
 	Derived      int     `json:"derived"`
@@ -103,7 +123,19 @@ func main() {
 	only := flag.String("only", "", "run only E or B series")
 	quick := flag.Bool("quick", false, "smaller measurement sweeps")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		exitOn(err)
+		exitOn(pprof.StartCPUProfile(f))
+		// Flushed explicitly on every exit path: os.Exit skips defers,
+		// and a truncated profile is most painful exactly when a run
+		// fails. StopCPUProfile is a no-op once profiling is stopped.
+		defer pprof.StopCPUProfile()
+	}
 
 	rep := report{GoMaxProcs: runtime.GOMAXPROCS(0), Quick: *quick}
 	failed := false
@@ -130,7 +162,15 @@ func main() {
 		exitOn(os.WriteFile(*jsonPath, append(buf, '\n'), 0o644))
 		fmt.Printf("\nwrote %s\n", *jsonPath)
 	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		exitOn(err)
+		runtime.GC()
+		exitOn(pprof.WriteHeapProfile(f))
+		exitOn(f.Close())
+	}
 	if failed {
+		pprof.StopCPUProfile()
 		os.Exit(1)
 	}
 }
@@ -145,7 +185,7 @@ func runB(quick bool, rep *report) {
 		counts = []int{4, 16, 64}
 	}
 
-	fmt.Printf("\nB1: query optimisation (%d+%d books)\n", books, books)
+	fmt.Printf("\nB1: query optimisation (%d+%d books; cold = planning, steady = plan-cached)\n", books, books)
 	rows, err := experiments.B1(books)
 	exitOn(err)
 	for _, r := range rows {
@@ -153,8 +193,8 @@ func runB(quick bool, rep *report) {
 		if r.OptScanned < r.BaseScanned {
 			speedup = fmt.Sprintf("%.0fx fewer objects", float64(r.BaseScanned)/float64(max(1, r.OptScanned)))
 		}
-		fmt.Printf("  %-62s opt: %6d scanned %10v | base: %6d scanned %10v | pruned=%-5v %s\n",
-			r.Query, r.OptScanned, r.OptTime, r.BaseScanned, r.BaseTime, r.Pruned, speedup)
+		fmt.Printf("  %-62s cold opt %10v / base %10v | steady opt %8v / base %8v | pruned=%-5v gated=%-5v %s\n",
+			r.Query, r.OptColdTime, r.BaseColdTime, r.OptTime, r.BaseTime, r.Pruned, r.Gated, speedup)
 	}
 	rep.B1 = rows
 
@@ -250,6 +290,28 @@ func runB(quick bool, rep *report) {
 			Throughput: r.Throughput(), DeltaPairs: r.DeltaPairs, FullPairs: r.FullPairs,
 		})
 	}
+
+	b9Scale, b9Ops := 50, 2000
+	if quick {
+		b9Scale, b9Ops = 10, 500
+	}
+	readerCounts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		readerCounts = append(readerCounts, n)
+	}
+	fmt.Printf("\nB9: concurrent lock-free serving (scale %d, %d queries/reader, writer shipping batches)\n", b9Scale, b9Ops)
+	for _, readers := range readerCounts {
+		r, err := experiments.B9(b9Scale, readers, b9Ops)
+		exitOn(err)
+		fmt.Printf("  readers=%2d ops=%6d wall %12v | per-query %8v | %9.0f q/s | %4d mutation batches | plan-hit %5.1f%% | solver %d\n",
+			r.Readers, r.Ops, r.Total, r.PerOp, r.Throughput(), r.Mutations, 100*r.PlanHitRate, r.SolverQueries)
+		rep.B9 = append(rep.B9, b9JSON{
+			Readers: r.Readers, Ops: r.Ops,
+			TotalNanos: r.Total.Nanoseconds(), PerOpNanos: r.PerOp.Nanoseconds(),
+			Throughput: r.Throughput(), Mutations: r.Mutations,
+			PlanHitRate: r.PlanHitRate, SolverQueries: r.SolverQueries,
+		})
+	}
 }
 
 func max(a, b int) int {
@@ -261,6 +323,7 @@ func max(a, b int) int {
 
 func exitOn(err error) {
 	if err != nil {
+		pprof.StopCPUProfile() // flush a partial CPU profile, if any
 		fmt.Fprintln(os.Stderr, "interopbench:", err)
 		os.Exit(1)
 	}

@@ -83,7 +83,10 @@ func (v *GlobalView) ApplyUpdate(g *GObj, attrs map[string]object.Value) (old ma
 // ApplyDelete removes a global object from the integrated view: every
 // class extent it belongs to, the object list, and the reference table
 // (both its global identity and its constituents' source refs). It
-// returns the names of the classes whose extents shrank.
+// returns the names of the classes whose extents shrank. The removed
+// object itself is left untouched — its Classes map still names the
+// extents it belonged to — so readers of a frozen snapshot that still
+// holds it can keep serving its pre-delete state.
 func (v *GlobalView) ApplyDelete(g *GObj) ([]string, error) {
 	if _, ok := v.byRef[g.Identity()]; !ok {
 		return nil, fmt.Errorf("object g%d is not part of the integrated view", g.ID)
@@ -91,7 +94,7 @@ func (v *GlobalView) ApplyDelete(g *GObj) ([]string, error) {
 	v.ensureNextID() // count the doomed ID before it vanishes: never reused
 	var classes []string
 	for cls := range g.Classes {
-		v.removeFromClass(g, cls)
+		v.spliceFromExtent(g, cls)
 		classes = append(classes, cls)
 	}
 	for i, o := range v.Objects {
@@ -112,9 +115,17 @@ func (v *GlobalView) ApplyDelete(g *GObj) ([]string, error) {
 	return classes, nil
 }
 
-// removeFromClass splices the object out of one class extent.
+// removeFromClass splices the object out of one class extent and drops
+// the membership from the object (reclassification's path: the object is
+// a fresh detached clone there, so mutating it is safe).
 func (v *GlobalView) removeFromClass(g *GObj, class string) {
 	delete(g.Classes, class)
+	v.spliceFromExtent(g, class)
+}
+
+// spliceFromExtent removes the object from one class extent without
+// touching the object itself.
+func (v *GlobalView) spliceFromExtent(g *GObj, class string) {
 	ext := v.classExt[class]
 	for i, o := range ext {
 		if o == g {

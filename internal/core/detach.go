@@ -1,0 +1,94 @@
+package core
+
+import (
+	"interopdb/internal/object"
+)
+
+// Snapshot support: the view engine serves queries from immutable
+// copy-on-write snapshots of the integrated view (DESIGN.md §8), which
+// requires that an object reachable from a published snapshot is never
+// mutated again. The helpers here give the engine what it needs to keep
+// that promise: DetachForUpdate swaps a fresh clone into the live view
+// before ApplyUpdate mutates it (readers of older snapshots keep the
+// frozen original), and RefsCopy/RefsOf expose the reference table so
+// the engine can fork or extend its snapshot-local deref map.
+
+// DetachForUpdate replaces g with a fresh clone everywhere the live view
+// references it — the object list, every class extent, and the
+// reference table (global identity and constituent sources) — and
+// returns the clone. The clone gets its own attribute and class maps
+// (and shares the constituent pointers, which no snapshot reader ever
+// dereferences), so a subsequent ApplyUpdate on the clone leaves the
+// original byte-for-byte intact for readers still holding it. An object
+// not (or no longer) part of the view is returned unchanged.
+func (v *GlobalView) DetachForUpdate(g *GObj) *GObj {
+	if cur, ok := v.byRef[g.Identity()]; !ok || cur != g {
+		return g
+	}
+	clone := &GObj{
+		ID:      g.ID,
+		Parts:   make(map[Side][]*CObj, len(g.Parts)),
+		Attrs:   make(map[string]object.Value, len(g.Attrs)),
+		Classes: make(map[string]bool, len(g.Classes)),
+	}
+	for side, ms := range g.Parts {
+		clone.Parts[side] = append([]*CObj{}, ms...)
+	}
+	for k, val := range g.Attrs {
+		clone.Attrs[k] = val
+	}
+	for c := range g.Classes {
+		clone.Classes[c] = true
+	}
+	for i, o := range v.Objects {
+		if o == g {
+			v.Objects[i] = clone
+			break
+		}
+	}
+	for cls := range g.Classes {
+		ext := v.classExt[cls]
+		for i, o := range ext {
+			if o == g {
+				ext[i] = clone
+				break
+			}
+		}
+	}
+	v.byRef[g.Identity()] = clone
+	for _, ms := range g.Parts {
+		for _, m := range ms {
+			if cur, ok := v.byRef[m.Src]; ok && cur == g {
+				v.byRef[m.Src] = clone
+			}
+		}
+	}
+	return clone
+}
+
+// RefsCopy returns a copy of the reference table (global identities and
+// constituent sources → global objects). Snapshot publication forks its
+// deref map from it after updates or deletes changed existing entries.
+func (v *GlobalView) RefsCopy() map[object.Ref]*GObj {
+	out := make(map[object.Ref]*GObj, len(v.byRef))
+	for r, g := range v.byRef {
+		out[r] = g
+	}
+	return out
+}
+
+// RefsOf lists the reference-table keys that resolve to the object: its
+// global identity plus every constituent source reference. Snapshot
+// publication uses it to extend the deref map after pure inserts without
+// forking it.
+func (v *GlobalView) RefsOf(g *GObj) []object.Ref {
+	out := []object.Ref{g.Identity()}
+	for _, ms := range g.Parts {
+		for _, m := range ms {
+			if cur, ok := v.byRef[m.Src]; ok && cur == g {
+				out = append(out, m.Src)
+			}
+		}
+	}
+	return out
+}

@@ -196,8 +196,10 @@ func (v *GlobalView) ApplyInsert(class string, attrs map[string]object.Value, sr
 		return nil, fmt.Errorf("no origin class for global class %s", class)
 	}
 	cp := make(map[string]object.Value, len(attrs))
+	mp := make(map[string]object.Value, len(attrs))
 	for k, val := range attrs {
 		cp[k] = val
+		mp[k] = val
 	}
 	g := &GObj{
 		ID:      v.nextObjectID(),
@@ -205,8 +207,12 @@ func (v *GlobalView) ApplyInsert(class string, attrs map[string]object.Value, sr
 		Attrs:   cp,
 		Classes: map[string]bool{},
 	}
+	// The constituent gets its own attribute map: sharing cp would let a
+	// later in-place constituent write (ApplyUpdate fans values out to
+	// the parts) mutate the global object's map behind a frozen
+	// snapshot's back.
 	g.Parts[org.Side] = append(g.Parts[org.Side], &CObj{
-		Src: src, Side: org.Side, Class: org.Class, Attrs: cp,
+		Src: src, Side: org.Side, Class: org.Class, Attrs: mp,
 	})
 	for _, cn := range v.Conformed.SchemaOf(org.Side).Supers(org.Class) {
 		v.addToClass(g, org.Side, cn)

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one function
-// per experiment of DESIGN.md §6 (E1–E11 scenario reproductions, B1–B8
+// per experiment of DESIGN.md §6 (E1–E11 scenario reproductions, B1–B9
 // measurements). cmd/interopbench prints their results; the root-level
 // benchmarks wrap them with testing.B; EXPERIMENTS.md records their
 // outputs against the paper's claims.
@@ -8,6 +8,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"interopdb/internal/baseline"
@@ -445,18 +447,36 @@ func All() ([]Result, error) {
 // ---------------------------------------------------------------------------
 // B-series measurements
 
-// B1Row is one query-optimisation measurement.
+// B1Row is one query-optimisation measurement. Cold times cover the
+// first run of each mode — plan construction, index builds, and (for
+// the optimised mode, when the cost gate lets it through) the solver's
+// constraint phase. OptTime/BaseTime are steady-state per-operation
+// times over plan-cache hits, where the constraint reasoning is
+// amortised to zero.
 type B1Row struct {
 	Query       string
 	OptScanned  int
 	BaseScanned int
 	Pruned      bool
-	OptTime     time.Duration
-	BaseTime    time.Duration
+	// Gated reports that the cost gate skipped the constraint phase:
+	// the estimated serving cost could not pay for the solver, so the
+	// optimised plan degenerates to the base plan instead of losing to
+	// it (BENCH_3's B1 regression: 470µs "optimised" vs 82µs plain).
+	Gated        bool
+	OptTime      time.Duration // steady-state per op
+	BaseTime     time.Duration // steady-state per op
+	OptColdTime  time.Duration // first run (plan build)
+	BaseColdTime time.Duration
 }
 
+// b1SteadyIters is the steady-state averaging window per mode.
+const b1SteadyIters = 100
+
 // B1 measures constraint-based query optimisation on a generated
-// federation.
+// federation: cold (planning) and steady-state (plan-cached) times for
+// the optimised and drop-all modes. The base mode runs first so shared
+// index builds land in its cold time, making the optimised cold time a
+// pure measurement of the (cost-gated) constraint phase.
 func B1(books int) ([]B1Row, error) {
 	p := workload.DefaultParams()
 	p.LocalBooks, p.RemoteBooks = books, books
@@ -477,26 +497,47 @@ func B1(books int) ([]B1Row, error) {
 	}
 	var rows []B1Row
 	for _, q := range queries {
+		runCold := func(useCons bool) (view.Stats, int, time.Duration, error) {
+			e.UseConstraints = useCons
+			t0 := time.Now()
+			r, st, err := e.Run(q)
+			return st, len(r), time.Since(t0), err
+		}
+		runSteady := func(useCons bool) (time.Duration, error) {
+			e.UseConstraints = useCons
+			t0 := time.Now()
+			for i := 0; i < b1SteadyIters; i++ {
+				if _, _, err := e.Run(q); err != nil {
+					return 0, err
+				}
+			}
+			return time.Since(t0) / b1SteadyIters, nil
+		}
+		baseStats, nBase, baseCold, err := runCold(false)
+		if err != nil {
+			return nil, err
+		}
+		optStats, nOpt, optCold, err := runCold(true)
+		if err != nil {
+			return nil, err
+		}
+		if nOpt != nBase {
+			return nil, fmt.Errorf("optimisation changed answers: %d vs %d", nOpt, nBase)
+		}
+		baseSteady, err := runSteady(false)
+		if err != nil {
+			return nil, err
+		}
+		optSteady, err := runSteady(true)
+		if err != nil {
+			return nil, err
+		}
 		e.UseConstraints = true
-		t0 := time.Now()
-		r1, s1, err := e.Run(q)
-		if err != nil {
-			return nil, err
-		}
-		dOpt := time.Since(t0)
-		e.UseConstraints = false
-		t0 = time.Now()
-		r2, s2, err := e.Run(q)
-		if err != nil {
-			return nil, err
-		}
-		dBase := time.Since(t0)
-		if len(r1) != len(r2) {
-			return nil, fmt.Errorf("optimisation changed answers: %d vs %d", len(r1), len(r2))
-		}
 		rows = append(rows, B1Row{
-			Query: q.Where.String(), OptScanned: s1.Scanned, BaseScanned: s2.Scanned,
-			Pruned: s1.PrunedEmpty, OptTime: dOpt, BaseTime: dBase,
+			Query: q.Where.String(), OptScanned: optStats.Scanned, BaseScanned: baseStats.Scanned,
+			Pruned: optStats.PrunedEmpty, Gated: optStats.ConstraintGated,
+			OptTime: optSteady, BaseTime: baseSteady,
+			OptColdTime: optCold, BaseColdTime: baseCold,
 		})
 	}
 	return rows, nil
@@ -975,21 +1016,30 @@ func B8(scales []int, batch int) ([]B8Row, error) {
 		}
 
 		// Validation work: delta-restricted update check vs full sweep.
+		// Both are idempotent reads, so each is averaged over several
+		// iterations — a single ~30µs sample is too noisy for the
+		// benchcompare gate.
 		var target int
 		for _, g := range eB.Result().View.Extent("Proceedings") {
 			if v, ok := g.Get("isbn"); ok && v.Equal(object.Str("vldb96")) {
 				target = g.ID
 			}
 		}
+		const deltaIters, fullIters = 20, 3
+		var delta, full view.ValidateStats
 		t0 = time.Now()
-		_, delta, err := eB.ValidateUpdate("Proceedings", target, map[string]object.Value{"ref?": object.Bool(true)})
-		if err != nil {
-			return nil, fmt.Errorf("B8 scale=%d validate: %w", scale, err)
+		for i := 0; i < deltaIters; i++ {
+			_, delta, err = eB.ValidateUpdate("Proceedings", target, map[string]object.Value{"ref?": object.Bool(true)})
+			if err != nil {
+				return nil, fmt.Errorf("B8 scale=%d validate: %w", scale, err)
+			}
 		}
-		deltaT := time.Since(t0)
+		deltaT := time.Since(t0) / deltaIters
 		t0 = time.Now()
-		_, full := eB.CheckAll()
-		fullT := time.Since(t0)
+		for i := 0; i < fullIters; i++ {
+			_, full = eB.CheckAll()
+		}
+		fullT := time.Since(t0) / fullIters
 
 		rows = append(rows,
 			B8Row{Scale: scale, Mode: "singleton-inserts", Ops: batch, Total: singleton, PerOp: singleton / time.Duration(batch)},
@@ -1001,6 +1051,137 @@ func B8(scales []int, batch int) ([]B8Row, error) {
 		)
 	}
 	return rows, nil
+}
+
+// B9Row is one concurrent-serving measurement: aggregate query
+// throughput with N reader goroutines hammering the lock-free snapshot
+// path while a writer ships mutation batches, plus the plan-cache hit
+// rate and residual solver work the readers induced.
+type B9Row struct {
+	Readers       int
+	Ops           int           // total queries served
+	Total         time.Duration // wall time for the reader pool
+	PerOp         time.Duration // wall time × readers / ops (per-query cost)
+	Mutations     int           // ShipTx batches committed during the run
+	PlanHitRate   float64
+	SolverQueries int64 // planner solver calls during the reader phase
+}
+
+// Throughput is the aggregate serving rate in queries per second.
+func (r B9Row) Throughput() float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Total.Seconds()
+}
+
+// B9 measures concurrent-reader serving over the scaled Figure 1
+// fixture: reader goroutines run a fixed query mix against the
+// published snapshot (Run takes no lock) while one writer ships ShipTx
+// batches that republish it. Row answers are cross-checked against the
+// single-threaded engine before timing; on a multi-core host the
+// aggregate throughput scales with the reader count (CI is single-core,
+// so only the correctness half is asserted there — wall-clock scaling
+// is reported, not gated).
+func B9(scale, readers, opsPerReader int) (B9Row, error) {
+	row := B9Row{Readers: readers}
+	local, remote := fixture.Figure1Stores(fixture.Options{Scale: scale})
+	res, err := core.Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), local, remote, 1)
+	if err != nil {
+		return row, err
+	}
+	e := view.New(res)
+	queries := []view.Query{
+		{Class: "Item", Where: expr.MustParse("isbn = 'vldb96'")},
+		{Class: "Item", Where: expr.MustParse("shopprice <= 20")},
+		{Class: "Proceedings", Where: expr.MustParse("rating >= 7 and shopprice < 75")},
+		{Class: "Proceedings", Where: expr.MustParse("rating in {5, 8}")},
+		{Class: "Proceedings", Where: expr.MustParse("publisher.name = 'IEEE' and ref? = false")},
+	}
+	// Warm plans and pin the expected answer sizes single-threaded.
+	want := make([]int, len(queries))
+	for i, q := range queries {
+		rows, _, err := e.Run(q)
+		if err != nil {
+			return row, err
+		}
+		want[i] = len(rows)
+	}
+
+	statsBefore := e.CacheStats()
+	var readerWG, writerWG sync.WaitGroup
+	errs := make(chan error, readers+1)
+	stop := make(chan struct{})
+	var mutations atomic.Int64
+
+	// Writer: ship small insert batches until the readers finish. The
+	// inserted items are priced outside every probed range, so the
+	// readers' expected answers stay fixed across republications.
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ops := []view.Mutation{{Kind: view.MutInsert, Class: "Item", Attrs: map[string]object.Value{
+				"title":     object.Str(fmt.Sprintf("b9-%d-%d", readers, i)),
+				"isbn":      object.Str(fmt.Sprintf("b9-%d-%d", readers, i)),
+				"publisher": object.Ref{DB: remote.Name(), OID: 2},
+				"shopprice": object.Real(50), "libprice": object.Real(40),
+			}}}
+			if err := e.ShipTx(remote, ops); err != nil {
+				errs <- fmt.Errorf("B9 writer batch %d: %w", i, err)
+				return
+			}
+			mutations.Add(1)
+		}
+	}()
+
+	t0 := time.Now()
+	for w := 0; w < readers; w++ {
+		readerWG.Add(1)
+		go func(w int) {
+			defer readerWG.Done()
+			for i := 0; i < opsPerReader; i++ {
+				qi := (w + i) % len(queries)
+				rows, _, err := e.Run(queries[qi])
+				if err != nil {
+					errs <- fmt.Errorf("B9 reader %d: %w", w, err)
+					return
+				}
+				if len(rows) != want[qi] {
+					errs <- fmt.Errorf("B9 reader %d: query %d served %d rows, want %d",
+						w, qi, len(rows), want[qi])
+					return
+				}
+			}
+		}(w)
+	}
+	readerWG.Wait()
+	row.Total = time.Since(t0)
+	close(stop)
+	writerWG.Wait()
+
+	close(errs)
+	for err := range errs {
+		return row, err
+	}
+	row.Ops = readers * opsPerReader
+	row.Mutations = int(mutations.Load())
+	statsAfter := e.CacheStats()
+	hits := statsAfter.PlanHits - statsBefore.PlanHits
+	misses := statsAfter.PlanMisses - statsBefore.PlanMisses
+	if hits+misses > 0 {
+		row.PlanHitRate = float64(hits) / float64(hits+misses)
+	}
+	row.SolverQueries = statsAfter.SolverQueries - statsBefore.SolverQueries
+	if row.Ops > 0 {
+		row.PerOp = time.Duration(int64(row.Total) * int64(readers) / int64(row.Ops))
+	}
+	return row, nil
 }
 
 // Reasoner runs a micro-benchmark-sized workload through the logic

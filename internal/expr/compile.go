@@ -1,6 +1,8 @@
 package expr
 
 import (
+	"sync/atomic"
+
 	"interopdb/internal/object"
 )
 
@@ -27,9 +29,19 @@ type anyFn func(env *Env) (any, error)
 // valFn is a compiled node narrowed to a plain value.
 type valFn func(env *Env) (object.Value, error)
 
+// compileCount counts Compile calls process-wide; tests use it to pin
+// that steady-state serving recompiles nothing.
+var compileCount atomic.Int64
+
+// CompileCount returns the number of Compile calls made so far in this
+// process. The view engine's plan cache is pinned against it: a
+// plan-cache hit must not compile.
+func CompileCount() int64 { return compileCount.Load() }
+
 // Compile lowers the node to a Program. Compilation never fails: nodes
 // the compiler does not specialise are wrapped in interpreter fallbacks.
 func Compile(n Node) *Program {
+	compileCount.Add(1)
 	return &Program{node: n, fn: compileAny(n)}
 }
 

@@ -1,0 +1,214 @@
+package expr
+
+import (
+	"fmt"
+
+	"interopdb/internal/object"
+)
+
+// FP is a 128-bit structural fingerprint of an AST: two independently
+// mixed 64-bit accumulators over a canonical byte encoding of the tree.
+// Structurally equal nodes (expr.Equal) always fingerprint equal;
+// distinct trees collide only with negligible probability, and every
+// consumer that uses fingerprints as cache keys (logic's verdict memo,
+// the view engine's plan cache) re-verifies candidate hits with
+// expr.Equal, so a collision can cost a recomputation but never a wrong
+// answer. Computing a fingerprint walks the tree once and allocates
+// nothing — it replaces the per-call String() rendering the caches used
+// to key on.
+type FP struct{ Hi, Lo uint64 }
+
+// Less orders fingerprints lexicographically (Hi, then Lo); the logic
+// package sorts premise sets by fingerprint to canonicalize them.
+func (f FP) Less(o FP) bool {
+	if f.Hi != o.Hi {
+		return f.Hi < o.Hi
+	}
+	return f.Lo < o.Lo
+}
+
+// String renders the fingerprint for diagnostics.
+func (f FP) String() string { return fmt.Sprintf("%016x%016x", f.Hi, f.Lo) }
+
+// FNV-1a parameters for the first lane; the second lane uses a
+// splitmix-style multiply/xor-shift so the lanes decorrelate.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fpHasher accumulates the two lanes.
+type fpHasher struct{ a, b uint64 }
+
+func newFPHasher() fpHasher {
+	return fpHasher{a: fnvOffset, b: 0x9e3779b97f4a7c15}
+}
+
+func (h *fpHasher) word(x uint64) {
+	h.a = (h.a ^ x) * fnvPrime
+	h.b += x + 0x9e3779b97f4a7c15
+	h.b ^= h.b >> 30
+	h.b *= 0xbf58476d1ce4e5b9
+	h.b ^= h.b >> 27
+}
+
+func (h *fpHasher) tag(t byte) { h.word(uint64(t)) }
+
+func (h *fpHasher) str(s string) {
+	h.word(uint64(len(s)))
+	// Fold the bytes eight at a time; the tail is padded with length so
+	// "ab"+"c" and "a"+"bc" cannot alias across adjacent str calls.
+	var acc uint64
+	n := 0
+	for i := 0; i < len(s); i++ {
+		acc = acc<<8 | uint64(s[i])
+		n++
+		if n == 8 {
+			h.word(acc)
+			acc, n = 0, 0
+		}
+	}
+	if n > 0 {
+		h.word(acc)
+	}
+}
+
+// FPFold combines fingerprints (and tag bytes) into one derived
+// fingerprint with the same two-lane mixing Fingerprint uses, so cache
+// keys built from several fingerprints (the logic memo's premise sets,
+// for instance) share one mixer definition.
+type FPFold struct{ h fpHasher }
+
+// NewFPFold returns a fresh fold.
+func NewFPFold() FPFold { return FPFold{h: newFPHasher()} }
+
+// Tag folds a discriminator byte (separating, say, premises from a
+// conclusion).
+func (f *FPFold) Tag(t byte) { f.h.tag(t) }
+
+// Add folds one fingerprint.
+func (f *FPFold) Add(fp FP) {
+	f.h.word(fp.Hi)
+	f.h.word(fp.Lo)
+}
+
+// Sum returns the combined fingerprint.
+func (f *FPFold) Sum() FP { return FP{Hi: f.h.a, Lo: f.h.b} }
+
+// Node kind tags for the canonical encoding.
+const (
+	fpLit byte = iota + 1
+	fpSetLit
+	fpIdent
+	fpPath
+	fpUnary
+	fpBinary
+	fpIn
+	fpCall
+	fpAgg
+	fpQuant
+	fpKey
+	fpNil
+)
+
+// Fingerprint computes the structural fingerprint of a node (nil is a
+// valid input with its own distinct fingerprint).
+func Fingerprint(n Node) FP {
+	h := newFPHasher()
+	fpNode(&h, n)
+	return FP{Hi: h.a, Lo: h.b}
+}
+
+func fpNode(h *fpHasher, n Node) {
+	if n == nil {
+		h.tag(fpNil)
+		return
+	}
+	switch n := n.(type) {
+	case Lit:
+		h.tag(fpLit)
+		fpValue(h, n.Val)
+	case SetLit:
+		h.tag(fpSetLit)
+		h.word(uint64(len(n.Elems)))
+		for _, e := range n.Elems {
+			fpNode(h, e)
+		}
+	case Ident:
+		h.tag(fpIdent)
+		h.str(n.Name)
+	case Path:
+		h.tag(fpPath)
+		h.str(n.Attr)
+		fpNode(h, n.Recv)
+	case Unary:
+		h.tag(fpUnary)
+		h.word(uint64(n.Op))
+		fpNode(h, n.X)
+	case Binary:
+		h.tag(fpBinary)
+		h.word(uint64(n.Op))
+		fpNode(h, n.L)
+		fpNode(h, n.R)
+	case In:
+		h.tag(fpIn)
+		if n.Neg {
+			h.word(1)
+		} else {
+			h.word(0)
+		}
+		fpNode(h, n.X)
+		fpNode(h, n.Set)
+	case Call:
+		h.tag(fpCall)
+		h.str(n.Fn)
+		h.word(uint64(len(n.Args)))
+		for _, a := range n.Args {
+			fpNode(h, a)
+		}
+	case Agg:
+		h.tag(fpAgg)
+		h.str(n.Fn)
+		h.str(n.Var)
+		h.str(n.Over)
+		fpNode(h, n.Src)
+	case Quant:
+		h.tag(fpQuant)
+		h.word(uint64(len(n.Binders)))
+		for _, b := range n.Binders {
+			if b.All {
+				h.word(1)
+			} else {
+				h.word(0)
+			}
+			h.str(b.Var)
+			h.str(b.Class)
+		}
+		fpNode(h, n.Body)
+	case Key:
+		h.tag(fpKey)
+		h.word(uint64(len(n.Attrs)))
+		for _, a := range n.Attrs {
+			h.str(a)
+		}
+	default:
+		// Unknown node kinds hash by their rendering so extensions still
+		// get stable (if slower) fingerprints.
+		h.tag(0xff)
+		h.str(n.String())
+	}
+}
+
+// fpValue folds a literal value into the hash through object.Hash,
+// whose equality contract matches Value.Equal exactly (Int(2) and
+// Real(2.0) are Equal and hash equal, so they fingerprint equal too —
+// keeping the invariant that expr.Equal nodes share a fingerprint).
+// object.Hash is itself a hash; acceptable, since fingerprint consumers
+// verify candidate cache hits with expr.Equal.
+func fpValue(h *fpHasher, v object.Value) {
+	if v == nil {
+		h.word(uint64(0xfffe))
+		return
+	}
+	h.word(object.Hash(v))
+}

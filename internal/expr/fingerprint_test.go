@@ -1,0 +1,135 @@
+package expr
+
+import (
+	"fmt"
+	"testing"
+
+	"interopdb/internal/object"
+)
+
+// fingerprintCorpus parses a broad sample of the surface language.
+func fingerprintCorpus(t *testing.T) []Node {
+	t.Helper()
+	srcs := []string{
+		"rating >= 7",
+		"rating >= 8",
+		"rating <= 7",
+		"7 >= rating",
+		"ourprice <= shopprice",
+		"shopprice <= ourprice",
+		"publisher in KNOWNPUBLISHERS",
+		"publisher not in KNOWNPUBLISHERS",
+		"rating in {5, 8}",
+		"rating in {8, 5}",
+		"publisher.name = 'IEEE' implies ref? = true",
+		"publisher.name = 'IEEE' and ref? = true",
+		"not (ref? = true)",
+		"-rating < 0",
+		"contains(title, 'Proceed')",
+		"contains(title, 'Proc')",
+		"(sum (collect x for x in self) over ourprice) < MAX",
+		"(avg (collect x for x in self) over ourprice) < MAX",
+		"forall p in Publisher exists i in Item | i.publisher = p",
+		"exists p in Publisher exists i in Item | i.publisher = p",
+		"shopprice - libprice >= 2",
+		"shopprice + libprice >= 2",
+		"title + 1 = 2",
+	}
+	nodes := make([]Node, 0, len(srcs)+3)
+	for _, s := range srcs {
+		nodes = append(nodes, MustParse(s))
+	}
+	nodes = append(nodes,
+		Key{Attrs: []string{"isbn"}},
+		Key{Attrs: []string{"isbn", "title"}},
+		Binary{Op: OpEq, L: Ident{Name: "x"}, R: Lit{Val: object.Null{}}},
+	)
+	return nodes
+}
+
+// TestFingerprintMatchesEqual pins the contract the caches rely on:
+// expr.Equal nodes share a fingerprint, and (for this corpus) distinct
+// nodes do not collide.
+func TestFingerprintMatchesEqual(t *testing.T) {
+	nodes := fingerprintCorpus(t)
+	for i, a := range nodes {
+		for j, b := range nodes {
+			fa, fb := Fingerprint(a), Fingerprint(b)
+			if Equal(a, b) && fa != fb {
+				t.Errorf("nodes %d and %d are Equal but fingerprints differ: %s vs %s", i, j, fa, fb)
+			}
+			if !Equal(a, b) && fa == fb {
+				t.Errorf("nodes %d (%s) and %d (%s) collide on %s", i, a, j, b, fa)
+			}
+		}
+	}
+}
+
+// TestFingerprintReparseStable: a node and its reparse (structurally
+// equal by construction) fingerprint identically.
+func TestFingerprintReparseStable(t *testing.T) {
+	for _, n := range fingerprintCorpus(t) {
+		if _, isKey := n.(Key); isKey {
+			continue // key constraints have no expression surface syntax
+		}
+		if b, isBin := n.(Binary); isBin {
+			if l, isLit := b.R.(Lit); isLit && l.Val.Kind() == object.KindNull {
+				continue // null literals have no surface syntax either
+			}
+		}
+		re, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", n, err)
+		}
+		if Fingerprint(n) != Fingerprint(re) {
+			t.Errorf("%s: reparse changed the fingerprint", n)
+		}
+	}
+}
+
+// TestFingerprintCrossKindNumericLiterals: Int and Real literals that
+// are Equal must fingerprint equal (the memo would otherwise miss
+// verdicts it is entitled to reuse).
+func TestFingerprintCrossKindNumericLiterals(t *testing.T) {
+	a := Binary{Op: OpGe, L: Ident{Name: "rating"}, R: Lit{Val: object.Int(2)}}
+	b := Binary{Op: OpGe, L: Ident{Name: "rating"}, R: Lit{Val: object.Real(2)}}
+	if !Equal(a, b) {
+		t.Skip("Value.Equal no longer identifies Int(2) and Real(2.0)")
+	}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("Equal cross-kind numeric literals fingerprint differently")
+	}
+}
+
+// TestFingerprintNil: nil has a stable fingerprint distinct from any
+// parsed node's.
+func TestFingerprintNil(t *testing.T) {
+	fn := Fingerprint(nil)
+	if fn != Fingerprint(nil) {
+		t.Error("nil fingerprint unstable")
+	}
+	for _, n := range fingerprintCorpus(t) {
+		if Fingerprint(n) == fn {
+			t.Errorf("%s collides with the nil fingerprint", n)
+		}
+	}
+}
+
+// TestFingerprintGeneratedGrid sweeps a generated comparison grid (attr
+// × op × constant) asserting pairwise distinctness — a smoke test that
+// the encoding separates the shapes the plan cache keys on.
+func TestFingerprintGeneratedGrid(t *testing.T) {
+	seen := map[FP]string{}
+	for _, attr := range []string{"rating", "shopprice", "libprice"} {
+		for _, op := range []string{"=", "<", "<=", ">", ">=", "!="} {
+			for c := 0; c < 25; c++ {
+				src := fmt.Sprintf("%s %s %d", attr, op, c)
+				fp := Fingerprint(MustParse(src))
+				if prev, dup := seen[fp]; dup {
+					t.Fatalf("%q collides with %q on %s", src, prev, fp)
+				}
+				seen[fp] = src
+			}
+		}
+	}
+}

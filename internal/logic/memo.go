@@ -3,7 +3,6 @@ package logic
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -16,21 +15,29 @@ import (
 // rule re-derives against the same target constraint set, and the §5.2.1
 // necessary-condition checks share premises across property pairs. The
 // memo layer answers repeated queries from a concurrency-safe cache
-// keyed on the canonicalized text of the query, so a Checker can be
-// shared freely across the worker pool that fans those checks out.
+// keyed on the structural fingerprint of the canonicalized query (a
+// single tree walk — it replaced the per-call String() rendering the
+// cache originally keyed on), so a Checker can be shared freely across
+// the worker pool that fans those checks out.
 //
 // Canonicalization exploits two algebraic facts about the fragment:
 // conjunction is commutative and idempotent, so premise lists are sorted
-// and deduplicated before keying. Verdicts depend only on the formulas
-// and the Checker's configuration (Types, MaxBranches), both of which
-// are fixed for the lifetime of a Checker, so cached verdicts never go
-// stale.
+// (by fingerprint) and deduplicated before keying. Verdicts depend only
+// on the formulas and the Checker's configuration (Types, MaxBranches),
+// both of which are fixed for the lifetime of a Checker, so cached
+// verdicts never go stale. Fingerprints are hashes, so a stored entry
+// keeps its formulas and every hit is re-verified with expr.Equal: a
+// (vanishingly unlikely) collision recomputes instead of answering
+// wrong.
 
 // CacheStats reports the effectiveness of a Checker's memo layer.
 type CacheStats struct {
 	Hits    int64
 	Misses  int64
 	Entries int64
+	// Collisions counts lookups whose fingerprint matched a stored entry
+	// that failed expr.Equal verification (recomputed, not cached).
+	Collisions int64
 }
 
 // HitRate returns the fraction of queries answered from cache.
@@ -48,36 +55,75 @@ func (s CacheStats) String() string {
 		s.Hits, s.Misses, s.Entries, 100*s.HitRate())
 }
 
+// memoKey is the fixed-size cache key: query kind tag plus the combined
+// fingerprint of the canonical premise sequence and the conclusion.
+type memoKey struct {
+	kind   byte
+	hi, lo uint64
+}
+
+// memoEntry stores a verdict together with the exact query it answers,
+// so fingerprint hits can be verified structurally.
+type memoEntry struct {
+	premises   []expr.Node // canonical order, as solved
+	conclusion expr.Node   // nil for satisfiability queries
+	verdict    Verdict
+}
+
+// matches reports whether the entry answers exactly this query.
+func (e *memoEntry) matches(premises []expr.Node, conclusion expr.Node) bool {
+	if len(e.premises) != len(premises) {
+		return false
+	}
+	for i := range premises {
+		if !expr.Equal(e.premises[i], premises[i]) {
+			return false
+		}
+	}
+	return expr.Equal(e.conclusion, conclusion)
+}
+
 // memoTable is the concurrency-safe verdict cache. The zero value is
 // ready to use, so Checker composite literals need no constructor.
 type memoTable struct {
-	m       sync.Map // canonical key → Verdict
-	hits    atomic.Int64
-	misses  atomic.Int64
-	entries atomic.Int64
+	m          sync.Map // memoKey → *memoEntry
+	hits       atomic.Int64
+	misses     atomic.Int64
+	entries    atomic.Int64
+	collisions atomic.Int64
 }
 
 // get answers a query from cache, computing and storing on miss. Two
 // goroutines racing on the same key may both compute; the computation is
-// pure, so either result is correct and one store wins harmlessly.
-func (t *memoTable) get(key string, compute func() Verdict) Verdict {
+// pure, so either result is correct and one store wins harmlessly. A
+// fingerprint collision (stored entry fails structural verification)
+// recomputes without caching, so collisions cost time, never
+// correctness.
+func (t *memoTable) get(key memoKey, premises []expr.Node, conclusion expr.Node, compute func() Verdict) Verdict {
 	if v, ok := t.m.Load(key); ok {
-		t.hits.Add(1)
-		return v.(Verdict)
+		e := v.(*memoEntry)
+		if e.matches(premises, conclusion) {
+			t.hits.Add(1)
+			return e.verdict
+		}
+		t.collisions.Add(1)
+		return compute()
 	}
 	t.misses.Add(1)
-	v := compute()
-	if _, loaded := t.m.LoadOrStore(key, v); !loaded {
+	verdict := compute()
+	e := &memoEntry{premises: premises, conclusion: conclusion, verdict: verdict}
+	if _, loaded := t.m.LoadOrStore(key, e); !loaded {
 		t.entries.Add(1)
 	}
-	return v
+	return verdict
 }
 
 func (t *memoTable) stats() CacheStats {
 	return CacheStats{
-		Hits:    t.hits.Load(),
-		Misses:  t.misses.Load(),
-		Entries: t.entries.Load(),
+		Hits:       t.hits.Load(),
+		Misses:     t.misses.Load(),
+		Entries:    t.entries.Load(),
+		Collisions: t.collisions.Load(),
 	}
 }
 
@@ -92,58 +138,61 @@ func (c *Checker) CacheStats() CacheStats {
 
 // memoized routes a query through the cache unless memoization is
 // disabled or the Checker is nil (nil Checkers are legal everywhere
-// else, so they are here too). parts must be the canonicalized formula
-// texts (see canonicalize); the key is only assembled when the cache is
-// actually consulted.
-func (c *Checker) memoized(kind byte, parts []string, conclusion expr.Node, compute func() Verdict) Verdict {
+// else, so they are here too). canon must be the canonicalized premise
+// list with its fingerprints (see canonicalize); the key is only
+// assembled when the cache is actually consulted.
+func (c *Checker) memoized(kind byte, canon []expr.Node, fps []expr.FP, conclusion expr.Node, compute func() Verdict) Verdict {
 	if c == nil || c.NoMemo {
 		return compute()
 	}
-	return c.memo.get(cacheKey(kind, parts, conclusion), compute)
+	return c.memo.get(cacheKey(kind, fps, conclusion), canon, conclusion, compute)
 }
 
 // canonicalize returns the formulas in canonical order — sorted by
-// their deterministic rendering, duplicates dropped (conjunction is
-// commutative and idempotent) — together with the rendered texts. The
-// solver consumes the canonical order and the cache keys on it, so a
-// verdict is a function of the formula *set*: premise reorderings
-// cannot yield different verdicts at the DNF branch-budget boundary,
-// which would otherwise let a cached answer disagree with a fresh
-// computation of the "same" query.
-func canonicalize(ns []expr.Node) ([]expr.Node, []string) {
+// structural fingerprint, duplicates dropped (conjunction is commutative
+// and idempotent) — together with the fingerprints. The solver consumes
+// the canonical order and the cache keys on it, so a verdict is a
+// function of the formula *set*: premise reorderings cannot yield
+// different verdicts at the DNF branch-budget boundary, which would
+// otherwise let a cached answer disagree with a fresh computation of the
+// "same" query.
+func canonicalize(ns []expr.Node) ([]expr.Node, []expr.FP) {
 	type pair struct {
-		s string
-		n expr.Node
+		fp expr.FP
+		n  expr.Node
 	}
 	ps := make([]pair, len(ns))
 	for i, n := range ns {
-		ps[i] = pair{n.String(), n}
+		ps[i] = pair{expr.Fingerprint(n), n}
 	}
-	sort.SliceStable(ps, func(i, j int) bool { return ps[i].s < ps[j].s })
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].fp.Less(ps[j].fp) })
 	outN := make([]expr.Node, 0, len(ps))
-	outS := make([]string, 0, len(ps))
+	outF := make([]expr.FP, 0, len(ps))
 	for _, p := range ps {
-		if len(outS) > 0 && p.s == outS[len(outS)-1] {
+		// Equal fingerprints from structurally distinct nodes would be a
+		// hash collision; keep both (sound — conjunction is idempotent
+		// only over genuinely equal conjuncts).
+		if len(outF) > 0 && p.fp == outF[len(outF)-1] && expr.Equal(p.n, outN[len(outN)-1]) {
 			continue
 		}
 		outN = append(outN, p.n)
-		outS = append(outS, p.s)
+		outF = append(outF, p.fp)
 	}
-	return outN, outS
+	return outN, outF
 }
 
-// cacheKey assembles the cache key: query kind tag, canonical formula
-// texts, and (for entailment) the conclusion's rendering.
-func cacheKey(kind byte, parts []string, conclusion expr.Node) string {
-	var b strings.Builder
-	b.WriteByte(kind)
-	for _, p := range parts {
-		b.WriteByte('\x00')
-		b.WriteString(p)
+// cacheKey assembles the fixed-size cache key by folding the query kind
+// tag, the canonical premise fingerprints in order, and (for entailment)
+// the conclusion's fingerprint, through expr's shared mixer.
+func cacheKey(kind byte, fps []expr.FP, conclusion expr.Node) memoKey {
+	fold := expr.NewFPFold()
+	for _, fp := range fps {
+		fold.Add(fp)
 	}
 	if conclusion != nil {
-		b.WriteByte('\x01')
-		b.WriteString(conclusion.String())
+		fold.Tag(1)
+		fold.Add(expr.Fingerprint(conclusion))
 	}
-	return b.String()
+	sum := fold.Sum()
+	return memoKey{kind: kind, hi: sum.Hi, lo: sum.Lo}
 }

@@ -48,8 +48,8 @@ func (c *Checker) types() map[string]object.Type {
 // duplicate-insensitive) before solving, and repeated queries are
 // answered from the memo table.
 func (c *Checker) Satisfiable(ns ...expr.Node) Verdict {
-	canon, parts := canonicalize(ns)
-	return c.memoized('S', parts, nil, func() Verdict {
+	canon, fps := canonicalize(ns)
+	return c.memoized('S', canon, fps, nil, func() Verdict {
 		return c.satisfiable(canon)
 	})
 }
@@ -144,8 +144,8 @@ func (c *Checker) satForm(f form, sawOpaque bool) Verdict {
 // The premise set is canonicalized (order- and duplicate-insensitive)
 // before solving, and repeated queries are answered from the memo table.
 func (c *Checker) Entails(premises []expr.Node, conclusion expr.Node) Verdict {
-	canon, parts := canonicalize(premises)
-	return c.memoized('E', parts, conclusion, func() Verdict {
+	canon, fps := canonicalize(premises)
+	return c.memoized('E', canon, fps, conclusion, func() Verdict {
 		return c.entails(canon, conclusion)
 	})
 }

@@ -14,8 +14,13 @@ import (
 // equality-restricted attributes, ordered (sorted-slice) indexes on
 // range-restricted attributes, and composite-key uniqueness indexes for
 // insert validation. Indexes are chosen automatically from the sargable
-// fragment logic.ExtractRestriction recognises, built lazily on first
-// use, and maintained incrementally when ShipInsert grows the view.
+// fragment logic.ExtractRestriction recognises and built lazily on
+// first use — inside the published snapshot's classState, over its
+// frozen extent. They double as the planner's per-class statistics:
+// bucket and range-window counts feed the cost model's selectivity
+// estimates. Mutations never maintain an index in place; publishing a
+// snapshot replaces the affected classState wholesale and the next
+// query rebuilds on demand (the single invalidation rule of §8).
 //
 // Index answers are exact mirrors of the scan semantics: only non-null
 // stored values are indexed (the interpreter evaluates comparisons and
@@ -23,8 +28,8 @@ import (
 // re-check candidate values with Equal to discard collisions, and an
 // ordered index declines to serve a probe whose constant is not
 // order-comparable with every indexed value — the conjunct then falls
-// back to the residual scan, which surfaces the same evaluation error the
-// pure scan path would.
+// back to the residual scan, which surfaces the same evaluation error
+// the pure scan path would.
 
 // probeKind classifies a sargable conjunct.
 type probeKind int
@@ -121,13 +126,11 @@ type ordIndex struct {
 }
 
 // keyIndex is the composite-key uniqueness index consumed by
-// ValidateInsert and ValidateUpdate: a multiplicity count per KeyString
-// encoding present in the extent, plus the number of keys held by more
-// than one object. Counting (rather than a set) lets noteUpdate and
-// noteDelete maintain the index incrementally as objects change keys or
-// leave the extent. preDup() reports a duplicate already in the extent
-// (then every insert is rejected, matching expr.EvalKey over the
-// combined extension).
+// ValidateInsert: a multiplicity count per KeyString encoding present
+// in the frozen extent, plus the number of keys held by more than one
+// object. preDup() reports a duplicate already in the extent (then
+// every insert is rejected, matching expr.EvalKey over the combined
+// extension).
 type keyIndex struct {
 	count map[string]int
 	dups  int
@@ -135,7 +138,7 @@ type keyIndex struct {
 
 func (ix *keyIndex) preDup() bool { return ix.dups > 0 }
 
-// add registers one object's key encoding.
+// add registers one object's key encoding at build time.
 func (ix *keyIndex) add(k string) {
 	ix.count[k]++
 	if ix.count[k] == 2 {
@@ -143,45 +146,53 @@ func (ix *keyIndex) add(k string) {
 	}
 }
 
-// remove unregisters one object's key encoding.
-func (ix *keyIndex) remove(k string) {
-	if ix.count[k] == 2 {
-		ix.dups--
+// eqFor returns (building on first use) the class's hash index on the
+// attribute. Concurrent first probes may both build; LoadOrStore keeps
+// one, and both are correct.
+func (e *Engine) eqFor(s *snapshot, cs *classState, attr string) *eqIndex {
+	if v, ok := cs.eq.Load(attr); ok {
+		return v.(*eqIndex)
 	}
-	ix.count[k]--
-	if ix.count[k] <= 0 {
-		delete(ix.count, k)
+	ix := buildEq(s, cs.ext, attr)
+	if v, loaded := cs.eq.LoadOrStore(attr, ix); loaded {
+		return v.(*eqIndex)
 	}
+	return ix
 }
 
-// classIndexes holds the lazily-built indexes of one global class.
-type classIndexes struct {
-	eq  map[string]*eqIndex
-	ord map[string]*ordIndex
-	key map[string]*keyIndex // joined key attrs → index
-}
-
-// classIdx returns (creating if needed) the index set of a class. Caller
-// holds the e.imu write lock.
-func (e *Engine) classIdx(class string) *classIndexes {
-	ci := e.idx[class]
-	if ci == nil {
-		ci = &classIndexes{
-			eq:  map[string]*eqIndex{},
-			ord: map[string]*ordIndex{},
-			key: map[string]*keyIndex{},
-		}
-		e.idx[class] = ci
+// ordFor returns (building on first use) the class's ordered index on
+// the attribute.
+func (e *Engine) ordFor(s *snapshot, cs *classState, attr string) *ordIndex {
+	if v, ok := cs.ord.Load(attr); ok {
+		return v.(*ordIndex)
 	}
-	return ci
+	ix := buildOrd(s, cs.ext, attr)
+	if v, loaded := cs.ord.LoadOrStore(attr, ix); loaded {
+		return v.(*ordIndex)
+	}
+	return ix
 }
 
-func buildEq(view *core.GlobalView, ext []*core.GObj, attr string) *eqIndex {
+// keyFor returns (building on first use) the class's composite-key
+// uniqueness index.
+func (e *Engine) keyFor(cs *classState, attrs []string) *keyIndex {
+	sig := strings.Join(attrs, "\x00")
+	if v, ok := cs.key.Load(sig); ok {
+		return v.(*keyIndex)
+	}
+	ix := buildKey(cs.ext, attrs)
+	if v, loaded := cs.key.LoadOrStore(sig, ix); loaded {
+		return v.(*keyIndex)
+	}
+	return ix
+}
+
+func buildEq(s *snapshot, ext []*core.GObj, attr string) *eqIndex {
 	ix := &eqIndex{ok: true, pos: map[uint64][]int{}}
 	for p, g := range ext {
 		v, ok := g.Get(attr)
 		if !ok {
-			if !view.DeclaresAttr(g, attr) {
+			if !s.declaresAttr(g, attr) {
 				ix.ok = false
 				ix.pos = nil
 				return ix
@@ -197,12 +208,12 @@ func buildEq(view *core.GlobalView, ext []*core.GObj, attr string) *eqIndex {
 	return ix
 }
 
-func buildOrd(view *core.GlobalView, ext []*core.GObj, attr string) *ordIndex {
+func buildOrd(s *snapshot, ext []*core.GObj, attr string) *ordIndex {
 	ix := &ordIndex{ok: true}
 	for p, g := range ext {
 		v, ok := g.Get(attr)
 		if !ok {
-			if !view.DeclaresAttr(g, attr) {
+			if !s.declaresAttr(g, attr) {
 				ix.ok = false
 				ix.entries = nil
 				return ix
@@ -240,128 +251,72 @@ func buildKey(ext []*core.GObj, attrs []string) *keyIndex {
 	return ix
 }
 
-// servePrefix answers the maximal index-answerable prefix of the
-// query's conjuncts, returning the intersected candidate positions
-// (ascending extent order), the number of conjuncts served, and the
-// residual conjuncts in their original order. served==0 means no index
-// applied and the caller should scan.
-//
-// Only a prefix may be served: the scan evaluates conjuncts left to
-// right with short-circuiting, so a row pruned by a served conjunct is a
-// row the scan would have short-circuited at that same conjunct — but
-// only if every earlier conjunct is also served (served conjuncts are
-// proven error-free on every row; a residual conjunct to the left could
-// error on a row the index prunes, and that error must surface exactly
-// as it does on the scan path). Serving stops at the first conjunct
-// that is not sargable or whose index declines.
-//
-// The fast path probes already-built indexes under the read lock, so
-// concurrent planning stays parallel; only a missing index takes the
-// write lock to build. Caller must hold e.mu (read) so the extent is
-// stable.
-func (e *Engine) servePrefix(class string, ext []*core.GObj, conjs []expr.Node) (pos []int, served int, residual []expr.Node) {
-	e.imu.RLock()
-	lists, served, residual, missing := e.serveConjuncts(e.idx[class], ext, conjs, false)
-	e.imu.RUnlock()
-	if missing {
-		e.imu.Lock()
-		lists, served, residual, _ = e.serveConjuncts(e.classIdx(class), ext, conjs, true)
-		e.imu.Unlock()
-	}
-	if served == 0 {
-		return nil, 0, residual
-	}
-	// Intersect smallest-first (probe results are fresh slices, so this
-	// needs no lock).
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
-	pos = append([]int{}, lists[0]...)
-	for _, l := range lists[1:] {
-		pos = intersectSorted(pos, l)
-		if len(pos) == 0 {
-			break
-		}
-	}
-	return pos, served, residual
-}
-
-// serveConjuncts runs the prefix-serving loop over the conjuncts.
-// missing=true aborts the pass: a needed index is not built and
-// build=false (the caller retries under the write lock). Caller holds
-// e.imu (read when build=false, write when build=true); ci may be nil
-// when the class has no indexes yet.
-func (e *Engine) serveConjuncts(ci *classIndexes, ext []*core.GObj, conjs []expr.Node, build bool) (lists [][]int, served int, residual []expr.Node, missing bool) {
-	i := 0
-	for ; i < len(conjs); i++ {
-		pr, sarg := sargableProbe(conjs[i])
-		if !sarg {
-			break
-		}
-		list, ok, miss := e.serveProbe(ci, ext, pr, build)
-		if miss {
-			return nil, 0, nil, true
-		}
-		if !ok {
-			break
-		}
-		lists = append(lists, list)
-		served++
-	}
-	return lists, served, conjs[i:], false
-}
-
-// serveProbe answers one probe from the class indexes, or declines
-// (ok=false) when the index cannot mirror the interpreter's semantics
-// for it. With build, missing indexes are built on the spot (caller
-// holds the e.imu write lock); otherwise a missing index reports
-// missing=true. Probe results are freshly allocated slices.
-func (e *Engine) serveProbe(ci *classIndexes, ext []*core.GObj, pr probe, build bool) (list []int, ok, missing bool) {
+// serveProbe answers one probe from the snapshot's class indexes, or
+// declines (ok=false) when the index cannot mirror the interpreter's
+// semantics for it. Probe results are freshly allocated slices.
+func (e *Engine) serveProbe(s *snapshot, cs *classState, pr probe) (list []int, ok bool) {
 	switch pr.kind {
 	case probeEq, probeIn:
-		var ix *eqIndex
-		if ci != nil {
-			ix = ci.eq[pr.attr]
-		}
-		if ix == nil {
-			if !build {
-				return nil, false, true
-			}
-			ix = buildEq(e.res.View, ext, pr.attr)
-			ci.eq[pr.attr] = ix
-		}
+		ix := e.eqFor(s, cs, pr.attr)
 		if !ix.ok {
-			return nil, false, false
+			return nil, false
 		}
 		if pr.kind == probeEq {
-			return eqProbe(ix, ext, pr.attr, pr.val), true, false
+			return eqProbe(ix, cs.ext, pr.attr, pr.val), true
 		}
 		var union []int
 		for _, elem := range pr.set.Elems() {
 			if elem.Kind() == object.KindNull {
 				continue // null never matches a stored value
 			}
-			union = append(union, eqProbe(ix, ext, pr.attr, elem)...)
+			union = append(union, eqProbe(ix, cs.ext, pr.attr, elem)...)
 		}
 		sort.Ints(union)
-		return dedupSorted(union), true, false
+		return dedupSorted(union), true
 	default: // probeRange
-		var ix *ordIndex
-		if ci != nil {
-			ix = ci.ord[pr.attr]
-		}
-		if ix == nil {
-			if !build {
-				return nil, false, true
-			}
-			ix = buildOrd(e.res.View, ext, pr.attr)
-			ci.ord[pr.attr] = ix
-		}
+		ix := e.ordFor(s, cs, pr.attr)
 		if !ix.ok || (len(ix.entries) > 0 && kindClass(pr.val) != ix.class) {
 			// No total order with this constant: the residual scan
 			// reproduces the interpreter's comparison semantics
 			// (including errors on incomparable values).
-			return nil, false, false
+			return nil, false
 		}
-		return rangeProbe(ix, pr.op, pr.val), true, false
+		return rangeProbe(ix, pr.op, pr.val), true
+	}
+}
+
+// probeCount estimates how many extent positions a probe would yield,
+// without materialising them: the planner's selectivity statistic.
+// Range counts are exact for this snapshot; equality and set-membership
+// counts are upper bounds (hash-bucket collisions and duplicate set
+// elements inflate them — serveProbe's Equal re-check and dedup would
+// discard those), which only ever nudges the cost gate toward running
+// the constraint phase. ok=false when the index declines.
+func (e *Engine) probeCount(s *snapshot, cs *classState, pr probe) (int, bool) {
+	switch pr.kind {
+	case probeEq, probeIn:
+		ix := e.eqFor(s, cs, pr.attr)
+		if !ix.ok {
+			return 0, false
+		}
+		if pr.kind == probeEq {
+			return len(ix.pos[object.Hash(pr.val)]), true
+		}
+		n := 0
+		for _, elem := range pr.set.Elems() {
+			if elem.Kind() == object.KindNull {
+				continue
+			}
+			n += len(ix.pos[object.Hash(elem)])
+		}
+		return n, true
+	default:
+		ix := e.ordFor(s, cs, pr.attr)
+		if !ix.ok || (len(ix.entries) > 0 && kindClass(pr.val) != ix.class) {
+			return 0, false
+		}
+		lo, hi := rangeWindow(ix, pr.op, pr.val)
+		return hi - lo, true
 	}
 }
 
@@ -377,9 +332,8 @@ func eqProbe(ix *eqIndex, ext []*core.GObj, attr string, val object.Value) []int
 	return out
 }
 
-// rangeProbe returns the ascending positions whose stored value satisfies
-// value ⊙ c for an ordering comparison.
-func rangeProbe(ix *ordIndex, op expr.Op, c object.Value) []int {
+// rangeWindow locates the [lo, hi) entry window satisfying value ⊙ c.
+func rangeWindow(ix *ordIndex, op expr.Op, c object.Value) (int, int) {
 	n := len(ix.entries)
 	// lower = first entry with val >= c; upper = first entry with val > c.
 	lower := sort.Search(n, func(i int) bool {
@@ -390,17 +344,23 @@ func rangeProbe(ix *ordIndex, op expr.Op, c object.Value) []int {
 		cmp, _ := object.Compare(ix.entries[i].val, c)
 		return cmp > 0
 	})
-	var lo, hi int
 	switch op {
 	case expr.OpLt:
-		lo, hi = 0, lower
+		return 0, lower
 	case expr.OpLe:
-		lo, hi = 0, upper
+		return 0, upper
 	case expr.OpGt:
-		lo, hi = upper, n
+		return upper, n
 	case expr.OpGe:
-		lo, hi = lower, n
+		return lower, n
 	}
+	return 0, 0
+}
+
+// rangeProbe returns the ascending positions whose stored value
+// satisfies value ⊙ c for an ordering comparison.
+func rangeProbe(ix *ordIndex, op expr.Op, c object.Value) []int {
+	lo, hi := rangeWindow(ix, op, c)
 	out := make([]int, 0, hi-lo)
 	for _, en := range ix.entries[lo:hi] {
 		out = append(out, en.pos)
@@ -409,271 +369,17 @@ func rangeProbe(ix *ordIndex, op expr.Op, c object.Value) []int {
 	return out
 }
 
-// keyViolated probes the composite-key uniqueness index with the proposed
-// object; the index is built on first use (write lock), then probed
-// under the read lock. Mutation after publication only happens in
-// noteInsert, which runs with e.mu held exclusively, so probing under
-// e.mu (read) + e.imu (read) is race-free. Caller must hold e.mu (read).
+// keyViolated probes the composite-key uniqueness index of the current
+// snapshot with the proposed object. Caller must hold e.mu (read): the
+// snapshot is then guaranteed current, so the probe answers over
+// exactly the live extension.
 func (e *Engine) keyViolated(class string, attrs []string, obj expr.Object) bool {
-	sig := strings.Join(attrs, "\x00")
-	e.imu.RLock()
-	var ix *keyIndex
-	if ci := e.idx[class]; ci != nil {
-		ix = ci.key[sig]
-	}
-	e.imu.RUnlock()
-	if ix == nil {
-		e.imu.Lock()
-		ci := e.classIdx(class)
-		ix = ci.key[sig]
-		if ix == nil {
-			ix = buildKey(e.res.View.Extent(class), attrs)
-			ci.key[sig] = ix
-		}
-		e.imu.Unlock()
-	}
+	ix := e.keyFor(e.snap.Load().class(class), attrs)
 	if ix.preDup() {
 		return true
 	}
 	k, ok := expr.KeyString(obj, attrs)
 	return ok && ix.count[k] > 0
-}
-
-// noteInsert maintains the built indexes after the view gained g (already
-// appended to its class extents). Hash and key indexes extend
-// incrementally; ordered indexes insert in place (or flip to declined
-// when the new value breaks the total order). Caller must hold e.mu
-// (write).
-func (e *Engine) noteInsert(g *core.GObj) {
-	e.imu.Lock()
-	defer e.imu.Unlock()
-	for class := range g.Classes {
-		ci := e.idx[class]
-		if ci == nil {
-			continue
-		}
-		pos := len(e.res.View.Extent(class)) - 1
-		for attr, ix := range ci.eq {
-			if !ix.ok {
-				continue
-			}
-			v, ok := g.Get(attr)
-			if !ok {
-				if !e.res.View.DeclaresAttr(g, attr) {
-					ix.ok = false
-					ix.pos = nil
-				}
-				continue
-			}
-			if v.Kind() == object.KindNull {
-				continue
-			}
-			h := object.Hash(v)
-			ix.pos[h] = append(ix.pos[h], pos) // pos is the maximum: order kept
-		}
-		for attr, ix := range ci.ord {
-			if !ix.ok {
-				continue
-			}
-			v, ok := g.Get(attr)
-			if !ok {
-				if !e.res.View.DeclaresAttr(g, attr) {
-					ix.ok = false
-					ix.entries = nil
-				}
-				continue
-			}
-			if v.Kind() == object.KindNull {
-				continue
-			}
-			kc := kindClass(v)
-			if kc == 0 || (ix.class != 0 && kc != ix.class) {
-				ix.ok = false
-				ix.entries = nil
-				continue
-			}
-			ix.class = kc
-			at := sort.Search(len(ix.entries), func(i int) bool {
-				cmp, _ := object.Compare(ix.entries[i].val, v)
-				return cmp > 0
-			})
-			ix.entries = append(ix.entries, ordEntry{})
-			copy(ix.entries[at+1:], ix.entries[at:])
-			ix.entries[at] = ordEntry{val: v, pos: pos}
-		}
-		for sig, ix := range ci.key {
-			attrs := strings.Split(sig, "\x00")
-			k, ok := expr.KeyString(g, attrs)
-			if !ok {
-				continue
-			}
-			ix.add(k)
-		}
-	}
-}
-
-// valEq compares two possibly-nil attribute values.
-func valEq(a, b object.Value) bool {
-	if a == nil || b == nil {
-		return a == nil && b == nil
-	}
-	return a.Equal(b)
-}
-
-// indexable reports whether a value is held by the eq/ord indexes (only
-// non-null stored values are indexed).
-func indexable(v object.Value) bool { return v != nil && v.Kind() != object.KindNull }
-
-// noteUpdate maintains the built indexes after an in-place attribute
-// update of g (extent positions are unchanged by an update, so hash and
-// ordered indexes move the object's entries between buckets instead of
-// rebuilding; key indexes re-count the old and new key encodings). old
-// maps each touched attribute to its previous value (nil = previously
-// absent). Classes whose *membership* changed are handled separately by
-// noteReclass. Caller must hold e.mu (write).
-func (e *Engine) noteUpdate(g *core.GObj, old map[string]object.Value) {
-	e.imu.Lock()
-	defer e.imu.Unlock()
-	for class := range g.Classes {
-		ci := e.idx[class]
-		if ci == nil {
-			continue
-		}
-		pos := -1 // resolved lazily: only needed when an eq/ord index moves
-		findPos := func() int {
-			if pos >= 0 {
-				return pos
-			}
-			for p, o := range e.res.View.Extent(class) {
-				if o == g {
-					pos = p
-					return pos
-				}
-			}
-			return -1
-		}
-		for attr, oldVal := range old {
-			newVal, hasNew := g.Get(attr)
-			if !hasNew {
-				newVal = nil
-			}
-			if valEq(oldVal, newVal) {
-				continue
-			}
-			if ix := ci.eq[attr]; ix != nil && ix.ok {
-				p := findPos()
-				if p < 0 {
-					ix.ok = false
-					ix.pos = nil
-				} else {
-					if indexable(oldVal) {
-						removePos(ix.pos, object.Hash(oldVal), p)
-					}
-					if indexable(newVal) {
-						h := object.Hash(newVal)
-						ix.pos[h] = insertSorted(ix.pos[h], p)
-					}
-				}
-			}
-			if ix := ci.ord[attr]; ix != nil && ix.ok {
-				p := findPos()
-				if p < 0 {
-					ix.ok = false
-					ix.entries = nil
-				} else {
-					if indexable(oldVal) {
-						for i, en := range ix.entries {
-							if en.pos == p {
-								ix.entries = append(ix.entries[:i], ix.entries[i+1:]...)
-								break
-							}
-						}
-					}
-					if indexable(newVal) {
-						kc := kindClass(newVal)
-						if kc == 0 || (ix.class != 0 && kc != ix.class) {
-							ix.ok = false
-							ix.entries = nil
-						} else {
-							ix.class = kc
-							at := sort.Search(len(ix.entries), func(i int) bool {
-								cmp, _ := object.Compare(ix.entries[i].val, newVal)
-								return cmp > 0
-							})
-							ix.entries = append(ix.entries, ordEntry{})
-							copy(ix.entries[at+1:], ix.entries[at:])
-							ix.entries[at] = ordEntry{val: newVal, pos: p}
-						}
-					}
-				}
-			}
-		}
-		for sig, ix := range ci.key {
-			attrs := strings.Split(sig, "\x00")
-			touched := false
-			for _, a := range attrs {
-				if _, ok := old[a]; ok {
-					touched = true
-					break
-				}
-			}
-			if !touched {
-				continue
-			}
-			prev := overlayObj{base: g, set: old}
-			if k, ok := expr.KeyString(prev, attrs); ok {
-				ix.remove(k)
-			}
-			if k, ok := expr.KeyString(g, attrs); ok {
-				ix.add(k)
-			}
-		}
-	}
-}
-
-// noteDelete discards the built indexes of every class the deleted
-// object belonged to: a removal shifts the extent positions the hash and
-// ordered indexes are keyed on, so they are rebuilt lazily on next use
-// (key indexes could be maintained, but they are rebuilt with the rest
-// for a single invalidation rule). Caller must hold e.mu (write).
-func (e *Engine) noteDelete(classes []string) {
-	e.imu.Lock()
-	defer e.imu.Unlock()
-	for _, class := range classes {
-		delete(e.idx, class)
-	}
-}
-
-// noteReclass discards the built indexes of classes whose extent gained
-// or lost the object through membership reclassification (an update that
-// moved the object across a derived-class membership predicate). Caller
-// must hold e.mu (write).
-func (e *Engine) noteReclass(classes []string) {
-	e.imu.Lock()
-	defer e.imu.Unlock()
-	for _, class := range classes {
-		delete(e.idx, class)
-	}
-}
-
-// removePos deletes one position from a hash bucket in place.
-func removePos(pos map[uint64][]int, h uint64, p int) {
-	lst := pos[h]
-	for i, x := range lst {
-		if x == p {
-			pos[h] = append(lst[:i], lst[i+1:]...)
-			return
-		}
-	}
-}
-
-// insertSorted inserts a position keeping the slice ascending.
-func insertSorted(lst []int, p int) []int {
-	at := sort.SearchInts(lst, p)
-	lst = append(lst, 0)
-	copy(lst[at+1:], lst[at:])
-	lst[at] = p
-	return lst
 }
 
 func dedupSorted(in []int) []int {

@@ -232,9 +232,9 @@ func (e *Engine) consForClasses(classes []string) *consGroup {
 	sorted := append([]string{}, classes...)
 	sort.Strings(sorted)
 	key := strings.Join(sorted, "\x00")
-	e.imu.RLock()
+	e.cmu.RLock()
 	cg := e.mcons[key]
-	e.imu.RUnlock()
+	e.cmu.RUnlock()
 	if cg != nil {
 		return cg
 	}
@@ -242,7 +242,7 @@ func (e *Engine) consForClasses(classes []string) *consGroup {
 	seenObj := map[string]int{}
 	seenKey := map[string]bool{}
 	for _, cls := range sorted {
-		cc := e.consFor(cls) // takes e.imu itself
+		cc := e.consFor(cls) // takes e.cmu itself
 		for i, gc := range cc.objectGC {
 			k := gc.Expr.String()
 			if at, dup := seenObj[k]; dup {
@@ -265,13 +265,13 @@ func (e *Engine) consForClasses(classes []string) *consGroup {
 			cg.keys = append(cg.keys, keyCheck{gc: gc, class: cls, attrs: k.Attrs})
 		}
 	}
-	e.imu.Lock()
+	e.cmu.Lock()
 	if existing := e.mcons[key]; existing != nil {
 		cg = existing
 	} else {
 		e.mcons[key] = cg
 	}
-	e.imu.Unlock()
+	e.cmu.Unlock()
 	return cg
 }
 
@@ -695,9 +695,11 @@ func (e *Engine) CheckAll() ([]Rejection, ValidateStats) {
 // of the object's constituents held by st and executes them in one local
 // transaction, reporting whether the local manager accepted the batch.
 // On success the update is applied to the integrated view — including
-// reclassification across Sim-derived memberships — and the extent
-// indexes are maintained. attrs must be in the conformed (global)
-// domain, like ShipInsert's.
+// reclassification across Sim-derived memberships — and the next
+// snapshot is published. The live object is detached (cloned) before
+// mutation, so readers of the previous snapshot keep serving its frozen
+// pre-update state. attrs must be in the conformed (global) domain,
+// like ShipInsert's.
 func (e *Engine) ShipUpdate(st *store.Store, class string, id int, attrs map[string]object.Value) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -719,16 +721,18 @@ func (e *Engine) ShipUpdate(st *store.Store, class string, id int, attrs map[str
 	if err := tx.Commit(); err != nil {
 		return err
 	}
-	old, changed, err := e.res.View.ApplyUpdate(g, attrs)
+	clone := e.res.View.DetachForUpdate(g)
+	_, changed, err := e.res.View.ApplyUpdate(clone, attrs)
 	if err != nil {
 		// The view's attribute state is updated but reclassification
-		// failed; drop all of the object's class indexes so nothing
-		// serves stale memberships.
-		e.noteReclass(classNames(g))
+		// failed partway; rebuild the whole snapshot so nothing serves
+		// stale memberships.
+		e.publishAll()
 		return fmt.Errorf("update committed locally but not fully applied to the view: %w", err)
 	}
-	e.noteReclass(changed)
-	e.noteUpdate(g, old)
+	// Every extent of the object changed (the detach swapped its
+	// pointer) plus the memberships reclassification moved.
+	e.publish(append(classNames(clone), changed...), nil, true)
 	return nil
 }
 
@@ -739,8 +743,9 @@ func (e *Engine) ShipUpdate(st *store.Store, class string, id int, attrs map[str
 // rejection leaves earlier deletions committed (the federation cannot
 // atomically commit across autonomous databases — which is exactly why
 // ValidateDelete's prediction runs first). On full success the object is
-// removed from the integrated view and the indexes of its classes are
-// invalidated.
+// removed from the integrated view and the next snapshot is published
+// (the removed object itself stays frozen, so readers of the previous
+// snapshot keep serving its pre-delete state).
 func (e *Engine) ShipDelete(class string, id int, stores ...*store.Store) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -791,7 +796,7 @@ func (e *Engine) ShipDelete(class string, id int, stores ...*store.Store) error 
 	if err != nil {
 		return fmt.Errorf("delete committed locally but not applied to the view: %w", err)
 	}
-	e.noteDelete(classes)
+	e.publish(classes, nil, true)
 	return nil
 }
 
@@ -810,7 +815,9 @@ func shipDeleteErr(id, committed int, err error) error {
 // their global class, updates touch the constituents st holds, deletes
 // require every non-virtual constituent to live in st. On local commit
 // every operation is applied to the integrated view in batch order and
-// the extent indexes are maintained.
+// ONE snapshot is published for the whole batch — concurrent readers
+// observe the batch atomically (all of it or none of it), and the
+// copy-on-write publication cost is amortised across the batch.
 func (e *Engine) ShipTx(st *store.Store, ops []Mutation) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -881,31 +888,53 @@ func (e *Engine) ShipTx(st *store.Store, ops []Mutation) error {
 		return err
 	}
 
-	// Local commit succeeded: apply the batch to the integrated view.
+	// Local commit succeeded: apply the batch to the integrated view,
+	// collecting the affected classes and fresh objects for one
+	// snapshot publication at the end.
+	var affected []string
+	var inserted []*core.GObj
+	fork := false
 	for i, ap := range applies {
 		switch ap.op.Kind {
 		case MutInsert:
 			g, err := e.res.View.ApplyInsert(ap.op.Class, ap.op.Attrs, object.Ref{DB: st.Name(), OID: ap.oid})
 			if err != nil {
+				e.publishAll()
 				return fmt.Errorf("op %d committed locally but not applied to the view: %w", i, err)
 			}
-			e.noteInsert(g)
+			inserted = append(inserted, g)
+			affected = append(affected, classNames(g)...)
 		case MutUpdate:
-			old, changed, err := e.res.View.ApplyUpdate(ap.g, ap.op.Attrs)
+			// Re-resolve: an earlier operation of this batch may have
+			// detached (or removed) the object staged as ap.g.
+			target := ap.g
+			if cur, ok := e.res.View.ByID(ap.op.ID); ok {
+				target = cur
+			}
+			clone := e.res.View.DetachForUpdate(target)
+			_, changed, err := e.res.View.ApplyUpdate(clone, ap.op.Attrs)
 			if err != nil {
-				e.noteReclass(classNames(ap.g))
+				e.publishAll()
 				return fmt.Errorf("op %d committed locally but not fully applied to the view: %w", i, err)
 			}
-			e.noteReclass(changed)
-			e.noteUpdate(ap.g, old)
+			fork = true
+			affected = append(affected, classNames(clone)...)
+			affected = append(affected, changed...)
 		case MutDelete:
-			classes, err := e.res.View.ApplyDelete(ap.g)
+			target := ap.g
+			if cur, ok := e.res.View.ByID(ap.op.ID); ok {
+				target = cur
+			}
+			classes, err := e.res.View.ApplyDelete(target)
 			if err != nil {
+				e.publishAll()
 				return fmt.Errorf("op %d committed locally but not applied to the view: %w", i, err)
 			}
-			e.noteDelete(classes)
+			fork = true
+			affected = append(affected, classes...)
 		}
 	}
+	e.publish(affected, inserted, fork)
 	return nil
 }
 

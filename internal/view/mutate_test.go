@@ -396,8 +396,17 @@ func TestShipTxMixedBatch(t *testing.T) {
 	if n := len(e.res.View.Extent("Item")); n != itemsBefore { // +1 insert −1 delete
 		t.Errorf("view Item extent = %d, want %d", n, itemsBefore)
 	}
-	if v, _ := upd.Get("rating"); !v.Equal(object.Int(9)) {
+	// Updates detach a clone into the view (snapshot freeze contract),
+	// so the pre-update pointer keeps its frozen state: re-resolve.
+	updNow, ok := e.res.View.ByID(upd.ID)
+	if !ok {
+		t.Fatal("updated object vanished from the view")
+	}
+	if v, _ := updNow.Get("rating"); !v.Equal(object.Int(9)) {
 		t.Errorf("rating after batch = %v, want 9", v)
+	}
+	if v, _ := upd.Get("rating"); !v.Equal(object.Int(7)) {
+		t.Errorf("pre-update pointer must stay frozen at 7, got %v", v)
 	}
 	if _, ok := e.res.View.ByID(del.ID); ok {
 		t.Error("batched delete not applied to the view")

@@ -1,0 +1,141 @@
+package view
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"interopdb/internal/expr"
+)
+
+// The plan cache (DESIGN.md §8): every (class, predicate shape, flag
+// pair) is planned once per snapshot generation. A cached plan stores
+// the constraint-phase verdicts (pruned-empty, dropped conjuncts), the
+// chosen access path with its resolved candidate positions (the extent
+// is frozen for the snapshot's lifetime, so probe results are resolved
+// at plan time and reused verbatim), and the compiled residual closure.
+// A steady-state Run therefore performs zero solver queries, zero
+// compilations and zero index probes — following Martinenghi's
+// simplified integrity checking, the constraint reasoning is paid once
+// per shape and amortized to zero. Plans live inside the snapshot's
+// classState, so any mutation of a class invalidates its plans wholesale
+// by replacing the classState.
+
+// planKey identifies a plan: the structural fingerprint of the
+// predicate (constants included) plus the optimisation flags in force
+// when it was built.
+type planKey struct {
+	hi, lo uint64
+	cons   bool // UseConstraints
+	idx    bool // UseIndexes
+	gate   bool // CostGate
+}
+
+// plan is one cached serving strategy. Immutable after construction.
+type plan struct {
+	// pred is the predicate the plan was built for; fingerprints are
+	// hashes, so lookups verify structural equality before trusting a
+	// hit (a collision rebuilds, it never mis-serves).
+	pred expr.Node
+
+	// Constraint-phase outcome.
+	pruned  bool // constraints refute the predicate: serve nothing
+	dropped int  // conjuncts implied by the constraints, removed
+	gated   bool // cost gate skipped the constraint phase entirely
+
+	// Access path. served > 0 means the first served conjuncts are
+	// answered by the index candidate set below; otherwise every extent
+	// member is a candidate.
+	served    int
+	positions []int // ascending extent positions, resolved at plan time
+
+	// Residual predicate over the candidates (nil: all candidates
+	// match). On the fast path it is compiled once; with UseIndexes off
+	// the reference interpreter evaluates the node directly.
+	residual expr.Node
+	prog     *expr.Program
+	interp   bool
+}
+
+// engineCounters aggregates the serving engine's cache-effectiveness
+// counters (atomics: Run updates them without any lock).
+type engineCounters struct {
+	planHits   atomic.Int64
+	planMisses atomic.Int64
+	solver     atomic.Int64
+	compiles   atomic.Int64
+	publishes  atomic.Int64
+}
+
+// CacheStats reports the serving engine's steady-state cache work: plan
+// cache effectiveness, and how many solver queries and predicate
+// compilations the planner has performed in total (a plan-cache hit
+// performs none of either — pinned by TestSteadyStateRunCost).
+type CacheStats struct {
+	// PlanHits / PlanMisses count Run calls served from / building a
+	// plan (predicate-free queries touch no plan and count in neither).
+	PlanHits   int64
+	PlanMisses int64
+	// SolverQueries counts logic.Checker calls issued by the planner
+	// (satisfiability + entailment); the checker's own CacheStats
+	// additionally distinguishes memo hits from fresh computations.
+	SolverQueries int64
+	// Compiles counts expr.Compile calls made by the planner.
+	Compiles int64
+	// Publishes counts snapshot publications (one per Ship* call plus
+	// one at construction).
+	Publishes int64
+}
+
+// PlanHitRate returns the fraction of planned queries answered from the
+// plan cache.
+func (s CacheStats) PlanHitRate() float64 {
+	total := s.PlanHits + s.PlanMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PlanHits) / float64(total)
+}
+
+// String renders the stats.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("plan-hits=%d plan-misses=%d hit-rate=%.1f%% solver-queries=%d compiles=%d publishes=%d",
+		s.PlanHits, s.PlanMisses, 100*s.PlanHitRate(), s.SolverQueries, s.Compiles, s.Publishes)
+}
+
+// CacheStats returns the engine's cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	return CacheStats{
+		PlanHits:      e.counters.planHits.Load(),
+		PlanMisses:    e.counters.planMisses.Load(),
+		SolverQueries: e.counters.solver.Load(),
+		Compiles:      e.counters.compiles.Load(),
+		Publishes:     e.counters.publishes.Load(),
+	}
+}
+
+// planFor returns the cached plan for the predicate under the given
+// flags, building and (capacity permitting) caching it on miss. hit
+// reports whether the plan came from the cache.
+func (e *Engine) planFor(s *snapshot, cs *classState, pred expr.Node, useCons, useIdx bool) (p *plan, hit bool) {
+	fp := expr.Fingerprint(pred)
+	key := planKey{hi: fp.Hi, lo: fp.Lo, cons: useCons, idx: useIdx, gate: e.CostGate}
+	if v, ok := cs.plans.Load(key); ok {
+		p := v.(*plan)
+		if expr.Equal(p.pred, pred) {
+			e.counters.planHits.Add(1)
+			return p, true
+		}
+		// Fingerprint collision: serve a throwaway plan, leave the
+		// incumbent cached.
+		e.counters.planMisses.Add(1)
+		return e.buildPlan(s, cs, pred, useCons, useIdx), false
+	}
+	e.counters.planMisses.Add(1)
+	p = e.buildPlan(s, cs, pred, useCons, useIdx)
+	if cs.nplans.Load() < maxPlansPerClass {
+		if _, loaded := cs.plans.LoadOrStore(key, p); !loaded {
+			cs.nplans.Add(1)
+		}
+	}
+	return p, false
+}

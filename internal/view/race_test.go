@@ -186,3 +186,257 @@ func TestConcurrentMutate(t *testing.T) {
 		t.Errorf("view inconsistent after concurrent mutation: %v", viols)
 	}
 }
+
+// TestSnapshotIsolationUnderMutation is the snapshot-isolation proof for
+// the lock-free serving path: randomized concurrent readers during
+// ShipUpdate/ShipTx must observe only pre- or post-images, never a torn
+// mix. A writer flips probe objects between two internally consistent
+// whole images; readers assert every observed row is one of the two
+// images, and — for the PAIR flipped atomically by a single two-update
+// ShipTx — that one snapshot never mixes versions across the pair. A
+// third probe is flipped by plain ShipUpdate, where only the per-row
+// wholeness claim holds (two sequential updates legitimately publish an
+// intermediate snapshot). Run under -race in CI, this also proves Run
+// touches nothing the mutators write.
+func TestSnapshotIsolationUnderMutation(t *testing.T) {
+	local, remote := fixture.Figure1Stores(fixture.Options{Scale: 10})
+	res, err := core.Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), local, remote, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(res)
+
+	// Probe objects, version-stamped through their title: state A is
+	// (shopprice 30, libprice 10, title vA), state B is (shopprice 80,
+	// libprice 60, title vB). Both states satisfy every global
+	// constraint, so mutations always ship.
+	type image struct {
+		shop, lib float64
+		title     string
+	}
+	imgA := image{30, 10, "iso-vA"}
+	imgB := image{80, 60, "iso-vB"}
+	attrsOf := func(img image) map[string]object.Value {
+		return map[string]object.Value{
+			"shopprice": object.Real(img.shop), "libprice": object.Real(img.lib),
+			"title": object.Str(img.title),
+		}
+	}
+	isbns := []string{"iso-0", "iso-1", "iso-solo"}
+	idByISBN := map[string]int{}
+	for _, isbn := range isbns {
+		a := attrsOf(imgA)
+		a["isbn"] = object.Str(isbn)
+		a["publisher"] = object.Ref{DB: "Bookseller", OID: 2}
+		if err := e.ShipInsert(remote, "Item", a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, g := range e.res.View.Extent("Item") {
+		if v, ok := g.Get("isbn"); ok {
+			for _, isbn := range isbns {
+				if v.Equal(object.Str(isbn)) {
+					idByISBN[isbn] = g.ID
+				}
+			}
+		}
+	}
+	if len(idByISBN) != len(isbns) {
+		t.Fatalf("probe objects not found: %v", idByISBN)
+	}
+
+	matches := func(r Row, img image) bool {
+		shop, _ := object.AsFloat(r["shopprice"])
+		lib, _ := object.AsFloat(r["libprice"])
+		return shop == img.shop && lib == img.lib && r["title"].Equal(object.Str(img.title))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	stop := make(chan struct{})
+
+	// Pair readers: every row a whole image, AND one snapshot shows one
+	// version across the pair (the pair only ever flips through ONE
+	// atomic ShipTx batch → one publication).
+	pairQ := Query{Class: "Item", Where: expr.MustParse("isbn in {'iso-0', 'iso-1'}")}
+	soloQ := Query{Class: "Item", Where: expr.MustParse("isbn = 'iso-solo'")}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows, _, err := e.Run(pairQ)
+				if err != nil {
+					errs <- fmt.Errorf("pair reader %d: %w", w, err)
+					return
+				}
+				nA, nB := 0, 0
+				for _, r := range rows {
+					switch {
+					case matches(r, imgA):
+						nA++
+					case matches(r, imgB):
+						nB++
+					default:
+						errs <- fmt.Errorf("pair reader %d: torn row %v (neither image A nor B)", w, r)
+						return
+					}
+				}
+				if nA+nB != 2 {
+					errs <- fmt.Errorf("pair reader %d: %d probe rows, want 2", w, nA+nB)
+					return
+				}
+				if nA > 0 && nB > 0 {
+					errs <- fmt.Errorf("pair reader %d: mixed versions in one snapshot: %d×A %d×B", w, nA, nB)
+					return
+				}
+				// The solo probe may sit mid-flip relative to the pair,
+				// but each observed row must still be a whole image.
+				srows, _, err := e.Run(soloQ)
+				if err != nil {
+					errs <- fmt.Errorf("solo reader %d: %w", w, err)
+					return
+				}
+				if len(srows) != 1 || (!matches(srows[0], imgA) && !matches(srows[0], imgB)) {
+					errs <- fmt.Errorf("solo reader %d: torn or missing row %v", w, srows)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Writer: the pair flips only through atomic two-update batches; the
+	// solo probe flips through plain ShipUpdate in between.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		cur := imgA
+		for i := 0; i < 40; i++ {
+			next := imgB
+			if cur == imgB {
+				next = imgA
+			}
+			ops := []Mutation{
+				{Kind: MutUpdate, Class: "Item", ID: idByISBN["iso-0"], Attrs: attrsOf(next)},
+				{Kind: MutUpdate, Class: "Item", ID: idByISBN["iso-1"], Attrs: attrsOf(next)},
+			}
+			if err := e.ShipTx(remote, ops); err != nil {
+				errs <- fmt.Errorf("writer tx %d: %w", i, err)
+				return
+			}
+			if err := e.ShipUpdate(remote, "Item", idByISBN["iso-solo"], attrsOf(next)); err != nil {
+				errs <- fmt.Errorf("writer update %d: %w", i, err)
+				return
+			}
+			cur = next
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSnapshotIsolationDeleteReinsert drives delete + reinsert batches
+// under concurrent readers: a reader sees the probe object fully present
+// (one whole image) or fully absent — and with the delete and reinsert
+// shipped as ONE ShipTx batch, never absent at all.
+func TestSnapshotIsolationDeleteReinsert(t *testing.T) {
+	local, remote := fixture.Figure1Stores(fixture.Options{Scale: 5})
+	res, err := core.Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), local, remote, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(res)
+
+	attrs := map[string]object.Value{
+		"title": object.Str("delete-probe"), "isbn": object.Str("del-probe"),
+		"publisher": object.Ref{DB: "Bookseller", OID: 2},
+		"shopprice": object.Real(25), "libprice": object.Real(15),
+	}
+	if err := e.ShipInsert(remote, "Item", attrs); err != nil {
+		t.Fatal(err)
+	}
+	findID := func() int {
+		for _, g := range e.res.View.Extent("Item") {
+			if v, ok := g.Get("isbn"); ok && v.Equal(object.Str("del-probe")) {
+				return g.ID
+			}
+		}
+		return 0
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	stop := make(chan struct{})
+	q := Query{Class: "Item", Where: expr.MustParse("isbn = 'del-probe'")}
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows, _, err := e.Run(q)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %w", w, err)
+					return
+				}
+				if len(rows) > 1 {
+					errs <- fmt.Errorf("reader %d: duplicate probe: %v", w, rows)
+					return
+				}
+				if len(rows) == 1 {
+					shop, _ := object.AsFloat(rows[0]["shopprice"])
+					lib, _ := object.AsFloat(rows[0]["libprice"])
+					if shop != 25 || lib != 15 {
+						errs <- fmt.Errorf("reader %d: torn probe image: %v", w, rows[0])
+						return
+					}
+				} else {
+					errs <- fmt.Errorf("reader %d: probe absent despite atomic delete+reinsert batches", w)
+					return
+				}
+			}
+		}(w)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 30; i++ {
+			id := findID()
+			if id == 0 {
+				errs <- fmt.Errorf("writer: probe lost at iteration %d", i)
+				return
+			}
+			// One batch: delete + reinsert. Readers must never see the gap.
+			ops := []Mutation{
+				{Kind: MutDelete, Class: "Item", ID: id},
+				{Kind: MutInsert, Class: "Item", Attrs: attrs},
+			}
+			if err := e.ShipTx(remote, ops); err != nil {
+				errs <- fmt.Errorf("writer batch %d: %w", i, err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

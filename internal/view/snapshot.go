@@ -1,0 +1,288 @@
+package view
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"interopdb/internal/core"
+	"interopdb/internal/expr"
+	"interopdb/internal/object"
+)
+
+// Snapshot serving (DESIGN.md §8): the engine publishes an immutable
+// per-class snapshot of the integrated view — frozen extent slices, a
+// frozen deref map, lazily built extent indexes, and the per-class plan
+// cache — through an atomic pointer. Run loads the pointer and serves
+// entirely from the snapshot, so reads never take e.mu and never touch
+// the live view; the Ship* methods mutate the live view under the write
+// lock, then build the next snapshot copy-on-write (fresh classState
+// for every affected class, carried-over classState for the rest) and
+// publish it atomically. A reader therefore observes either the
+// pre-mutation or the post-mutation state, never a torn mix.
+//
+// The freeze contract the copy-on-write publication relies on:
+//
+//   - extent slices in a snapshot are private copies, so in-place
+//     splices and appends on the live view cannot reach them;
+//   - objects reachable from a snapshot are never mutated: updates go
+//     through core.DetachForUpdate, which swaps a fresh clone into the
+//     live view and leaves the original frozen; deletes splice the
+//     object out without touching it; inserts create new objects;
+//   - the deref map is forked (full copy) whenever an update or delete
+//     changed existing entries, and merely extended through an
+//     internally synchronized side table after pure inserts — older
+//     snapshots cannot observe refs to objects that postdate them,
+//     because object IDs and store OIDs are never reused.
+
+// refTable is a snapshot's deref map: a frozen base forked from the live
+// view's reference table, plus a concurrency-safe side table holding
+// refs added by pure inserts since the fork. The side table is shared
+// with newer snapshots, and every entry carries the publication
+// sequence number that introduced it: a snapshot resolves only entries
+// at or below its own sequence. The sequence check matters even though
+// object IDs and store OIDs are never reused — stored attribute values
+// are caller-supplied and may hold a *dangling* ref that a later insert
+// brings into existence, and without the check an already-published
+// snapshot would flip that ref from unresolvable (Null reads) to
+// resolvable mid-lifetime, a torn read.
+type refTable struct {
+	base  map[object.Ref]*core.GObj
+	added *sync.Map // object.Ref → addedRef
+}
+
+// addedRef is one side-table entry: the object plus the publication
+// sequence that added it.
+type addedRef struct {
+	g   *core.GObj
+	seq uint64
+}
+
+func newRefTable(base map[object.Ref]*core.GObj) *refTable {
+	return &refTable{base: base, added: &sync.Map{}}
+}
+
+// derefAt resolves a ref as of publication sequence seq.
+func (t *refTable) derefAt(seq uint64, r object.Ref) (expr.Object, bool) {
+	if g, ok := t.base[r]; ok {
+		return g, true
+	}
+	if v, ok := t.added.Load(r); ok {
+		if a := v.(addedRef); a.seq <= seq {
+			return a.g, true
+		}
+	}
+	return nil, false
+}
+
+// classState is one class's frozen serving state: the extent slice plus
+// the lazily built indexes and cached plans over it. All lazily built
+// structures are immutable after construction and registered through
+// sync.Map LoadOrStore, so concurrent readers race only on who builds
+// first (both build the same answer; one wins, the duplicate is
+// garbage).
+type classState struct {
+	name string
+	ext  []*core.GObj
+
+	eq    sync.Map // attr → *eqIndex
+	ord   sync.Map // attr → *ordIndex
+	key   sync.Map // joined key attrs → *keyIndex
+	plans sync.Map // planKey → *plan
+	// selfAttrs caches each member's known-attribute set (stored ∪
+	// declared). Living inside the classState bounds it: an update or
+	// delete republishes every class the object belongs to, so entries
+	// for superseded objects die with the state that held them.
+	selfAttrs sync.Map // *core.GObj → map[string]bool
+	// nplans bounds the plan cache (constants are part of the plan key,
+	// so an adversarial stream of distinct constants would otherwise
+	// grow it without limit); past the cap, plans are built per query
+	// and not cached.
+	nplans atomic.Int64
+}
+
+// maxPlansPerClass caps each class's plan cache.
+const maxPlansPerClass = 4096
+
+// snapshot is one published generation of the serving state.
+type snapshot struct {
+	// seq is the publication sequence number, gating which side-table
+	// deref entries this snapshot may resolve (see refTable).
+	seq     uint64
+	consts  map[string]object.Value
+	classes map[string]*classState
+	// decl maps each global class to the attribute set its origin class
+	// declares (empty for virtual classes), captured at publication so
+	// readers never touch the live view's metadata maps.
+	decl map[string]map[string]bool
+	refs *refTable
+}
+
+// deref resolves a ref as this snapshot saw the world at publication.
+func (s *snapshot) deref(r object.Ref) (expr.Object, bool) {
+	return s.refs.derefAt(s.seq, r)
+}
+
+// class returns the class's serving state, or an ephemeral empty state
+// for a class the snapshot does not know (same semantics as serving an
+// empty extent).
+func (s *snapshot) class(name string) *classState {
+	if cs, ok := s.classes[name]; ok {
+		return cs
+	}
+	return &classState{name: name}
+}
+
+// extObjs is the snapshot's Env.Ext: the frozen extension of a class.
+func (s *snapshot) extObjs(class string) []expr.Object {
+	ext := s.class(class).ext
+	out := make([]expr.Object, len(ext))
+	for i, g := range ext {
+		out[i] = g
+	}
+	return out
+}
+
+// env builds the evaluation environment for one frozen object, mirroring
+// core.GlobalView.Env byte for byte but reading only snapshot state. The
+// SelfAttrs map is cached per object in the serving classState: objects
+// reachable from snapshots are frozen, and a class's declared-attribute
+// set never changes once the class exists, so a cached map can never go
+// stale.
+func (s *snapshot) env(cs *classState, g *core.GObj) *expr.Env {
+	return &expr.Env{
+		Vars:      map[string]expr.Object{"self": g},
+		SelfAttrs: s.selfAttrsOf(cs, g),
+		Consts:    s.consts,
+		Ext:       s.extObjs,
+		Deref:     s.deref,
+	}
+}
+
+// declaresAttr mirrors core.GlobalView.DeclaresAttr over snapshot state:
+// whether any class of the object declares the attribute.
+func (s *snapshot) declaresAttr(g *core.GObj, attr string) bool {
+	for cls := range g.Classes {
+		if s.decl[cls][attr] {
+			return true
+		}
+	}
+	return false
+}
+
+// selfAttrsOf returns the object's known-attribute set (stored ∪
+// declared), cached in the classState serving it.
+func (s *snapshot) selfAttrsOf(cs *classState, g *core.GObj) map[string]bool {
+	if v, ok := cs.selfAttrs.Load(g); ok {
+		return v.(map[string]bool)
+	}
+	attrs := make(map[string]bool, len(g.Attrs)+8)
+	for a := range g.Attrs {
+		attrs[a] = true
+	}
+	for cls := range g.Classes {
+		for a := range s.decl[cls] {
+			attrs[a] = true
+		}
+	}
+	if v, loaded := cs.selfAttrs.LoadOrStore(g, attrs); loaded {
+		return v.(map[string]bool)
+	}
+	return attrs
+}
+
+// declFor returns the class → declared-attribute map for the snapshot
+// being published. A class's declared set never changes once the class
+// exists and class names are never removed, so the previous snapshot's
+// map is reused verbatim unless a mutation minted a brand-new class
+// (first member of a previously empty superclass) — only then is a
+// fresh map built. Caller holds e.mu (write) or is the constructor.
+func (e *Engine) declFor() map[string]map[string]bool {
+	v := e.res.View
+	if old := e.snap.Load(); old != nil && len(old.decl) == len(v.ClassNames) {
+		return old.decl
+	}
+	out := make(map[string]map[string]bool, len(v.ClassNames))
+	for _, name := range v.ClassNames {
+		org, ok := v.Origin[name]
+		if !ok {
+			out[name] = nil // virtual class: declares nothing itself
+			continue
+		}
+		set := map[string]bool{}
+		for _, a := range v.Conformed.SchemaOf(org.Side).AllAttrs(org.Class) {
+			set[a.Name] = true
+		}
+		out[name] = set
+	}
+	return out
+}
+
+func newClassState(name string, liveExt []*core.GObj) *classState {
+	return &classState{name: name, ext: append([]*core.GObj{}, liveExt...)}
+}
+
+// publish builds and atomically installs the next snapshot after the
+// live view mutated. changed names every class whose extent content
+// changed (gained, lost or replaced a member); inserted lists freshly
+// created objects whose refs extend the deref map; fork forces a deref
+// fork because existing entries changed (any update or delete). Caller
+// holds e.mu (write).
+func (e *Engine) publish(changed []string, inserted []*core.GObj, fork bool) {
+	v := e.res.View
+	old := e.snap.Load()
+	next := &snapshot{
+		seq:     old.seq + 1,
+		consts:  v.Conformed.Consts,
+		classes: make(map[string]*classState, len(old.classes)+len(changed)),
+		decl:    e.declFor(),
+	}
+	for name, cs := range old.classes {
+		next.classes[name] = cs
+	}
+	// changed arrives with duplicates (ShipTx appends each op's whole
+	// class chain); rebuild each class once, not once per mention.
+	rebuilt := make(map[string]bool, len(changed))
+	for _, name := range changed {
+		if rebuilt[name] {
+			continue
+		}
+		rebuilt[name] = true
+		next.classes[name] = newClassState(name, v.Extent(name))
+	}
+	if fork {
+		next.refs = newRefTable(v.RefsCopy())
+	} else {
+		next.refs = old.refs
+		for _, g := range inserted {
+			for _, r := range v.RefsOf(g) {
+				next.refs.added.Store(r, addedRef{g: g, seq: next.seq})
+			}
+		}
+	}
+	e.snap.Store(next)
+	e.counters.publishes.Add(1)
+}
+
+// publishAll rebuilds the snapshot from scratch — every class, forked
+// deref map. Used by the constructor and by mutation error paths where
+// the precise set of affected classes is uncertain. Caller holds e.mu
+// (write) or is the constructor.
+func (e *Engine) publishAll() {
+	v := e.res.View
+	var seq uint64
+	if old := e.snap.Load(); old != nil {
+		seq = old.seq + 1
+	}
+	next := &snapshot{
+		seq:     seq,
+		consts:  v.Conformed.Consts,
+		classes: make(map[string]*classState, len(v.ClassNames)),
+		decl:    e.declFor(),
+		refs:    newRefTable(v.RefsCopy()),
+	}
+	for _, name := range v.ClassNames {
+		next.classes[name] = newClassState(name, v.Extent(name))
+	}
+	e.snap.Store(next)
+	e.counters.publishes.Add(1)
+}

@@ -6,12 +6,18 @@
 // shipped. The full mutation lifecycle (insert, update, delete, mixed
 // batches) is validated with delta-restricted checking and shipped
 // through the Engine's Ship* methods; see mutate.go and DESIGN.md §7.
+//
+// Queries are served lock-free from immutable snapshots through a
+// cost-gated, plan-cached optimizer (snapshot.go, planner.go,
+// plancache.go; DESIGN.md §8): Run never takes the engine lock, and a
+// repeated query performs no solver work and no compilation.
 package view
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"interopdb/internal/core"
 	"interopdb/internal/expr"
@@ -46,16 +52,27 @@ type Stats struct {
 	// instead of being evaluated per row.
 	IndexHits int
 	// CandidateRows is the number of rows the serving loop considered:
-	// the intersected index candidate set when indexes applied, the full
+	// the resolved index candidate set when indexes applied, the full
 	// extent otherwise (and 0 for pruned-empty queries).
 	CandidateRows int
+	// PlanCached is true when the query was served from a cached plan
+	// (no planning, no solver queries, no compilation).
+	PlanCached bool
+	// ConstraintGated is true when the cost gate decided the constraint
+	// phase could not pay for itself and skipped it.
+	ConstraintGated bool
 }
 
 // Engine runs queries and validates mutations against an integration
 // result, and ships validated mutations to the component stores. It is
-// safe for concurrent use: Run and the Validate* methods may run in
-// parallel with each other; the Ship* methods serialise against them
-// while they mutate the view and maintain the extent indexes.
+// safe for concurrent use. Run is lock-free: it serves from the
+// published snapshot and may run at any time, including concurrently
+// with mutations (readers observe either the pre- or the post-mutation
+// snapshot, never a torn mix). The Validate* methods share a read lock;
+// the Ship* methods take the write lock while mutating the live view,
+// then publish the next snapshot. The UseConstraints/UseIndexes toggles
+// are plain fields for benchmarking convenience and must not be flipped
+// concurrently with serving.
 type Engine struct {
 	res     *core.Result
 	checker *logic.Checker
@@ -64,23 +81,36 @@ type Engine struct {
 	UseConstraints bool
 	// UseIndexes toggles the indexed+compiled serving fast path: extent
 	// indexes answer sargable conjuncts and the residual predicate is
-	// compiled once per query. Off, Run scans the whole extent with the
-	// tree-walking interpreter and ValidateInsert probes keys with a
-	// full extent copy — the reference path the differential tests
-	// compare against.
+	// compiled once per plan. Off, Run scans the snapshot extent with
+	// the tree-walking interpreter and ValidateInsert probes keys with
+	// a full extent copy — the reference semantics the differential
+	// tests compare against.
 	UseIndexes bool
+	// CostGate toggles the planner's cost gate on the constraint phase
+	// (planner.go): on, the solver is only consulted when the estimated
+	// serving cost exceeds its expected cost, so the optimizer never
+	// loses to the scan it replaces. Off, the constraint phase always
+	// runs — the paper's unconditioned behaviour, kept for the
+	// small-fixture reproductions and A/B measurements.
+	CostGate bool
 
-	// mu guards the view snapshot: Run and ValidateInsert hold it for
-	// read, ShipInsert for write while applying a shipped insert.
+	// mu serialises the live view: Validate* and CheckAll hold it for
+	// read, the Ship* methods for write while applying a shipped
+	// mutation and publishing the next snapshot. Run does NOT take it.
 	mu sync.RWMutex
-	// imu guards the lazily-built structures below: probes and cache
-	// hits run under the read lock (concurrent planning stays parallel
-	// once indexes are built); only building a missing index or cache
-	// entry takes the write lock.
-	imu   sync.RWMutex
-	idx   map[string]*classIndexes
+
+	// snap is the published serving snapshot (snapshot.go).
+	snap atomic.Pointer[snapshot]
+
+	// cmu guards the constraint caches below. Constraints are fixed for
+	// the engine's lifetime, so these caches survive snapshot
+	// publications; they are consulted at plan-build and validation
+	// time only, never on the steady-state serve path.
+	cmu   sync.RWMutex
 	cons  map[string]*classCons
 	mcons map[string]*consGroup
+
+	counters engineCounters
 }
 
 // classCons caches one class's scope-all global constraints, split by
@@ -105,8 +135,9 @@ type classCons struct {
 
 // New builds an engine over an integration result with optimisation and
 // indexing on. The engine shares the derivation's checker, so entailment
-// queries the optimiser repeats across Run calls — and queries already
-// answered during derivation — are served from the shared memo table.
+// queries the planner repeats across predicate shapes — and queries
+// already answered during derivation — are served from the shared memo
+// table.
 func New(res *core.Result) *Engine {
 	var ck *logic.Checker
 	if res.Derivation != nil {
@@ -115,30 +146,31 @@ func New(res *core.Result) *Engine {
 	if ck == nil {
 		ck = &logic.Checker{Types: res.Conformed.Types}
 	}
-	return &Engine{
+	e := &Engine{
 		res:            res,
 		checker:        ck,
 		UseConstraints: true,
 		UseIndexes:     true,
-		idx:            map[string]*classIndexes{},
+		CostGate:       true,
 		cons:           map[string]*classCons{},
 		mcons:          map[string]*consGroup{},
 	}
+	e.publishAll()
+	return e
 }
 
 // consFor returns the cached scope-all constraints of a class, collected
-// from the derivation exactly once per class (Run and ValidateInsert
-// previously re-traversed Derivation.Global on every call). The cached
-// struct is immutable after publication, so the read path shares a lock.
+// from the derivation exactly once per class. The cached struct is
+// immutable after publication, so the read path shares a lock.
 func (e *Engine) consFor(class string) *classCons {
-	e.imu.RLock()
+	e.cmu.RLock()
 	cc, ok := e.cons[class]
-	e.imu.RUnlock()
+	e.cmu.RUnlock()
 	if ok {
 		return cc
 	}
-	e.imu.Lock()
-	defer e.imu.Unlock()
+	e.cmu.Lock()
+	defer e.cmu.Unlock()
 	if cc, ok := e.cons[class]; ok {
 		return cc
 	}
@@ -160,76 +192,58 @@ func (e *Engine) consFor(class string) *classCons {
 	return cc
 }
 
-// Run executes a query. With UseConstraints, the derived global
-// constraints prune provably-empty queries without touching the extent
-// and drop implied conjuncts from the residual predicate. With
-// UseIndexes, sargable conjuncts (equality, range and finite-set
-// restrictions on stored attributes) are answered from lazily-built
-// extent indexes and the remaining predicate is compiled once and
-// applied to the narrowed candidate set only.
+// Run executes a query against the published snapshot — without taking
+// the engine lock, so readers never serialise behind mutations. With
+// UseConstraints, the derived global constraints prune provably-empty
+// queries without touching the extent and drop implied conjuncts from
+// the residual predicate — when the cost gate judges the solver work
+// worthwhile (planner.go). With UseIndexes, sargable conjuncts
+// (equality, range and finite-set restrictions on stored attributes)
+// are answered from lazily-built extent indexes and the remaining
+// predicate is compiled once per plan. All of it is planned once per
+// (class, predicate, flags) and replayed from the plan cache on
+// repetition.
 func (e *Engine) Run(q Query) ([]Row, Stats, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	s := e.snap.Load()
+	cs := s.class(q.Class)
 	var stats Stats
-	ext := e.res.View.Extent(q.Class)
-	pred := q.Where
 
-	// With pred == nil there is nothing to refute or simplify, so the
-	// constraint phase is skipped even when Select projects attributes
-	// the constraints pin to constants: serving pinned constants without
-	// reading the extent would fabricate attributes absent objects lack
-	// and lose stored representations — see
-	// TestPinnedSelectShortCircuitOutOfScope for the demonstration.
-	if e.UseConstraints && pred != nil {
-		cons := e.consFor(q.Class).object
-		if len(cons) > 0 {
-			all := append(append([]expr.Node{}, cons...), pred)
-			if e.checker.Satisfiable(all...) == logic.No {
-				stats.PrunedEmpty = true
-				return nil, stats, nil
-			}
-			// Residual predicate: drop conjuncts the constraints imply.
-			var residual []expr.Node
-			for _, c := range conjuncts(pred) {
-				if e.checker.Entails(cons, c) == logic.Yes {
-					stats.DroppedConjuncts++
-					continue
-				}
-				residual = append(residual, c)
-			}
-			pred = conjoinNodes(residual)
+	// With q.Where == nil there is nothing to refute, simplify or
+	// index, so no plan is needed: project every row. (Serving pinned
+	// constants without reading the extent would fabricate attributes
+	// absent objects lack — see TestPinnedSelectShortCircuitOutOfScope.)
+	if q.Where == nil {
+		stats.CandidateRows = len(cs.ext)
+		var rows []Row
+		for _, g := range cs.ext {
+			stats.Scanned++
+			rows = append(rows, projectRow(g, q.Select))
 		}
+		return rows, stats, nil
 	}
 
-	if !e.UseIndexes {
-		return e.runScan(q, ext, pred, stats)
+	useCons, useIdx := e.UseConstraints, e.UseIndexes
+	p, hit := e.planFor(s, cs, q.Where, useCons, useIdx)
+	stats.PlanCached = hit
+	stats.PrunedEmpty = p.pruned
+	stats.DroppedConjuncts = p.dropped
+	stats.ConstraintGated = p.gated
+	if p.pruned {
+		return nil, stats, nil
 	}
 
-	// Plan: serve the maximal index-answerable prefix of the conjuncts
-	// from the extent indexes (see servePrefix for why only a prefix is
-	// safe); the residual is compiled once and evaluated per candidate.
-	candidates := -1 // -1 = full extent
-	var positions []int
-	var residual []expr.Node
-	if pred != nil {
-		pos, served, rest := e.servePrefix(q.Class, ext, conjuncts(pred))
-		residual = rest
-		if served > 0 {
-			stats.IndexHits = served
-			positions, candidates = pos, len(pos)
-		}
-	}
-
-	var prog *expr.Program
-	if resid := conjoinNodes(residual); resid != nil {
-		prog = expr.Compile(resid)
-	}
 	evalRow := func(g *core.GObj) (bool, error) {
 		stats.Scanned++
-		if prog == nil {
+		if p.residual == nil {
 			return true, nil
 		}
-		ok, err := prog.EvalBool(e.res.View.Env(g))
+		var ok bool
+		var err error
+		if p.interp {
+			ok, err = s.env(cs, g).EvalBool(p.residual)
+		} else {
+			ok, err = p.prog.EvalBool(s.env(cs, g))
+		}
 		if err != nil {
 			return false, fmt.Errorf("query on %s: %w", q.Class, err)
 		}
@@ -237,10 +251,11 @@ func (e *Engine) Run(q Query) ([]Row, Stats, error) {
 	}
 
 	var rows []Row
-	if candidates >= 0 {
-		stats.CandidateRows = candidates
-		for _, p := range positions {
-			g := ext[p]
+	if p.served > 0 {
+		stats.IndexHits = p.served
+		stats.CandidateRows = len(p.positions)
+		for _, pos := range p.positions {
+			g := cs.ext[pos]
 			ok, err := evalRow(g)
 			if err != nil {
 				return nil, stats, err
@@ -251,8 +266,8 @@ func (e *Engine) Run(q Query) ([]Row, Stats, error) {
 		}
 		return rows, stats, nil
 	}
-	stats.CandidateRows = len(ext)
-	for _, g := range ext {
+	stats.CandidateRows = len(cs.ext)
+	for _, g := range cs.ext {
 		ok, err := evalRow(g)
 		if err != nil {
 			return nil, stats, err
@@ -260,29 +275,6 @@ func (e *Engine) Run(q Query) ([]Row, Stats, error) {
 		if ok {
 			rows = append(rows, projectRow(g, q.Select))
 		}
-	}
-	return rows, stats, nil
-}
-
-// runScan is the reference serving path: a full extent scan with the
-// tree-walking interpreter. Differential tests pin the indexed path's
-// rows against it.
-func (e *Engine) runScan(q Query, ext []*core.GObj, pred expr.Node, stats Stats) ([]Row, Stats, error) {
-	stats.CandidateRows = len(ext)
-	var rows []Row
-	for _, g := range ext {
-		stats.Scanned++
-		if pred != nil {
-			env := e.res.View.Env(g)
-			ok, err := env.EvalBool(pred)
-			if err != nil {
-				return nil, stats, fmt.Errorf("query on %s: %w", q.Class, err)
-			}
-			if !ok {
-				continue
-			}
-		}
-		rows = append(rows, projectRow(g, q.Select))
 	}
 	return rows, stats, nil
 }
@@ -345,7 +337,7 @@ func (r Rejection) Error() string {
 // subtransaction is sent to a component database. It returns the
 // violated constraints with repair proposals (empty means the insert
 // may proceed to the local managers). With UseIndexes, key uniqueness
-// is answered from an incremental composite-key index in O(1) instead
+// is answered from the snapshot's composite-key index in O(1) instead
 // of copying and scanning the whole extent per insert.
 func (e *Engine) ValidateInsert(class string, attrs map[string]object.Value) []Rejection {
 	e.mu.RLock()
@@ -425,11 +417,11 @@ func (e *Engine) findKeyHolderID(class string, attrs []string, obj expr.Object) 
 // (into the origin class of the global class) and executes it, reporting
 // whether the local transaction manager accepted it. On success the
 // object is also applied to the integrated view (classified along its
-// origin chain) and the built extent indexes are maintained, so
-// subsequent queries and key-uniqueness checks see it without
-// re-integration. attrs must be in the conformed (global) domain — the
-// domain ValidateInsert evaluates; PropEq value conversion between that
-// domain and an origin class's native one is not applied (matching the
+// origin chain) and the next snapshot is published, so subsequent
+// queries and key-uniqueness checks see it without re-integration.
+// attrs must be in the conformed (global) domain — the domain
+// ValidateInsert evaluates; PropEq value conversion between that domain
+// and an origin class's native one is not applied (matching the
 // component insert, which also receives attrs as given).
 func (e *Engine) ShipInsert(st *store.Store, class string, attrs map[string]object.Value) error {
 	org, ok := e.res.View.Origin[class]
@@ -451,13 +443,13 @@ func (e *Engine) ShipInsert(st *store.Store, class string, attrs map[string]obje
 	if err != nil {
 		return fmt.Errorf("insert committed locally but not applied to the view: %w", err)
 	}
-	e.noteInsert(g)
+	e.publish(classNames(g), []*core.GObj{g}, false)
 	return nil
 }
 
 // Result returns the integration result the engine serves. Mutating the
-// view behind the engine's back bypasses its locking and index
-// maintenance — treat it as read-only and mutate through the Ship*
+// view behind the engine's back bypasses its locking and snapshot
+// publication — treat it as read-only and mutate through the Ship*
 // methods.
 func (e *Engine) Result() *core.Result { return e.res }
 

@@ -76,6 +76,10 @@ func TestQueryPredicate(t *testing.T) {
 // scanning.
 func TestQueryPrunedEmpty(t *testing.T) {
 	e := fig1Engine(t)
+	// The Figure 1 demo extent is tiny, so the cost gate would (rightly)
+	// judge the solver not worth it; disable it to pin the paper's
+	// unconditioned pruning behaviour.
+	e.CostGate = false
 	// Proceedings.oc1 (objective): IEEE implies ref?=true. Asking for
 	// IEEE non-refereed proceedings is provably empty.
 	q := Query{
@@ -105,6 +109,7 @@ func TestQueryPrunedEmpty(t *testing.T) {
 
 func TestQueryDropsImpliedConjuncts(t *testing.T) {
 	e := fig1Engine(t)
+	e.CostGate = false // tiny demo extent: pin unconditioned dropping
 	// key isbn propagates; rating bound for ACM comes from the derived
 	// constraint. "publisher.name='IEEE' implies ref?=true" is objective,
 	// so the conjunct (the whole implication) is implied.

@@ -34,6 +34,9 @@ func TestPublicAPIQueryEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := NewQueryEngine(res)
+	// The demo fixture is tiny; disable the planner's cost gate so the
+	// paper's unconditioned pruning shows through the public API.
+	e.CostGate = false
 	rows, stats, err := e.Run(Query{
 		Class: "Proceedings",
 		Where: MustParseExpr("publisher.name = 'IEEE' and ref? = false"),
