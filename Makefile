@@ -27,6 +27,7 @@ test:
 # conformation, shared entailment cache, query engine).
 race:
 	$(GO) test -race ./internal/core/... ./internal/logic/... ./internal/view/...
+	$(GO) test -race -run Federation .
 
 # Full benchmark run (slow).
 bench:
@@ -38,16 +39,17 @@ bench-smoke:
 	$(GO) test -bench=E11 -benchtime=1x -run='^$$' .
 	$(GO) test -bench=Serve -benchtime=1x -run='^$$' .
 	$(GO) test -bench=B8 -benchtime=1x -run='^$$' .
+	$(GO) test -bench=B10 -benchtime=1x -run='^$$' .
 
 # Regenerate the machine-readable benchmark baseline for this PR.
 baseline:
-	$(GO) run ./cmd/interopbench -quick -json BENCH_4.json
+	$(GO) run ./cmd/interopbench -quick -json BENCH_5.json
 
 # Diff the current baseline against the previous PR's and GATE: shared
 # timing metrics regressing beyond -max-regress fail (sub-10µs rows are
 # noise-floored; E-series pass→fail drift always fails).
 bench-compare:
-	$(GO) run ./cmd/benchcompare -max-regress 100 BENCH_3.json BENCH_4.json
+	$(GO) run ./cmd/benchcompare -max-regress 100 BENCH_4.json BENCH_5.json
 
 # CPU/heap profiles of the full benchmark suite, so perf work starts
 # from a flame graph instead of a guess:

@@ -464,3 +464,15 @@ func BenchmarkB8_MutationThroughput(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkB10_FederationAttach runs the federation membership-change
+// experiment (incremental attach vs full re-integration) at scale 1,
+// cross-checking the incremental and from-scratch states each
+// iteration; CI smokes it at 1x.
+func BenchmarkB10_FederationAttach(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.B10([]int{1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -56,6 +56,7 @@ var sections = []struct {
 	{"b7", []string{"scale", "kind", "detail"}, []string{"scan_ns", "fast_ns"}},
 	{"b8", []string{"scale", "mode"}, []string{"per_op_ns"}},
 	{"b9", []string{"readers"}, []string{"per_op_ns"}},
+	{"b10", []string{"scale"}, []string{"attach_ns", "reintegrate_ns"}},
 }
 
 func load(path string) (*report, error) {

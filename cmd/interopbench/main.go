@@ -52,6 +52,7 @@ type report struct {
 	B7         []b7JSON              `json:"b7,omitempty"`
 	B8         []b8JSON              `json:"b8,omitempty"`
 	B9         []b9JSON              `json:"b9,omitempty"`
+	B10        []b10JSON             `json:"b10,omitempty"`
 }
 
 type eResult struct {
@@ -108,6 +109,18 @@ type b9JSON struct {
 	Mutations     int     `json:"mutations"`
 	PlanHitRate   float64 `json:"plan_hit_rate"`
 	SolverQueries int64   `json:"solver_queries"`
+}
+
+// b10JSON flattens B10Row for trend tracking across baselines.
+type b10JSON struct {
+	Scale           int     `json:"scale"`
+	AttachNanos     int64   `json:"attach_ns"`
+	ReintegrateNans int64   `json:"reintegrate_ns"`
+	Speedup         float64 `json:"speedup"`
+	PlanSurvival    float64 `json:"plan_survival"`
+	AttachSolver    int64   `json:"attach_solver"`
+	FullSolver      int64   `json:"full_solver"`
+	Publishes       int64   `json:"publishes"`
 }
 
 type b4JSON struct {
@@ -310,6 +323,23 @@ func runB(quick bool, rep *report) {
 			TotalNanos: r.Total.Nanoseconds(), PerOpNanos: r.PerOp.Nanoseconds(),
 			Throughput: r.Throughput(), Mutations: r.Mutations,
 			PlanHitRate: r.PlanHitRate, SolverQueries: r.SolverQueries,
+		})
+	}
+
+	b10Scales := []int{1, 10, 50}
+	if quick {
+		b10Scales = []int{1, 10}
+	}
+	fmt.Println("\nB10: federation membership change — incremental attach vs full re-integration")
+	b10, err := experiments.B10(b10Scales)
+	exitOn(err)
+	for _, r := range b10 {
+		fmt.Printf("  scale=%3d attach %12v | re-integrate %12v | %5.1fx | plan survival %5.1f%% | solver %d vs %d | publishes %d\n",
+			r.Scale, r.Attach, r.Reintegrate, r.Speedup(), 100*r.PlanSurvival, r.AttachSolver, r.FullSolver, r.Publishes)
+		rep.B10 = append(rep.B10, b10JSON{
+			Scale: r.Scale, AttachNanos: r.Attach.Nanoseconds(), ReintegrateNans: r.Reintegrate.Nanoseconds(),
+			Speedup: r.Speedup(), PlanSurvival: r.PlanSurvival,
+			AttachSolver: r.AttachSolver, FullSolver: r.FullSolver, Publishes: r.Publishes,
 		})
 	}
 }

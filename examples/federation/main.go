@@ -1,16 +1,14 @@
-// Federation: constraint-aware interoperation at scale.
+// Federation: N-way interoperation with runtime Attach/Detach.
 //
-// A synthetic bibliographic federation (thousands of books, partially
-// overlapping) is integrated, and the derived global constraints are put
-// to the paper's two motivating uses:
-//
-//  1. Query optimisation — subqueries the constraints refute are answered
-//     without scanning; implied predicate conjuncts are dropped.
-//  2. Transaction validation — inserts doomed to be rejected by the local
-//     transaction managers are caught before any subtransaction ships.
-//
-// The run compares against the drop-all baseline (no constraints) and
-// reports the naive union-all baseline's false rejections.
+// A library/bookseller federation is built member by member, served,
+// and then grown: a university archive joins at runtime. The attach
+// integrates ONLY the new pair (CSLibrary+UnivArchive) and grafts it
+// onto the live view — queries keep running throughout, classes the
+// archive does not touch keep their cached plans, and one snapshot
+// publication flips readers from the old membership to the new.
+// Finally a mixed batch is routed across all three member stores and
+// the archive detaches again, retracting its constraints by
+// provenance.
 //
 // Run:  go run ./examples/federation
 package main
@@ -24,93 +22,90 @@ import (
 )
 
 func main() {
-	p := interopdb.DefaultWorkloadParams()
-	p.LocalBooks, p.RemoteBooks = 3000, 3000
-	p.Overlap = 0.3
-	local, remote := interopdb.BibliographicWorkload(p)
-	fmt.Printf("federation: %d local + %d remote objects, overlap %.0f%%\n\n",
-		local.Count(), remote.Count(), p.Overlap*100)
+	// Component stores: the scaled Figure 1 catalog plus the archive.
+	libStore, bsStore := interopdb.Figure1Stores(interopdb.FixtureOptions{Scale: 300})
+	archStore := interopdb.ArchiveStore(interopdb.FixtureOptions{Scale: 300})
 
-	start := time.Now()
-	// The repaired integration specification: the engine's own conflict
-	// analysis turned rule r5 into approximate similarity (see
-	// examples/repair), so the Proceedings constraints are provably valid
-	// and available to the optimiser.
-	res, err := interopdb.Integrate(
-		interopdb.Figure1Library(), interopdb.Figure1Bookseller(),
-		interopdb.Figure1IntegrationRepaired(), local, remote, 1)
+	// Member by member: seed, then the founding pair (identical to the
+	// pairwise Integrate), then the archive — incrementally.
+	fed := interopdb.NewFederation(1, interopdb.PipelineOptions{})
+	must(fed.Attach(interopdb.Figure1Library(), libStore, nil))
+
+	t0 := time.Now()
+	must(fed.Attach(interopdb.Figure1Bookseller(), bsStore, interopdb.Figure1IntegrationRepaired()))
+	fmt.Printf("founding pair integrated in %v (%d reasoning computations)\n",
+		time.Since(t0).Round(time.Millisecond), fed.LastAttachReasoning().Misses)
+
+	e := fed.Engine()
+	queries := []interopdb.Query{
+		{Class: "Publisher", Where: interopdb.MustParseExpr("location = 'Berlin'")},
+		{Class: "Monograph", Where: interopdb.MustParseExpr("shopprice < 95")},
+		{Class: "Proceedings", Where: interopdb.MustParseExpr("rating >= 7")},
+	}
+	for _, q := range queries { // warm the plan cache
+		if _, _, err := e.Run(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The archive joins at runtime. Only the CSLibrary+UnivArchive pair
+	// is integrated; the graft publishes ONE snapshot.
+	pubsBefore := e.CacheStats().Publishes
+	t0 = time.Now()
+	must(fed.Attach(interopdb.Figure1UnivArchive(), archStore, interopdb.Figure1ArchiveIntegration()))
+	fmt.Printf("archive attached in %v (%d reasoning computations, %d snapshot publication(s))\n",
+		time.Since(t0).Round(time.Millisecond),
+		fed.LastAttachReasoning().Misses, e.CacheStats().Publishes-pubsBefore)
+	fmt.Printf("members: %v\n\n", fed.Members())
+
+	fmt.Println("== plan survival across the membership change ==")
+	for _, q := range queries {
+		_, stats, err := e.Run(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %-24v plan-cached=%v\n", q.Class, q.Where, stats.PlanCached)
+	}
+
+	// Cross-pair serving: the merged VLDB record now spans three
+	// stores, and well-scored archive records share the ScholarlyLike
+	// virtual superclass with the library's scientific publications.
+	rows, _, err := e.Run(interopdb.Query{Class: "Record", Where: interopdb.MustParseExpr("isbn = 'vldb96'")})
+	must(err)
+	fmt.Printf("\nRecord[isbn=vldb96]: %d row(s) — one object across three members\n", len(rows))
+	rows, _, err = e.Run(interopdb.Query{Class: "ScholarlyLike"})
+	must(err)
+	fmt.Printf("ScholarlyLike (virtual superclass across pairs): %d members\n\n", len(rows))
+
+	// One mixed batch, routed per member: the insert lands in the
+	// archive, the delete too — each member commits ONE deferred-
+	// validation transaction.
+	ops := []interopdb.Mutation{
+		{Kind: interopdb.MutInsert, Class: "Record", Attrs: map[string]interopdb.Value{
+			"title": interopdb.Str("Newly Archived Volume"), "isbn": interopdb.Str("example-new"),
+			"keeper": interopdb.Str("Annex"), "price": interopdb.Real(18), "pages": interopdb.Int(250),
+		}},
+	}
+	if rejs, _, err := e.ValidateTx(ops); err != nil || len(rejs) > 0 {
+		log.Fatalf("validation: %v %v", rejs, err)
+	}
+	must(e.ShipTxRouted(fed.Stores(), ops))
+	fmt.Println("routed batch committed (insert → UnivArchive's local manager)")
+
+	// Constraint provenance in the federated report.
+	fmt.Println()
+	fmt.Println(fed.Report())
+
+	// The archive leaves: its constraints are retracted by provenance,
+	// its objects leave the view (the store itself is untouched), and
+	// untouched classes keep their plans.
+	must(fed.Detach("UnivArchive"))
+	fmt.Printf("detached UnivArchive: members %v, archive store still holds %d records\n",
+		fed.Members(), archStore.Count())
+}
+
+func must(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	merged := 0
-	for _, g := range res.View.Objects {
-		if g.Merged() {
-			merged++
-		}
-	}
-	fmt.Printf("integrated in %v: %d global objects (%d merged), %d global constraints\n\n",
-		time.Since(start).Round(time.Millisecond), len(res.View.Objects), merged, len(res.Derivation.Global))
-
-	engine := interopdb.NewQueryEngine(res)
-	queries := []interopdb.Query{
-		{Class: "Proceedings", Where: interopdb.MustParseExpr("publisher.name = 'IEEE' and ref? = false")},
-		{Class: "Proceedings", Where: interopdb.MustParseExpr("ref? = true and rating < 7")},
-		{Class: "Proceedings", Where: interopdb.MustParseExpr("rating >= 9")},
-		{Class: "Item", Where: interopdb.MustParseExpr("shopprice < 40")},
-	}
-	fmt.Println("== query optimisation (with vs without derived constraints) ==")
-	for _, q := range queries {
-		engine.UseConstraints = true
-		t0 := time.Now()
-		rows1, s1, err := engine.Run(q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		dOpt := time.Since(t0)
-		engine.UseConstraints = false
-		t0 = time.Now()
-		rows2, s2, err := engine.Run(q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		dBase := time.Since(t0)
-		if len(rows1) != len(rows2) {
-			log.Fatalf("optimisation changed the answer: %d vs %d", len(rows1), len(rows2))
-		}
-		fmt.Printf("  %-55s opt: %6d scanned %8v | base: %6d scanned %8v | pruned=%v\n",
-			q.Where, s1.Scanned, dOpt.Round(time.Microsecond), s2.Scanned, dBase.Round(time.Microsecond), s1.PrunedEmpty)
-	}
-	engine.UseConstraints = true
-
-	fmt.Println("\n== transaction validation ==")
-	// Half the inserts violate the objective oc1 (IEEE implies ref?):
-	// IEEE is publisher OID 1 in the generated workload. The derived
-	// global constraints catch them before any subtransaction ships.
-	accepted, rejectedEarly := 0, 0
-	for i := 0; i < 200; i++ {
-		doomed := i%2 == 0
-		pub := interopdb.Ref{DB: "Bookseller", OID: 2}
-		ref := true
-		if doomed {
-			pub = interopdb.Ref{DB: "Bookseller", OID: 1} // IEEE
-			ref = false                                   // violates oc1
-		}
-		attrs := map[string]interopdb.Value{
-			"title":     interopdb.Str(fmt.Sprintf("New Proc %d", i)),
-			"isbn":      interopdb.Str(fmt.Sprintf("new-%d", i)),
-			"publisher": pub,
-			"shopprice": interopdb.Real(30), "libprice": interopdb.Real(25),
-			"ref?": interopdb.Bool(ref), "rating": interopdb.Int(8),
-		}
-		if rejs := engine.ValidateInsert("Proceedings", attrs); len(rejs) > 0 {
-			rejectedEarly++
-			continue
-		}
-		accepted++
-	}
-	fmt.Printf("  of 200 intended inserts: %d validated, %d rejected before shipping (saved round-trips)\n",
-		accepted, rejectedEarly)
-
-	fr, total := interopdb.UnionAllFalseRejects(res, "Publication")
-	fmt.Printf("\n== union-all baseline ==\n  falsely rejects %d of %d Publication states the derived constraints accept\n", fr, total)
 }

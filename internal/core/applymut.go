@@ -180,9 +180,10 @@ func (v *GlobalView) reclassify(g *GObj) ([]string, error) {
 	c := v.Conformed
 
 	// Value-independent memberships: the constituents' conformed class
-	// chains (classifyConstituents's rule, per object).
+	// chains (classifyConstituents's rule, per object), over every
+	// member side of the view.
 	desired := map[string]bool{}
-	for _, side := range []Side{LocalSide, RemoteSide} {
+	for _, side := range v.sides() {
 		db := c.SchemaOf(side)
 		for _, m := range g.Parts[side] {
 			for _, cn := range db.Supers(m.Class) {
@@ -199,7 +200,7 @@ func (v *GlobalView) reclassify(g *GObj) ([]string, error) {
 		if err != nil {
 			return nil, err
 		}
-		targetSide := r.SrcSide.Other()
+		targetSide := r.TargetSide()
 		if r.Approximate() {
 			// ext(Cv) ⊇ ext(C) ∪ matching sources: membership via the
 			// target class is settled below, after strict rules ran.
@@ -217,7 +218,7 @@ func (v *GlobalView) reclassify(g *GObj) ([]string, error) {
 	}
 	for _, ap := range approx {
 		r := ap.rule
-		if desired[v.GlobalName(r.SrcSide.Other(), r.Target)] {
+		if desired[v.GlobalName(r.TargetSide(), r.Target)] {
 			desired[r.Virtual] = true
 		}
 	}

@@ -106,14 +106,59 @@ type Conformed struct {
 	// Consts merges both databases' named constants.
 	Consts  map[string]object.Value
 	virtSeq object.OID
+	// Fed, when non-nil, marks this conformed world as the combined
+	// state of an N-member federation: SchemaOf and MemberName index
+	// members through it instead of the two-sided Local/Remote fields.
+	// Pairwise pipeline runs leave it nil.
+	Fed *FedInfo
 }
 
-// SchemaOf returns the conformed schema of a side.
+// FedInfo describes the member layout of a federated (N-member)
+// conformed world: one entry per Side value ever assigned. Detached
+// members keep their slot (Side values are never reused) but are marked
+// inactive. The schema recorded for a member is the conformed schema of
+// the pair integration that attached it — a base member keeps the
+// vocabulary of its first integration.
+type FedInfo struct {
+	// Names holds each member's database name, indexed by Side.
+	Names []string
+	// Schemas holds each member's conformed schema, indexed by Side.
+	Schemas []*schema.Database
+	// Specs holds each member's parsed database specification.
+	Specs []*tm.DatabaseSpec
+	// Active marks which slots belong to currently attached members.
+	Active []bool
+}
+
+// SideOf resolves a member name to its Side slot (active members only).
+func (f *FedInfo) SideOf(name string) (Side, bool) {
+	for i, n := range f.Names {
+		if f.Active[i] && n == name {
+			return Side(i), true
+		}
+	}
+	return 0, false
+}
+
+// SchemaOf returns the conformed schema of a side. In a federated world
+// every attached member has its own Side slot; in a pairwise run the
+// two sides are the local and remote schemas.
 func (c *Conformed) SchemaOf(side Side) *schema.Database {
+	if c.Fed != nil && int(side) < len(c.Fed.Schemas) {
+		return c.Fed.Schemas[side]
+	}
 	if side == LocalSide {
 		return c.LocalSchema
 	}
 	return c.RemoteSchema
+}
+
+// MemberName returns the database name of a side's member.
+func (c *Conformed) MemberName(side Side) string {
+	if c.Fed != nil && int(side) < len(c.Fed.Names) {
+		return c.Fed.Names[side]
+	}
+	return c.Spec.DB(side).Schema.Name
 }
 
 // Objects returns the conformed direct instances of a class on a side.

@@ -50,6 +50,30 @@ type GlobalConstraint struct {
 	Expr       expr.Node
 	Origin     []ConKey
 	Derivation string // "objective", "derived(avg)", "key-propagation", ...
+	// Provenance lists, in a federated view, the pair tags (the attached
+	// member's database name identifies each pair) whose derivations
+	// contributed this constraint. Detaching a member retracts every
+	// constraint whose provenance empties — the federation's constraint
+	// retraction rule. Pairwise results leave it nil.
+	Provenance []string
+}
+
+// SourceDBs lists the component databases the constraint's origin keys
+// reference, deduplicated in first-mention order — the stores whose
+// locally enforced constraints this global constraint was derived from.
+// Constraints synthesized without origin keys (e.g. approximate-
+// similarity disjunctions) return nil; their membership dependency is
+// carried by Provenance instead.
+func (g GlobalConstraint) SourceDBs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, k := range g.Origin {
+		if !seen[k.DB] {
+			seen[k.DB] = true
+			out = append(out, k.DB)
+		}
+	}
+	return out
 }
 
 // String renders the constraint.
@@ -180,7 +204,7 @@ func Derive(v *GlobalView) *Derivation { return DeriveOptions(v, Options{}) }
 func DeriveOptions(v *GlobalView, opts Options) *Derivation {
 	d := &Derivation{
 		View:         v,
-		Checker:      &logic.Checker{Types: v.Conformed.Types, NoMemo: opts.NoMemo},
+		Checker:      &logic.Checker{Types: v.Conformed.Types, NoMemo: opts.NoMemo, Memo: opts.Memo},
 		DerivedOnSim: map[string][]expr.Node{},
 		unsafe:       map[ConKey]bool{},
 		opts:         opts,

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"interopdb/internal/fixture"
+	"interopdb/internal/logic"
+	"interopdb/internal/object"
+	"interopdb/internal/store"
+	"interopdb/internal/tm"
+)
+
+// A minimal three-member scenario whose third pair's similarity rule
+// NAVIGATES A REFERENCE (G.maker.mname): reclassification after a
+// mutation must be able to deref the grafted member's objects through
+// the combined conformed world.
+const (
+	fedHubSrc = `
+Database Hub
+
+Class Thing
+  attributes
+    code : string
+    name : string
+end Thing
+`
+	fedSpokeASrc = `
+Database SpokeA
+
+Class Widget
+  attributes
+    code : string
+    size : int
+end Widget
+`
+	fedSpokeBSrc = `
+Database SpokeB
+
+Class Maker
+  attributes
+    mname : string
+end Maker
+
+Class Gadget
+  attributes
+    code : string
+    maker : Maker
+    grade : int
+end Gadget
+`
+	fedHubSpokeA = `
+integration Hub imports SpokeA
+
+rule w1: Eq(T:Thing, W:Widget) <= T.code = W.code
+`
+	fedHubSpokeB = `
+integration Hub imports SpokeB
+
+rule g1: Eq(T:Thing, G:Gadget) <= T.code = G.code
+rule g2: Sim(G:Gadget, Thing, Premium) <= G.maker.mname = 'Acme' and G.grade >= 5
+`
+)
+
+// buildMiniFed integrates Hub+SpokeA and grafts SpokeB, returning the
+// federation state and the SpokeB store.
+func buildMiniFed(t *testing.T, seedName string, reverseFounding bool) (*FedState, *store.Store) {
+	t.Helper()
+	hub := tm.MustParseDatabase(fedHubSrc)
+	spokeA := tm.MustParseDatabase(fedSpokeASrc)
+	spokeB := tm.MustParseDatabase(fedSpokeBSrc)
+	hubSt := store.New(hub.Schema, hub.Consts)
+	aSt := store.New(spokeA.Schema, spokeA.Consts)
+	bSt := store.New(spokeB.Schema, spokeB.Consts)
+	hubSt.MustInsert("Thing", map[string]object.Value{"code": object.Str("a"), "name": object.Str("alpha")})
+	aSt.MustInsert("Widget", map[string]object.Value{"code": object.Str("a"), "size": object.Int(1)})
+	acme := bSt.MustInsert("Maker", map[string]object.Value{"mname": object.Str("Acme")})
+	bSt.MustInsert("Gadget", map[string]object.Value{
+		"code": object.Str("b"), "maker": object.Ref{DB: "SpokeB", OID: acme}, "grade": object.Int(3),
+	})
+
+	memo := logic.NewMemo()
+	opts := Options{Memo: memo}
+	is1 := tm.MustParseIntegration(fedHubSpokeA)
+	local, remote, ls, rs := hub, spokeA, hubSt, aSt
+	if reverseFounding {
+		// Header "SpokeA imports Hub": the seed lands on the REMOTE side.
+		is1 = tm.MustParseIntegration(strings.Replace(fedHubSpokeA,
+			"integration Hub imports SpokeA", "integration SpokeA imports Hub", 1))
+		local, remote, ls, rs = spokeA, hub, aSt, hubSt
+	}
+	res, err := IntegrateOptions(local, remote, is1, ls, rs, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFedState(res, seedName, opts, memo)
+
+	pspec, err := Compile(hub, spokeB, tm.MustParseIntegration(fedHubSpokeB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pspec.Seed = 1
+	conf, err := ConformOptions(pspec, hubSt, bSt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := Merge(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairRes := &Result{Spec: pspec, Conformed: conf, View: pv, Derivation: DeriveOptions(pv, opts)}
+	if _, err := fs.AttachPair(pairRes, "SpokeB", "Hub"); err != nil {
+		t.Fatal(err)
+	}
+	return fs, bSt
+}
+
+// TestFederationReclassifyDerefsGraftedMembers pins the conformed-deref
+// registration: after a grafted member's object mutates, reclassify
+// evaluates the pair's Sim condition — which navigates a reference into
+// the member's store — and the membership moves accordingly.
+func TestFederationReclassifyDerefsGraftedMembers(t *testing.T) {
+	fs, _ := buildMiniFed(t, "Hub", false)
+	v := fs.Res.View
+
+	var gadget *GObj
+	for _, g := range v.Objects {
+		if c, ok := g.Get("code"); ok && c.String() == "'b'" {
+			gadget = g
+		}
+	}
+	if gadget == nil {
+		t.Fatal("gadget not grafted")
+	}
+	if gadget.Classes["Premium"] {
+		t.Fatal("grade-3 gadget already Premium")
+	}
+	clone := v.DetachForUpdate(gadget)
+	if _, _, err := v.ApplyUpdate(clone, map[string]object.Value{"grade": object.Int(7)}); err != nil {
+		t.Fatalf("reclassify could not evaluate the ref-navigating Sim condition: %v", err)
+	}
+	if !clone.Classes["Premium"] {
+		t.Fatal("grade-7 Acme gadget did not join Premium")
+	}
+	// And back out again.
+	clone2 := v.DetachForUpdate(clone)
+	if _, _, err := v.ApplyUpdate(clone2, map[string]object.Value{"grade": object.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if clone2.Classes["Premium"] {
+		t.Fatal("grade-2 gadget kept Premium")
+	}
+	// Detach cleans the registered conformed refs.
+	if _, _, err := fs.DetachMember("SpokeB"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fs.Res.Conformed.Deref(object.Ref{DB: "SpokeB", OID: 1}); ok {
+		t.Fatal("detached member's conformed refs still resolvable")
+	}
+}
+
+// TestFederationSeedGuardReversedHeader pins that the seed cannot
+// detach even when the founding integration spec named it in the REMOTE
+// header slot (the tag/base assignment must track the seed, not the
+// header orientation).
+func TestFederationSeedGuardReversedHeader(t *testing.T) {
+	fs, _ := buildMiniFed(t, "Hub", true)
+	if _, _, err := fs.DetachMember("Hub"); err == nil {
+		t.Fatal("detaching the seed succeeded under a reversed founding header")
+	} else if !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("wrong guard: %v", err)
+	}
+	if _, _, err := fs.DetachMember("SpokeB"); err != nil {
+		t.Fatalf("detaching the leaf member failed: %v", err)
+	}
+}
+
+// TestClassNamesNoDuplicates pins the addVirtualMember registration
+// fix: virtual class names (approximate superclasses, intersection
+// subclasses) are registered once, not once per member.
+func TestClassNamesNoDuplicates(t *testing.T) {
+	l, r := fixture.Figure1Stores(fixture.Options{Scale: 3})
+	res, err := Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), l, r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, n := range res.View.ClassNames {
+		seen[n]++
+	}
+	for n, c := range seen {
+		if c > 1 {
+			t.Errorf("class %s appears %d times in ClassNames", n, c)
+		}
+	}
+}
+
+// TestRecomputeISAMatchesBuildLattice pins that the canonical lattice
+// recomputation used by membership changes reproduces buildLattice's
+// output exactly on a freshly merged view — the property the detach
+// round-trip (attach then detach restoring the founding pair's report
+// byte for byte) rests on.
+func TestRecomputeISAMatchesBuildLattice(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() (*Result, error)
+	}{
+		{"figure1", func() (*Result, error) {
+			l, r := fixture.Figure1Stores(fixture.Options{Scale: 3})
+			return Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), l, r, 1)
+		}},
+		{"figure1-original", func() (*Result, error) {
+			l, r := fixture.Figure1Stores(fixture.Options{})
+			return Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1Integration(), l, r, 1)
+		}},
+		{"personnel", func() (*Result, error) {
+			d1, d2 := fixture.PersonnelStores()
+			return Integrate(tm.Personnel1(), tm.Personnel2(), tm.PersonnelIntegration(), d1, d2, 1)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := tc.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig := append([]ISAEdge{}, res.View.ISA...)
+			res.View.recomputeISA()
+			if len(orig) != len(res.View.ISA) {
+				t.Fatalf("edge count moved: %d -> %d", len(orig), len(res.View.ISA))
+			}
+			for i := range orig {
+				if orig[i] != res.View.ISA[i] {
+					t.Fatalf("edge %d moved: %v -> %v", i, orig[i], res.View.ISA[i])
+				}
+			}
+		})
+	}
+}

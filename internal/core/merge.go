@@ -32,8 +32,18 @@ func (g *GObj) Identity() object.Ref {
 	return object.Ref{DB: "global", OID: object.OID(g.ID)}
 }
 
-// Merged reports whether the object has constituents on both sides.
-func (g *GObj) Merged() bool { return len(g.Parts[LocalSide]) > 0 && len(g.Parts[RemoteSide]) > 0 }
+// Merged reports whether the object has constituents in at least two
+// member databases (the two sides of a pairwise integration, any pair of
+// members in a federated view).
+func (g *GObj) Merged() bool {
+	sides := 0
+	for _, ms := range g.Parts {
+		if len(ms) > 0 {
+			sides++
+		}
+	}
+	return sides >= 2
+}
 
 // String renders the object.
 func (g *GObj) String() string {
@@ -99,14 +109,58 @@ type GlobalView struct {
 	nextID int
 	// simCondCache memoizes conformSimConds per rule for reclassification.
 	simCondCache map[*SimRule][]expr.Node
+	// fedNames, when non-nil (federated views), pins the global name of
+	// every (member side, conformed class) pair. Names are assigned when
+	// a member attaches and frozen for its lifetime, so membership
+	// changes can never rename a class that queries, plans or indexes
+	// already reference.
+	fedNames map[Side]map[string]string
+}
+
+// sides lists the Side values of the view's members: the attach-ordered
+// member slots of a federated view (detached slots included — their
+// Parts are empty, so iterating them is a no-op), the fixed local/remote
+// pair otherwise.
+func (v *GlobalView) sides() []Side {
+	if f := v.Conformed.Fed; f != nil {
+		out := make([]Side, len(f.Schemas))
+		for i := range out {
+			out[i] = Side(i)
+		}
+		return out
+	}
+	return []Side{LocalSide, RemoteSide}
 }
 
 // Extent returns the members of a global class.
 func (v *GlobalView) Extent(class string) []*GObj { return v.classExt[class] }
 
 // GlobalName returns the global name of a conformed class: the plain name
-// when unambiguous, otherwise qualified with the database name.
+// when unambiguous, otherwise qualified with the database name. In a
+// federated view the frozen per-member name table decides first — names
+// assigned at attach time survive later membership changes unchanged —
+// and the ambiguity fallback counts every active member's schema.
 func (v *GlobalView) GlobalName(side Side, class string) string {
+	if v.fedNames != nil {
+		if n, ok := v.fedNames[side][class]; ok {
+			return n
+		}
+	}
+	if f := v.Conformed.Fed; f != nil {
+		declared := 0
+		for i, db := range f.Schemas {
+			if !f.Active[i] {
+				continue
+			}
+			if _, ok := db.Class(class); ok {
+				declared++
+			}
+		}
+		if declared > 1 && int(side) < len(f.Names) {
+			return f.Names[side] + "." + class
+		}
+		return class
+	}
 	_, inL := v.Conformed.LocalSchema.Class(class)
 	_, inR := v.Conformed.RemoteSchema.Class(class)
 	if inL && inR {
@@ -622,8 +676,15 @@ func (v *GlobalView) addVirtualMember(g *GObj, class string) {
 		return
 	}
 	g.Classes[class] = true
-	if _, seen := v.Origin[class]; !seen {
-		v.ClassNames = append(v.ClassNames, class)
+	// Register the class name on its FIRST member only (keyed on the
+	// extent map: virtual classes never get an Origin entry, so keying
+	// on Origin — as this once did — appended the name again for every
+	// member, duplicating it in ClassNames, the report and the lattice
+	// loops).
+	if _, seen := v.classExt[class]; !seen {
+		if _, hasOrigin := v.Origin[class]; !hasOrigin {
+			v.ClassNames = append(v.ClassNames, class)
+		}
 	}
 	v.classExt[class] = append(v.classExt[class], g)
 }

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"interopdb/internal/logic"
 )
 
 // Options configures how the integration pipeline executes. The zero
@@ -20,6 +22,13 @@ type Options struct {
 	// Used by benchmarks quantifying the cache and by differential
 	// tests; production runs should leave it false.
 	NoMemo bool
+	// Memo, when non-nil, is a shared verdict cache the derivation's
+	// Checker consults instead of its private table, so entailment work
+	// is reused across pipeline runs (a federation shares one Memo over
+	// every pair integration its Attach calls perform). Ignored when
+	// NoMemo is set. The caller is responsible for only sharing a Memo
+	// between runs whose attribute typings agree (logic.Memo's contract).
+	Memo *logic.Memo
 }
 
 // workers resolves the effective worker count.

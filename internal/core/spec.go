@@ -11,10 +11,14 @@ import (
 	"interopdb/internal/tm"
 )
 
-// Side identifies a component database within an integration.
+// Side identifies a component database within an integration. A
+// pairwise run uses exactly LocalSide and RemoteSide; a federated view
+// (Conformed.Fed non-nil) indexes every attached member with its own
+// Side value, assigned in attach order and never reused.
 type Side int
 
-// The two sides.
+// The two sides of a pairwise integration (and the first two member
+// indexes of a federation).
 const (
 	LocalSide Side = iota
 	RemoteSide
@@ -22,13 +26,19 @@ const (
 
 // String renders the side.
 func (s Side) String() string {
-	if s == LocalSide {
+	switch s {
+	case LocalSide:
 		return "local"
+	case RemoteSide:
+		return "remote"
+	default:
+		return fmt.Sprintf("member%d", int(s))
 	}
-	return "remote"
 }
 
-// Other returns the opposite side.
+// Other returns the opposite side of a pairwise integration. It is only
+// meaningful for LocalSide/RemoteSide; federated rule clones carry their
+// target side explicitly (SimRule.TargetSide).
 func (s Side) Other() Side { return 1 - s }
 
 // Status is the objectivity/subjectivity of a constraint (§5.1.1).
@@ -120,10 +130,25 @@ type SimRule struct {
 	Target   string
 	Virtual  string
 	Intra    []expr.Node
+	// tgtSide pins the target member explicitly for federated rule
+	// clones, whose SrcSide indexes a member beyond the first pair (the
+	// pairwise SrcSide.Other() arithmetic only covers sides 0 and 1).
+	tgtSide    Side
+	hasTgtSide bool
 }
 
 // Approximate reports whether the rule is approximate similarity.
 func (r *SimRule) Approximate() bool { return r.Virtual != "" }
+
+// TargetSide returns the side whose class the rule classifies matching
+// objects under: the explicit member for federated clones, the opposite
+// pair side otherwise.
+func (r *SimRule) TargetSide() Side {
+	if r.hasTgtSide {
+		return r.tgtSide
+	}
+	return r.SrcSide.Other()
+}
 
 // SpecIssue is a non-fatal finding during spec compilation — most
 // importantly violations of the consistency law "subjectivity of values

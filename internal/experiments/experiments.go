@@ -1184,6 +1184,163 @@ func B9(scale, readers, opsPerReader int) (B9Row, error) {
 	return row, nil
 }
 
+// B10Row is one federation membership-change measurement.
+type B10Row struct {
+	Scale int
+	// Attach is the wall time of the incremental third-member attach:
+	// the new pair's integration plus the graft and the single scoped
+	// republication, against a live, warmed federation.
+	Attach time.Duration
+	// Reintegrate is the wall time of building the same three-member
+	// federation from scratch (both pair integrations, fresh memo,
+	// fresh engine).
+	Reintegrate time.Duration
+	// PlanSurvival is the fraction of warmed query shapes on classes
+	// untouched by the attach that are still served from the plan cache
+	// afterwards.
+	PlanSurvival float64
+	// AttachSolver counts the reasoning computations the incremental
+	// attach performed; FullSolver the total a from-scratch rebuild
+	// performs. Their gap is the derivation work membership scoping
+	// avoids.
+	AttachSolver int64
+	FullSolver   int64
+	// Publishes counts snapshots the membership change published
+	// (always 1: readers see whole pre- or post-membership states).
+	Publishes int64
+}
+
+// Speedup is the re-integration/attach wall-time ratio.
+func (r B10Row) Speedup() float64 {
+	if r.Attach <= 0 {
+		return 0
+	}
+	return float64(r.Reintegrate) / float64(r.Attach)
+}
+
+// b10AttachArchive mirrors interopdb.Federation's incremental attach on
+// internal state: integrate the CSLibrary/UnivArchive pair (sharing the
+// federation memo when the typings agree) and graft it under the
+// engine's Rebind. It returns the pair derivation's reasoning misses.
+func b10AttachArchive(fs *core.FedState, e *view.Engine, lib, arch *store.Store, memo *logic.Memo, opts core.Options) (int64, error) {
+	pspec, err := core.Compile(tm.Figure1Library(), tm.Figure1UnivArchive(), tm.Figure1ArchiveIntegration())
+	if err != nil {
+		return 0, err
+	}
+	pspec.Seed = 1
+	conf, err := core.ConformOptions(pspec, lib, arch, opts)
+	if err != nil {
+		return 0, err
+	}
+	pv, err := core.Merge(conf)
+	if err != nil {
+		return 0, err
+	}
+	dopts := opts
+	dopts.Memo = nil
+	before := memo.Stats()
+	if ck := fs.Res.Derivation.Checker; ck != nil && core.TypesCompatible(ck.Types, conf.Types) {
+		dopts.Memo = memo
+	}
+	pairRes := &core.Result{Spec: pspec, Conformed: conf, View: pv, Derivation: core.DeriveOptions(pv, dopts)}
+	solver := pairRes.Derivation.CacheStats().Misses
+	if dopts.Memo != nil {
+		solver -= before.Misses
+	}
+	err = e.Rebind(func() (changed, removed []string, err error) {
+		changed, err = fs.AttachPair(pairRes, "UnivArchive", "CSLibrary")
+		return changed, nil, err
+	})
+	return solver, err
+}
+
+// B10 measures federation membership changes on the scaled Figure 1
+// fixture: incremental third-member attach against a live, warmed
+// two-member federation versus a full three-member re-integration from
+// scratch, the plan-cache survival rate for classes the attach does not
+// touch, and the snapshot-publication count (one per membership
+// change). The incremental and from-scratch federations are
+// cross-checked to identical federated reports before timing.
+func B10(scales []int) ([]B10Row, error) {
+	var out []B10Row
+	untouchedQs := []view.Query{
+		{Class: "Publisher", Where: expr.MustParse("location = 'Berlin'")},
+		{Class: "Publisher", Where: expr.MustParse("name = 'IEEE'")},
+		{Class: "Monograph", Where: expr.MustParse("shopprice < 95")},
+	}
+	for _, scale := range scales {
+		row := B10Row{Scale: scale}
+
+		// Live two-member federation, plans warmed.
+		memo := logic.NewMemo()
+		opts := core.Options{Memo: memo}
+		lib, bs := fixture.Figure1Stores(fixture.Options{Scale: scale})
+		res, err := core.IntegrateOptions(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), lib, bs, 1, opts)
+		if err != nil {
+			return nil, err
+		}
+		pair1Solver := res.Derivation.CacheStats().Misses
+		fs := core.NewFedState(res, "CSLibrary", opts, memo)
+		e := view.New(res)
+		for _, q := range untouchedQs {
+			if _, _, err := e.Run(q); err != nil {
+				return nil, err
+			}
+		}
+
+		arch := fixture.ArchiveStore(fixture.Options{Scale: scale})
+		pubBefore := e.CacheStats().Publishes
+		t0 := time.Now()
+		attachSolver, err := b10AttachArchive(fs, e, lib, arch, memo, opts)
+		if err != nil {
+			return nil, err
+		}
+		row.Attach = time.Since(t0)
+		row.AttachSolver = attachSolver
+		row.Publishes = e.CacheStats().Publishes - pubBefore
+
+		surv := 0
+		for _, q := range untouchedQs {
+			_, st, err := e.Run(q)
+			if err != nil {
+				return nil, err
+			}
+			if st.PlanCached {
+				surv++
+			}
+		}
+		row.PlanSurvival = float64(surv) / float64(len(untouchedQs))
+
+		// Full re-integration from scratch. The component stores are
+		// built OUTSIDE the timed region — the incremental side starts
+		// from existing stores too, and the comparison must time
+		// integration work only.
+		memo2 := logic.NewMemo()
+		opts2 := core.Options{Memo: memo2}
+		lib2, bs2 := fixture.Figure1Stores(fixture.Options{Scale: scale})
+		arch2 := fixture.ArchiveStore(fixture.Options{Scale: scale})
+		t0 = time.Now()
+		res2, err := core.IntegrateOptions(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), lib2, bs2, 1, opts2)
+		if err != nil {
+			return nil, err
+		}
+		fs2 := core.NewFedState(res2, "CSLibrary", opts2, memo2)
+		e2 := view.New(res2)
+		fullSolver, err := b10AttachArchive(fs2, e2, lib2, arch2, memo2, opts2)
+		if err != nil {
+			return nil, err
+		}
+		row.Reintegrate = time.Since(t0)
+		row.FullSolver = pair1Solver + fullSolver
+
+		if got, want := fs.Report(), fs2.Report(); got != want {
+			return nil, fmt.Errorf("B10 scale %d: incremental and from-scratch federations diverge", scale)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
 // Reasoner runs a micro-benchmark-sized workload through the logic
 // checker (used by BenchmarkReasoner).
 func Reasoner() logic.Verdict {

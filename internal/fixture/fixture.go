@@ -197,6 +197,72 @@ func Figure1Stores(opt Options) (local, remote *store.Store) {
 	return local, remote
 }
 
+// ArchiveStore builds the UnivArchive store — the third member of the
+// federation scenarios:
+//
+//   - The VLDB proceedings record shares its ISBN with the
+//     library/bookseller copies, so attaching the archive turns that
+//     merged object three-way.
+//   - A well-scored SIGMOD conference record merges with the
+//     library-only SIGMOD proceedings and joins the ScholarlyLike
+//     virtual superclass through rule a2.
+//   - A poorly-scored workshop record stays out of ScholarlyLike (the
+//     negative case), and a thesis record exists only in the archive.
+//
+// opt.Scale appends, per step, one archive copy of the scaled VLDB
+// proceedings (merging with the Figure1Stores copies) and one archive-
+// only conference record — the same linear growth Figure1Stores uses.
+func ArchiveStore(opt Options) *store.Store {
+	spec := tm.Figure1UnivArchive()
+	st := store.New(spec.Schema, spec.Consts)
+	st.MustInsert("ConfRecord", attrs(
+		"title", object.Str("Proceedings of the 22nd VLDB Conference"),
+		"isbn", object.Str("vldb96"),
+		"keeper", object.Str("Main stacks"),
+		"price", object.Real(74), "pages", object.Int(620),
+		"reviewed", object.Bool(true), "score", object.Int(88),
+	))
+	st.MustInsert("ConfRecord", attrs(
+		"title", object.Str("Proceedings of SIGMOD"),
+		"isbn", object.Str("sigmod96"),
+		"keeper", object.Str("Main stacks"),
+		"price", object.Real(66), "pages", object.Int(480),
+		"reviewed", object.Bool(true), "score", object.Int(85),
+	))
+	st.MustInsert("ConfRecord", attrs(
+		"title", object.Str("Regional DB Workshop Notes"),
+		"isbn", object.Str("regwkshp"),
+		"keeper", object.Str("Annex"),
+		"price", object.Real(12), "pages", object.Int(90),
+		"reviewed", object.Bool(false), "score", object.Int(40),
+	))
+	st.MustInsert("ThesisRecord", attrs(
+		"title", object.Str("A Thesis on Federated Databases"),
+		"isbn", object.Str("thesis1"),
+		"keeper", object.Str("Theses room"),
+		"price", object.Real(0), "pages", object.Int(210),
+		"degree", object.Str("PhD"),
+	))
+	for i := 1; i <= opt.Scale; i++ {
+		sfx := fmt.Sprintf("-c%d", i)
+		st.MustInsert("ConfRecord", attrs(
+			"title", object.Str("Proceedings of the 22nd VLDB Conference"+sfx),
+			"isbn", object.Str("vldb96"+sfx),
+			"keeper", object.Str("Main stacks"),
+			"price", object.Real(74), "pages", object.Int(620),
+			"reviewed", object.Bool(true), "score", object.Int(88),
+		))
+		st.MustInsert("ConfRecord", attrs(
+			"title", object.Str("Archive Symposium Digest"+sfx),
+			"isbn", object.Str("archsym"+sfx),
+			"keeper", object.Str("Annex"),
+			"price", object.Real(20), "pages", object.Int(130),
+			"reviewed", object.Bool(true), "score", object.Int(75),
+		))
+	}
+	return st
+}
+
 // PersonnelStores builds the introduction's department databases: one
 // employee in DB1 only, one in DB2 only, and one registered in both
 // departments (ssn 101) whose reimbursements the company policy averages.

@@ -127,13 +127,46 @@ func (t *memoTable) stats() CacheStats {
 	}
 }
 
-// CacheStats reports the Checker's cache effectiveness. Safe on a nil
-// Checker (returns zeros).
+// Memo is a standalone, shareable verdict cache. A Checker whose Memo
+// field points at one answers queries from (and contributes to) the
+// shared table instead of its private one, so reasoning work done by one
+// pipeline run — e.g. the pair integration an earlier federation Attach
+// performed — is reused by later runs. Verdicts depend on the formulas
+// and the attribute typing, so a Memo must only be shared between
+// Checkers whose Types maps agree on every common path (the federation
+// layer verifies this before sharing). The zero value is ready to use.
+type Memo struct {
+	t memoTable
+}
+
+// NewMemo returns a fresh shareable verdict cache.
+func NewMemo() *Memo { return &Memo{} }
+
+// Stats reports the shared table's cache effectiveness.
+func (m *Memo) Stats() CacheStats {
+	if m == nil {
+		return CacheStats{}
+	}
+	return m.t.stats()
+}
+
+// table returns the verdict cache this Checker consults: the shared Memo
+// when one is attached, the private table otherwise.
+func (c *Checker) table() *memoTable {
+	if c.Memo != nil {
+		return &c.Memo.t
+	}
+	return &c.memo
+}
+
+// CacheStats reports the Checker's cache effectiveness (the shared
+// Memo's stats when one is attached). Safe on a nil Checker (returns
+// zeros).
 func (c *Checker) CacheStats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
-	return c.memo.stats()
+	return c.table().stats()
 }
 
 // memoized routes a query through the cache unless memoization is
@@ -145,7 +178,7 @@ func (c *Checker) memoized(kind byte, canon []expr.Node, fps []expr.FP, conclusi
 	if c == nil || c.NoMemo {
 		return compute()
 	}
-	return c.memo.get(cacheKey(kind, fps, conclusion), canon, conclusion, compute)
+	return c.table().get(cacheKey(kind, fps, conclusion), canon, conclusion, compute)
 }
 
 // canonicalize returns the formulas in canonical order — sorted by

@@ -24,6 +24,11 @@ type Checker struct {
 	// by benchmarks quantifying the memo layer and by differential
 	// tests pinning cached answers against fresh ones.
 	NoMemo bool
+	// Memo, when non-nil, is a shared verdict cache consulted instead of
+	// the Checker's private table, so independent Checkers (e.g. the
+	// per-pair derivations of a federation) reuse each other's reasoning.
+	// Share only between Checkers whose Types agree on common paths.
+	Memo *Memo
 
 	memo memoTable
 }

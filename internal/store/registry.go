@@ -1,0 +1,79 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry is the member registry of a federation: the component stores
+// currently attached, addressable by database name. The view engine's
+// routed shipping (ShipTxRouted) resolves each operation's target store
+// through it, so callers need not know which member holds which
+// constituent. Safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]*Store
+	order  []string
+}
+
+// NewRegistry returns an empty member registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*Store{}}
+}
+
+// Add registers a member store under its database name. Registering a
+// second store with the same name is an error.
+func (r *Registry) Add(st *Store) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := st.Name()
+	if _, dup := r.byName[name]; dup {
+		return fmt.Errorf("store %s already registered", name)
+	}
+	r.byName[name] = st
+	r.order = append(r.order, name)
+	return nil
+}
+
+// Remove deregisters a member store, reporting whether it was present.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; !ok {
+		return false
+	}
+	delete(r.byName, name)
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Get resolves a member store by database name.
+func (r *Registry) Get(name string) (*Store, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st, ok := r.byName[name]
+	return st, ok
+}
+
+// Names lists the registered member names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string{}, r.order...)
+}
+
+// Stores lists the registered stores in registration order.
+func (r *Registry) Stores() []*Store {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Store, 0, len(r.order))
+	for _, n := range r.order {
+		out = append(out, r.byName[n])
+	}
+	return out
+}

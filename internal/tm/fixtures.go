@@ -220,6 +220,73 @@ subjective Employee.oc1
 subjective Employee.oc2
 `
 
+// FigureOneUnivArchive is a third bibliographic source for the N-way
+// federation scenarios: a university archive cataloguing records by
+// ISBN, with refereed conference records scored on a 1..100 scale. It
+// deliberately declares no constants and no descriptivity relationships
+// so that attaching it to a live CSLibrary+Bookseller federation
+// exercises the incremental graft (constraint derivation scoped to the
+// classes its integration spec touches, untouched classes keeping their
+// plans).
+const FigureOneUnivArchive = `
+Database UnivArchive
+
+Class Record
+  attributes
+    title : string
+    isbn : string
+    keeper : string
+    price : real
+    pages : int
+  object constraints
+    oc1: price >= 0
+  class constraints
+    cc1: key isbn
+end Record
+
+Class ConfRecord isa Record
+  attributes
+    reviewed : bool
+    score : 1..100
+  object constraints
+    oc1: reviewed = true implies score >= 70
+end ConfRecord
+
+Class ThesisRecord isa Record
+  attributes
+    degree : string
+end ThesisRecord
+`
+
+// FigureOneArchiveIntegration pairs the archive with the CSLibrary seed:
+// records are the same publication when ISBNs match (key-to-key, so the
+// key constraints keep propagating), and well-scored conference records
+// are approximately similar to scientific publications — they land in
+// the ScholarlyLike virtual superclass together with ScientificPubl's
+// extension, carrying the §5.2.1 disjunction constraint. The ourprice ~
+// price equivalence trusts the library, making the archive's price
+// subjective (§5.1.2) and its oc1 auto-subjective by the consistency
+// law (§5.1.3).
+const FigureOneArchiveIntegration = `
+integration CSLibrary imports UnivArchive
+
+rule a1: Eq(O:Publication, A:Record) <= O.isbn = A.isbn
+rule a2: Sim(A:ConfRecord, ScientificPubl, ScholarlyLike) <= A.score >= 60
+
+propeq(Publication.title, Record.title, id, id, any)
+propeq(Publication.isbn, Record.isbn, id, id, any)
+propeq(Publication.ourprice, Record.price, id, id, trust(CSLibrary))
+`
+
+// Figure1UnivArchive returns the parsed UnivArchive specification.
+func Figure1UnivArchive() *DatabaseSpec { return MustParseDatabase(FigureOneUnivArchive) }
+
+// Figure1ArchiveIntegration returns the parsed CSLibrary/UnivArchive
+// integration specification.
+func Figure1ArchiveIntegration() *IntegrationSpec {
+	return MustParseIntegration(FigureOneArchiveIntegration)
+}
+
 // Figure1Library returns the parsed CSLibrary specification.
 func Figure1Library() *DatabaseSpec { return MustParseDatabase(FigureOneCSLibrary) }
 

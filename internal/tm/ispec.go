@@ -101,6 +101,33 @@ type Mark struct {
 	Constraint string
 }
 
+// PairKey addresses an integration specification by the member pair it
+// relates, replacing the implicit local/remote convention when several
+// specifications coexist in an N-member federation.
+type PairKey struct {
+	// Local and Remote are the database names of the spec header, in
+	// header order ("integration <Local> imports <Remote>").
+	Local, Remote string
+}
+
+// String renders the pair.
+func (k PairKey) String() string { return k.Local + "+" + k.Remote }
+
+// Involves reports whether the named database is one of the pair.
+func (k PairKey) Involves(name string) bool { return k.Local == name || k.Remote == name }
+
+// Other returns the pair's other member. ok is false when name is not
+// part of the pair.
+func (k PairKey) Other(name string) (other string, ok bool) {
+	switch name {
+	case k.Local:
+		return k.Remote, true
+	case k.Remote:
+		return k.Local, true
+	}
+	return "", false
+}
+
 // IntegrationSpec is a parsed integration specification.
 type IntegrationSpec struct {
 	Local, Remote string
@@ -113,6 +140,36 @@ type IntegrationSpec struct {
 	//
 	//	valueview r2
 	ValueView []string
+}
+
+// Pair returns the member pair the specification relates.
+func (s *IntegrationSpec) Pair() PairKey { return PairKey{Local: s.Local, Remote: s.Remote} }
+
+// Classes lists every class name the specification touches — rule
+// binders, similarity targets and property-equivalence classes — in
+// first-mention order. A federation Attach re-derives constraints only
+// for these classes (plus their integration artifacts); everything else
+// is untouched by the membership change.
+func (s *IntegrationSpec) Classes() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(names ...string) {
+		for _, n := range names {
+			if n == "" || seen[n] {
+				continue
+			}
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for i := range s.Rules {
+		r := &s.Rules[i]
+		add(r.Class1, r.Class2, r.Target)
+	}
+	for i := range s.PropEqs {
+		add(s.PropEqs[i].LocalClass, s.PropEqs[i].RemoteClass)
+	}
+	return out
 }
 
 // ParseIntegration parses an integration specification.

@@ -822,12 +822,7 @@ func (e *Engine) ShipTx(st *store.Store, ops []Mutation) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
-	type applyOp struct {
-		op  Mutation
-		g   *core.GObj // update/delete target
-		oid object.OID // reserved store OID (inserts)
-	}
-	applies := make([]applyOp, 0, len(ops))
+	applies := make([]shippedOp, 0, len(ops))
 
 	tx := st.Begin()
 	abort := func(err error) error {
@@ -845,7 +840,7 @@ func (e *Engine) ShipTx(st *store.Store, ops []Mutation) error {
 			if err != nil {
 				return abort(fmt.Errorf("op %d: %w", i, err))
 			}
-			applies = append(applies, applyOp{op: op, oid: oid})
+			applies = append(applies, shippedOp{op: op, oid: oid, db: st.Name()})
 		case MutUpdate:
 			g, err := e.lockedTarget(op.Class, op.ID)
 			if err != nil {
@@ -860,7 +855,7 @@ func (e *Engine) ShipTx(st *store.Store, ops []Mutation) error {
 					return abort(fmt.Errorf("op %d: %w", i, err))
 				}
 			}
-			applies = append(applies, applyOp{op: op, g: g})
+			applies = append(applies, shippedOp{op: op, g: g})
 		case MutDelete:
 			g, err := e.lockedTarget(op.Class, op.ID)
 			if err != nil {
@@ -879,7 +874,7 @@ func (e *Engine) ShipTx(st *store.Store, ops []Mutation) error {
 					}
 				}
 			}
-			applies = append(applies, applyOp{op: op, g: g})
+			applies = append(applies, shippedOp{op: op, g: g})
 		default:
 			return abort(fmt.Errorf("op %d: unknown mutation kind %d", i, int(op.Kind)))
 		}
@@ -887,17 +882,33 @@ func (e *Engine) ShipTx(st *store.Store, ops []Mutation) error {
 	if err := tx.Commit(); err != nil {
 		return err
 	}
+	return e.applyShipped(applies)
+}
 
-	// Local commit succeeded: apply the batch to the integrated view,
-	// collecting the affected classes and fresh objects for one
-	// snapshot publication at the end.
+// shippedOp is one locally committed batch operation awaiting
+// application to the integrated view: the staged mutation, its
+// update/delete target, and (for inserts) the reserved OID and the
+// member database it landed in.
+type shippedOp struct {
+	op  Mutation
+	g   *core.GObj
+	oid object.OID
+	db  string
+}
+
+// applyShipped applies a locally committed batch to the integrated view
+// in batch order, collecting the affected classes and fresh objects for
+// ONE snapshot publication at the end — concurrent readers observe the
+// batch atomically. Shared by ShipTx (single-store batches) and
+// ShipTxRouted (per-member routed batches). Caller holds e.mu (write).
+func (e *Engine) applyShipped(applies []shippedOp) error {
 	var affected []string
 	var inserted []*core.GObj
 	fork := false
 	for i, ap := range applies {
 		switch ap.op.Kind {
 		case MutInsert:
-			g, err := e.res.View.ApplyInsert(ap.op.Class, ap.op.Attrs, object.Ref{DB: st.Name(), OID: ap.oid})
+			g, err := e.res.View.ApplyInsert(ap.op.Class, ap.op.Attrs, object.Ref{DB: ap.db, OID: ap.oid})
 			if err != nil {
 				e.publishAll()
 				return fmt.Errorf("op %d committed locally but not applied to the view: %w", i, err)

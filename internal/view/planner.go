@@ -123,17 +123,19 @@ func (e *Engine) constraintPhaseWorthwhile(s *snapshot, cs *classState, conjs []
 // predicate against the class's global constraints (pruned-empty), then
 // drop the conjuncts the constraints imply. kept is the surviving
 // conjunct list — the caller's own slice, untouched, when nothing was
-// dropped.
-func (e *Engine) constraintPhase(cons []expr.Node, pred expr.Node, conjs []expr.Node) (pruned bool, kept []expr.Node, dropped int) {
+// dropped. The checker is passed in (the snapshot's generation) because
+// plan building is lock-free and a federation membership change may swap
+// the engine's derivation mid-flight.
+func (e *Engine) constraintPhase(ck *logic.Checker, cons []expr.Node, pred expr.Node, conjs []expr.Node) (pruned bool, kept []expr.Node, dropped int) {
 	all := append(append(make([]expr.Node, 0, len(cons)+1), cons...), pred)
 	e.counters.solver.Add(1)
-	if e.checker.Satisfiable(all...) == logic.No {
+	if ck.Satisfiable(all...) == logic.No {
 		return true, nil, 0
 	}
 	var residual []expr.Node
 	for i, c := range conjs {
 		e.counters.solver.Add(1)
-		if e.checker.Entails(cons, c) == logic.Yes {
+		if ck.Entails(cons, c) == logic.Yes {
 			if dropped == 0 {
 				// First drop: materialise the kept prefix.
 				residual = append(residual, conjs[:i]...)
@@ -165,7 +167,7 @@ func (e *Engine) buildPlan(s *snapshot, cs *classState, pred expr.Node, useCons,
 		cons := e.consFor(cs.name).object
 		if len(cons) > 0 {
 			if e.constraintPhaseWorthwhile(s, cs, conjs) {
-				pruned, kept, dropped := e.constraintPhase(cons, pred, conjs)
+				pruned, kept, dropped := e.constraintPhase(s.checker, cons, pred, conjs)
 				if pruned {
 					p.pruned = true
 					return p
@@ -269,7 +271,7 @@ func (e *Engine) runReference(q Query) ([]Row, Stats, error) {
 			s := e.snap.Load()
 			conjs := conjuncts(pred)
 			if e.constraintPhaseWorthwhile(s, s.class(q.Class), conjs) {
-				pruned, kept, dropped := e.constraintPhase(cons, pred, conjs)
+				pruned, kept, dropped := e.constraintPhase(s.checker, cons, pred, conjs)
 				if pruned {
 					stats.PrunedEmpty = true
 					return nil, stats, nil

@@ -1,0 +1,139 @@
+package view
+
+import (
+	"fmt"
+
+	"interopdb/internal/store"
+)
+
+// Routed shipping: in an N-member federation a batch's operations land
+// in different component databases — an insert goes to its global
+// class's origin member, an update to every member holding a
+// constituent of the target, a delete to all of them. ShipTxRouted
+// resolves each operation's member stores through the federation's
+// store.Registry and stages ONE deferred-validation transaction per
+// member, so each local manager validates its final state once
+// (preserving ShipTx's batching win) while the caller stays member-
+// agnostic.
+
+// ShipTxRouted stages a mixed insert/update/delete batch across the
+// member stores of the registry: every operation is routed to the
+// member database(s) that own it, one deferred-validation transaction
+// per member. Transactions commit in first-use order (deterministic);
+// because autonomous databases cannot commit atomically across members,
+// a later member's rejection leaves earlier commits in place — exactly
+// the exposure ValidateTx's prediction exists to avoid — and is
+// reported as a federation-state error. On full success the batch is
+// applied to the integrated view in order and ONE snapshot is
+// published, so concurrent readers observe the whole batch or none of
+// it.
+func (e *Engine) ShipTxRouted(reg *store.Registry, ops []Mutation) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	txs := map[string]*store.Tx{}
+	var order []string
+	txFor := func(member string) (*store.Tx, error) {
+		if tx, ok := txs[member]; ok {
+			return tx, nil
+		}
+		st, ok := reg.Get(member)
+		if !ok {
+			return nil, fmt.Errorf("no store registered for member %s", member)
+		}
+		tx := st.Begin()
+		txs[member] = tx
+		order = append(order, member)
+		return tx, nil
+	}
+	abort := func(err error) error {
+		for _, n := range order {
+			txs[n].Rollback()
+		}
+		return err
+	}
+
+	applies := make([]shippedOp, 0, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case MutInsert:
+			org, ok := e.res.View.Origin[op.Class]
+			if !ok {
+				return abort(fmt.Errorf("op %d: no origin class for global class %s", i, op.Class))
+			}
+			member := e.res.Conformed.MemberName(org.Side)
+			tx, err := txFor(member)
+			if err != nil {
+				return abort(fmt.Errorf("op %d: %w", i, err))
+			}
+			oid, err := tx.Insert(org.Class, op.Attrs)
+			if err != nil {
+				return abort(fmt.Errorf("op %d: %w", i, err))
+			}
+			applies = append(applies, shippedOp{op: op, oid: oid, db: member})
+		case MutUpdate:
+			g, err := e.lockedTarget(op.Class, op.ID)
+			if err != nil {
+				return abort(fmt.Errorf("op %d: %w", i, err))
+			}
+			staged := false
+			for _, ms := range g.Parts {
+				for _, m := range ms {
+					if m.Virtual {
+						continue
+					}
+					tx, err := txFor(m.Src.DB)
+					if err != nil {
+						return abort(fmt.Errorf("op %d: %w", i, err))
+					}
+					if err := tx.Update(m.Src.OID, op.Attrs); err != nil {
+						return abort(fmt.Errorf("op %d: %w", i, err))
+					}
+					staged = true
+				}
+			}
+			if !staged {
+				return abort(fmt.Errorf("op %d: object g%d has no component constituents to update", i, op.ID))
+			}
+			applies = append(applies, shippedOp{op: op, g: g})
+		case MutDelete:
+			g, err := e.lockedTarget(op.Class, op.ID)
+			if err != nil {
+				return abort(fmt.Errorf("op %d: %w", i, err))
+			}
+			for _, ms := range g.Parts {
+				for _, m := range ms {
+					if m.Virtual {
+						continue
+					}
+					tx, err := txFor(m.Src.DB)
+					if err != nil {
+						return abort(fmt.Errorf("op %d: %w", i, err))
+					}
+					if err := tx.Delete(m.Src.OID); err != nil {
+						return abort(fmt.Errorf("op %d: %w", i, err))
+					}
+				}
+			}
+			applies = append(applies, shippedOp{op: op, g: g})
+		default:
+			return abort(fmt.Errorf("op %d: unknown mutation kind %d", i, int(op.Kind)))
+		}
+	}
+
+	committed := 0
+	for ci, member := range order {
+		if err := txs[member].Commit(); err != nil {
+			for _, later := range order[ci+1:] {
+				txs[later].Rollback()
+			}
+			if committed > 0 {
+				return fmt.Errorf("batch rejected by %s after %d member database(s) already committed — view not updated, federation state needs repair: %w",
+					member, committed, err)
+			}
+			return err
+		}
+		committed++
+	}
+	return e.applyShipped(applies)
+}

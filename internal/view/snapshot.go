@@ -6,6 +6,7 @@ import (
 
 	"interopdb/internal/core"
 	"interopdb/internal/expr"
+	"interopdb/internal/logic"
 	"interopdb/internal/object"
 )
 
@@ -115,6 +116,12 @@ type snapshot struct {
 	// readers never touch the live view's metadata maps.
 	decl map[string]map[string]bool
 	refs *refTable
+	// checker answers the planner's solver queries for plans built
+	// against this snapshot. It is captured at publication because a
+	// federation membership change swaps the engine's derivation (and
+	// checker) while lock-free readers may still be planning against
+	// the previous generation.
+	checker *logic.Checker
 }
 
 // deref resolves a ref as this snapshot saw the world at publication.
@@ -201,6 +208,14 @@ func (e *Engine) declFor() map[string]map[string]bool {
 	if old := e.snap.Load(); old != nil && len(old.decl) == len(v.ClassNames) {
 		return old.decl
 	}
+	return buildDecl(v)
+}
+
+// buildDecl computes the class → declared-attribute map fresh from the
+// live view. Used by declFor on class-set growth and unconditionally by
+// membership publications (where the class count alone cannot prove the
+// set unchanged).
+func buildDecl(v *core.GlobalView) map[string]map[string]bool {
 	out := make(map[string]map[string]bool, len(v.ClassNames))
 	for _, name := range v.ClassNames {
 		org, ok := v.Origin[name]
@@ -235,6 +250,7 @@ func (e *Engine) publish(changed []string, inserted []*core.GObj, fork bool) {
 		consts:  v.Conformed.Consts,
 		classes: make(map[string]*classState, len(old.classes)+len(changed)),
 		decl:    e.declFor(),
+		checker: e.checker,
 	}
 	for name, cs := range old.classes {
 		next.classes[name] = cs
@@ -279,8 +295,50 @@ func (e *Engine) publishAll() {
 		classes: make(map[string]*classState, len(v.ClassNames)),
 		decl:    e.declFor(),
 		refs:    newRefTable(v.RefsCopy()),
+		checker: e.checker,
 	}
 	for _, name := range v.ClassNames {
+		next.classes[name] = newClassState(name, v.Extent(name))
+	}
+	e.snap.Store(next)
+	e.counters.publishes.Add(1)
+}
+
+// publishMembership builds and installs the snapshot after a federation
+// membership change (Rebind): classes in changed are rebuilt (their
+// extents, constraint sets or declared attributes moved), classes in
+// removed are dropped, and every other class CARRIES OVER — its frozen
+// extent, its lazily built indexes and its cached plans all survive the
+// membership change (pinned by the federation plan-survival tests). The
+// deref table is forked and the declared-attribute map rebuilt: both can
+// change shape arbitrarily when members come and go. Caller holds e.mu
+// (write).
+func (e *Engine) publishMembership(changed, removed []string) {
+	v := e.res.View
+	old := e.snap.Load()
+	next := &snapshot{
+		seq:     old.seq + 1,
+		consts:  v.Conformed.Consts,
+		classes: make(map[string]*classState, len(old.classes)+len(changed)),
+		decl:    buildDecl(v),
+		refs:    newRefTable(v.RefsCopy()),
+		checker: e.checker,
+	}
+	drop := make(map[string]bool, len(removed))
+	for _, name := range removed {
+		drop[name] = true
+	}
+	for name, cs := range old.classes {
+		if !drop[name] {
+			next.classes[name] = cs
+		}
+	}
+	rebuilt := make(map[string]bool, len(changed))
+	for _, name := range changed {
+		if rebuilt[name] || drop[name] {
+			continue
+		}
+		rebuilt[name] = true
 		next.classes[name] = newClassState(name, v.Extent(name))
 	}
 	e.snap.Store(next)

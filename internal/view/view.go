@@ -450,8 +450,55 @@ func (e *Engine) ShipInsert(st *store.Store, class string, attrs map[string]obje
 // Result returns the integration result the engine serves. Mutating the
 // view behind the engine's back bypasses its locking and snapshot
 // publication — treat it as read-only and mutate through the Ship*
-// methods.
+// methods (or, for federation membership changes, through Rebind).
 func (e *Engine) Result() *core.Result { return e.res }
+
+// Rebind applies a federation membership change to the result the
+// engine serves. apply runs under the engine's write lock AND the
+// constraint-cache lock, so it may mutate the live view, swap the
+// result's Derivation and constants, and so on — concurrent lock-free
+// readers keep serving the previous snapshot (whose classStates, deref
+// table and checker are self-contained), and every locked path
+// (Validate*, Ship*, CheckAll, the mutex+scan reference) is held off.
+// apply returns the classes whose serving state changed and the classes
+// that ceased to exist; Rebind then drops the constraint caches (they
+// rebuild lazily, without solver work), adopts the new derivation's
+// checker, and publishes ONE snapshot in which only the changed classes
+// were rebuilt — untouched classes carry their extent, indexes and
+// cached plans across the membership change (Stats.PlanCached keeps
+// hitting), and readers observe whole pre- or post-membership states,
+// never a torn mix.
+//
+// If apply fails the whole snapshot is republished from the live view —
+// the same conservative fallback the Ship* error paths use.
+func (e *Engine) Rebind(apply func() (changed, removed []string, err error)) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cmu.Lock()
+	changed, removed, err := apply()
+	e.cons = map[string]*classCons{}
+	e.mcons = map[string]*consGroup{}
+	if e.res.Derivation != nil && e.res.Derivation.Checker != nil {
+		e.checker = e.res.Derivation.Checker
+	}
+	e.cmu.Unlock()
+	if err != nil {
+		e.publishAll()
+		return err
+	}
+	e.publishMembership(changed, removed)
+	return nil
+}
+
+// ReadLocked runs fn under the engine's read lock, holding off Ship*
+// mutations and membership changes for its duration. Use it to read the
+// live view consistently (e.g. rendering a report) while the engine is
+// serving traffic.
+func (e *Engine) ReadLocked(fn func()) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	fn()
+}
 
 // Classes lists the queryable global classes in sorted order.
 func (e *Engine) Classes() []string {

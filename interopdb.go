@@ -28,8 +28,17 @@
 //	if err != nil { ... }
 //	fmt.Println(res.Report())
 //
+// # Federation
+//
+// Membership is dynamic: NewFederation attaches component databases at
+// runtime (each integrated pairwise against an existing member and
+// grafted incrementally onto the live combined view) and detaches them
+// again, retracting their constraints by provenance — see Federation
+// and DESIGN.md §9.
+//
 // See the examples/ directory for complete programs, DESIGN.md for the
-// architecture, and EXPERIMENTS.md for the paper-vs-measured record.
+// architecture, and PAPERMAP.md for a section-by-section map from the
+// paper to the code.
 package interopdb
 
 import (
@@ -80,6 +89,11 @@ const (
 	// FigureOneIntegrationRepaired is the conflict-free variant with the
 	// engine's suggested repairs applied (r5 as approximate similarity).
 	FigureOneIntegrationRepaired = tm.FigureOneIntegrationRepaired
+	// FigureOneUnivArchive is the third bibliographic source used by the
+	// N-way federation scenarios.
+	FigureOneUnivArchive = tm.FigureOneUnivArchive
+	// FigureOneArchiveIntegration pairs UnivArchive with CSLibrary.
+	FigureOneArchiveIntegration = tm.FigureOneArchiveIntegration
 	// IntroPersonnelDB1 is department database DB1 of the introduction.
 	IntroPersonnelDB1 = tm.IntroPersonnelDB1
 	// IntroPersonnelDB2 is department database DB2 of the introduction.
@@ -328,8 +342,20 @@ func Figure1Stores(opt FixtureOptions) (local, remote *Store) { return fixture.F
 // PersonnelStores populates the introduction's department databases.
 func PersonnelStores() (db1, db2 *Store) { return fixture.PersonnelStores() }
 
+// ArchiveStore populates the UnivArchive database — the third member of
+// the federation scenarios.
+func ArchiveStore(opt FixtureOptions) *Store { return fixture.ArchiveStore(opt) }
+
 // Figure1Library returns the parsed CSLibrary specification.
 func Figure1Library() *DatabaseSpec { return tm.Figure1Library() }
+
+// Figure1UnivArchive returns the parsed UnivArchive specification (the
+// third bibliographic source of the federation scenarios).
+func Figure1UnivArchive() *DatabaseSpec { return tm.Figure1UnivArchive() }
+
+// Figure1ArchiveIntegration returns the parsed CSLibrary/UnivArchive
+// integration specification.
+func Figure1ArchiveIntegration() *IntegrationSpec { return tm.Figure1ArchiveIntegration() }
 
 // Figure1Bookseller returns the parsed Bookseller specification.
 func Figure1Bookseller() *DatabaseSpec { return tm.Figure1Bookseller() }
