@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline bench-compare profile
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline bench-compare profile serve load
 
 all: build vet fmt-check test
 
@@ -43,13 +43,22 @@ bench-smoke:
 
 # Regenerate the machine-readable benchmark baseline for this PR.
 baseline:
-	$(GO) run ./cmd/interopbench -quick -json BENCH_5.json
+	$(GO) run ./cmd/interopbench -quick -json BENCH_6.json
 
 # Diff the current baseline against the previous PR's and GATE: shared
 # timing metrics regressing beyond -max-regress fail (sub-10µs rows are
 # noise-floored; E-series pass→fail drift always fails).
 bench-compare:
-	$(GO) run ./cmd/benchcompare -max-regress 100 BENCH_4.json BENCH_5.json
+	$(GO) run ./cmd/benchcompare -max-regress 100 BENCH_5.json BENCH_6.json
+
+# Serve the federation over HTTP: figure1 + personnel tenants on :7070,
+# with /metrics and pprof. Ctrl-C drains gracefully.
+serve:
+	$(GO) run ./cmd/interopd -addr :7070
+
+# Drive a running `make serve` with the B11 wire workload.
+load:
+	$(GO) run ./cmd/interopbench -only b11 -serve-url http://localhost:7070
 
 # CPU/heap profiles of the full benchmark suite, so perf work starts
 # from a flame graph instead of a guess:

@@ -12,13 +12,18 @@
 // CheckAll; B1 reports cold (planning + cost-gated constraint phase)
 // against steady-state (plan-cached) serving; B9 measures concurrent
 // readers against the snapshot path under a mutating writer, with the
-// plan-cache hit rate.
+// plan-cache hit rate; B10 measures incremental attach against full
+// re-integration; B11 drives the same mixed workload through
+// interopd's HTTP surface and reports the wire overhead against the
+// in-process engine.
 //
 // Usage:
 //
 //	interopbench                  # everything
 //	interopbench -only E          # scenario reproductions only
 //	interopbench -only B          # measurements only
+//	interopbench -only b11 -serve-url http://localhost:7070
+//	                              # drive a running interopd
 //	interopbench -quick           # smaller B-series sweeps
 //	interopbench -json BENCH.json # also write machine-readable results
 //	interopbench -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -35,6 +40,7 @@ import (
 	"strings"
 
 	"interopdb/internal/experiments"
+	"interopdb/internal/server"
 )
 
 // report is the machine-readable result file (-json): one baseline per
@@ -53,6 +59,7 @@ type report struct {
 	B8         []b8JSON              `json:"b8,omitempty"`
 	B9         []b9JSON              `json:"b9,omitempty"`
 	B10        []b10JSON             `json:"b10,omitempty"`
+	B11        []b11JSON             `json:"b11,omitempty"`
 }
 
 type eResult struct {
@@ -123,6 +130,22 @@ type b10JSON struct {
 	Publishes       int64   `json:"publishes"`
 }
 
+// b11JSON flattens server.LoadResult for trend tracking across
+// baselines: wire serving (HTTP + JSON codec) against the in-process
+// engine on the same workload.
+type b11JSON struct {
+	Readers      int     `json:"readers"`
+	Ops          int     `json:"ops"`
+	WireQPS      float64 `json:"wire_qps"`
+	WirePerOp    int64   `json:"wire_per_op_ns"`
+	P50          int64   `json:"p50_ns"`
+	P95          int64   `json:"p95_ns"`
+	P99          int64   `json:"p99_ns"`
+	Mutations    int64   `json:"mutations"`
+	InprocPerOp  int64   `json:"inproc_per_op_ns"`
+	WireOverhead float64 `json:"wire_overhead_x"`
+}
+
 type b4JSON struct {
 	Constraints  int     `json:"constraints"`
 	Derived      int     `json:"derived"`
@@ -133,8 +156,9 @@ type b4JSON struct {
 }
 
 func main() {
-	only := flag.String("only", "", "run only E or B series")
+	only := flag.String("only", "", "run only E or B series, or just b11 (wire serving)")
 	quick := flag.Bool("quick", false, "smaller measurement sweeps")
+	serveURL := flag.String("serve-url", "", "B11: drive a running interopd at this base URL instead of self-hosting")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -168,6 +192,9 @@ func main() {
 	if *only == "" || strings.EqualFold(*only, "B") {
 		fmt.Println("==================== B-series: measurements ====================")
 		runB(*quick, &rep)
+	}
+	if *only == "" || strings.EqualFold(*only, "B") || strings.EqualFold(*only, "b11") {
+		runB11(*quick, *serveURL, &rep)
 	}
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
@@ -340,6 +367,43 @@ func runB(quick bool, rep *report) {
 			Scale: r.Scale, AttachNanos: r.Attach.Nanoseconds(), ReintegrateNans: r.Reintegrate.Nanoseconds(),
 			Speedup: r.Speedup(), PlanSurvival: r.PlanSurvival,
 			AttachSolver: r.AttachSolver, FullSolver: r.FullSolver, Publishes: r.Publishes,
+		})
+	}
+}
+
+// runB11 measures serving the federation over the wire: the B9 query
+// mix driven through interopd's HTTP surface (self-hosted on loopback
+// unless -serve-url points at a running daemon), reported next to the
+// same workload on an in-process engine. The gap is the transport bill.
+func runB11(quick bool, serveURL string, rep *report) {
+	ops := 200
+	if quick {
+		ops = 50
+	}
+	readerCounts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 && !quick {
+		readerCounts = append(readerCounts, n)
+	}
+	target := "self-hosted loopback"
+	if serveURL != "" {
+		target = serveURL
+	}
+	fmt.Printf("\nB11: wire serving over HTTP/JSON (%s; %d queries/reader, writer shipping inserts)\n", target, ops)
+	for _, readers := range readerCounts {
+		r, err := server.RunLoad(server.LoadOptions{
+			BaseURL:      serveURL,
+			Readers:      readers,
+			OpsPerReader: ops,
+		})
+		exitOn(err)
+		fmt.Printf("  readers=%2d ops=%6d %9.0f q/s | per-op %10v (in-proc %10v, %5.1fx) | p50 %8v p95 %8v p99 %8v | %d mutations\n",
+			r.Readers, r.Ops, r.WireQPS, r.WirePerOp, r.InprocPerOp, r.WireOverhead, r.P50, r.P95, r.P99, r.Mutations)
+		rep.B11 = append(rep.B11, b11JSON{
+			Readers: r.Readers, Ops: r.Ops, WireQPS: r.WireQPS,
+			WirePerOp: r.WirePerOp.Nanoseconds(),
+			P50:       r.P50.Nanoseconds(), P95: r.P95.Nanoseconds(), P99: r.P99.Nanoseconds(),
+			Mutations: r.Mutations, InprocPerOp: r.InprocPerOp.Nanoseconds(),
+			WireOverhead: r.WireOverhead,
 		})
 	}
 }

@@ -1,6 +1,7 @@
 package interopdb
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -93,19 +94,34 @@ func NewFederation(seed int64, opts PipelineOptions) *Federation {
 	}
 }
 
-// Attach adds a component database to the federation. The first call
-// seeds it (is must be nil); every later call requires an integration
-// specification pairing the new member (spec's database) with one
-// existing member, in either header orientation. The second Attach runs
-// the ordinary pairwise pipeline — its Result is byte-identical to
-// Integrate on the same inputs. From the third member on, Attach
-// integrates the new pair only and grafts it onto the live combined
-// state under the engine's write lock; concurrent readers never observe
-// a partial membership.
+// Attach is AttachContext with context.Background() — a documented
+// wrapper kept for in-process callers with no deadline to propagate.
 func (f *Federation) Attach(spec *DatabaseSpec, st *Store, is *IntegrationSpec) error {
+	return f.AttachContext(context.Background(), spec, st, is)
+}
+
+// AttachContext adds a component database to the federation. The first
+// call seeds it (is must be nil); every later call requires an
+// integration specification pairing the new member (spec's database)
+// with one existing member, in either header orientation. The second
+// Attach runs the ordinary pairwise pipeline — its Result is
+// byte-identical to Integrate on the same inputs. From the third member
+// on, Attach integrates the new pair only and grafts it onto the live
+// combined state under the engine's write lock; concurrent readers
+// never observe a partial membership.
+//
+// The context is checked between pipeline stages (compile, conform,
+// merge, derive) — each can cost unbounded solver work on large specs —
+// and once more before the graft: cancellation aborts with ctx.Err()
+// and leaves the membership unchanged. Once the graft begins it runs to
+// completion.
+func (f *Federation) AttachContext(ctx context.Context, spec *DatabaseSpec, st *Store, is *IntegrationSpec) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	name := spec.Schema.Name
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("attach %s: %w", name, err)
+	}
 	if st == nil {
 		return fmt.Errorf("attach %s: nil store", name)
 	}
@@ -158,6 +174,10 @@ func (f *Federation) Attach(spec *DatabaseSpec, st *Store, is *IntegrationSpec) 
 		f.noteAttachCost(res.Derivation.CacheStats(), before, f.opts.Memo != nil)
 		f.state = core.NewFedState(res, f.members[0].Name, f.opts, f.memo)
 		f.engine = view.New(res)
+		// The registry pointer is stable for the federation's lifetime
+		// (Attach/Detach mutate it in place), so one bind enables the
+		// engine's unified Ship across all later membership changes.
+		f.engine.BindStores(f.stores)
 		f.addMember(&FederationMember{Name: name, Spec: spec, Store: st, ISpec: is, Base: base})
 		return nil
 	}
@@ -169,13 +189,22 @@ func (f *Federation) Attach(spec *DatabaseSpec, st *Store, is *IntegrationSpec) 
 		return fmt.Errorf("attach %s: compile: %w", name, err)
 	}
 	pspec.Seed = f.seed
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("attach %s: %w", name, err)
+	}
 	conf, err := core.ConformOptions(pspec, localStore, remoteStore, f.opts)
 	if err != nil {
 		return fmt.Errorf("attach %s: conform: %w", name, err)
 	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("attach %s: %w", name, err)
+	}
 	pview, err := core.Merge(conf)
 	if err != nil {
 		return fmt.Errorf("attach %s: merge: %w", name, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("attach %s: %w", name, err)
 	}
 	dopts := f.opts
 	dopts.Memo = nil
@@ -192,6 +221,9 @@ func (f *Federation) Attach(spec *DatabaseSpec, st *Store, is *IntegrationSpec) 
 		Derivation: core.DeriveOptions(pview, dopts),
 	}
 	f.noteAttachCost(pairRes.Derivation.CacheStats(), before, dopts.Memo != nil)
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("attach %s: %w", name, err)
+	}
 
 	// …then graft it onto the live combined state under the engine's
 	// write lock, publishing one snapshot for the whole change.
@@ -206,7 +238,13 @@ func (f *Federation) Attach(spec *DatabaseSpec, st *Store, is *IntegrationSpec) 
 	return nil
 }
 
-// Detach removes a member from the federation: its objects and
+// Detach is DetachContext with context.Background() — a documented
+// wrapper kept for in-process callers with no deadline to propagate.
+func (f *Federation) Detach(name string) error {
+	return f.DetachContext(context.Background(), name)
+}
+
+// DetachContext removes a member from the federation: its objects and
 // constituents leave the integrated view (the component store itself is
 // untouched — the database is autonomous), its classes are deregistered
 // once empty, every global constraint whose provenance empties is
@@ -215,9 +253,16 @@ func (f *Federation) Attach(spec *DatabaseSpec, st *Store, is *IntegrationSpec) 
 // cached plans. The member must not be the base of another attached
 // member, and the federation keeps serving an integrated pair — a
 // two-member federation cannot shrink further.
-func (f *Federation) Detach(name string) error {
+//
+// The context is checked before the retraction begins; once it begins
+// it runs to completion (a half-detached member would leave the view
+// inconsistent).
+func (f *Federation) DetachContext(ctx context.Context, name string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("detach %s: %w", name, err)
+	}
 	m := f.memberByName(name)
 	if m == nil {
 		return fmt.Errorf("detach %s: not a member", name)

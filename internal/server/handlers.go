@@ -1,0 +1,347 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"slices"
+	"sort"
+	"time"
+
+	"interopdb/internal/view"
+)
+
+// createTenantRequest creates a federation from a built-in fixture or
+// from uploaded TM specifications (members in attach order; the first
+// is the seed and takes no integration spec).
+type createTenantRequest struct {
+	Name    string             `json:"name"`
+	Fixture string             `json:"fixture,omitempty"`
+	Members []uploadedMemberIn `json:"members,omitempty"`
+}
+
+type uploadedMemberIn struct {
+	Spec        string `json:"spec"`
+	Integration string `json:"integration,omitempty"`
+}
+
+type tenantInfo struct {
+	Name    string   `json:"name"`
+	Members []string `json:"members"`
+	Classes []string `json:"classes,omitempty"`
+}
+
+func (s *Server) infoFor(t *tenant) tenantInfo {
+	info := tenantInfo{Name: t.name, Members: t.fed.Members()}
+	if e := t.fed.Engine(); e != nil {
+		info.Classes = e.Classes()
+	}
+	return info
+}
+
+func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) error {
+	var req createTenantRequest
+	if err := readJSON(r, &req); err != nil {
+		return err
+	}
+	var members []fixtureMember
+	switch {
+	case req.Fixture != "" && len(req.Members) > 0:
+		return badRequest("supply either fixture or members, not both")
+	case req.Fixture != "":
+		ms, err := builtinFixture(req.Fixture)
+		if err != nil {
+			return badRequest("%v", err)
+		}
+		members = ms
+	case len(req.Members) > 0:
+		for i, m := range req.Members {
+			fm, err := parseUploadedMember(m.Spec, m.Integration)
+			if err != nil {
+				return badRequest("member %d: %v", i, err)
+			}
+			members = append(members, fm)
+		}
+	default:
+		return badRequest("supply a fixture name or uploaded members")
+	}
+	fed, err := buildFederation(r.Context(), members)
+	if err != nil {
+		return fmt.Errorf("building federation: %w", err)
+	}
+	if err := s.registerTenant(req.Name, fed); err != nil {
+		return err
+	}
+	t, err := s.tenantByName(req.Name)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusCreated, s.infoFor(t))
+	return nil
+}
+
+func (s *Server) tenantByName(name string) (*tenant, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.tenants[name]
+	if t == nil {
+		return nil, fmt.Errorf("tenant %q: %w", name, ErrUnknownTenant)
+	}
+	return t, nil
+}
+
+func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) error {
+	s.mu.RLock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.RUnlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+	infos := make([]tenantInfo, len(tenants))
+	for i, t := range tenants {
+		infos[i] = s.infoFor(t)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": infos})
+	return nil
+}
+
+func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("tenant")
+	s.mu.Lock()
+	t := s.tenants[name]
+	delete(s.tenants, name)
+	s.mu.Unlock()
+	if t == nil {
+		return fmt.Errorf("tenant %q: %w", name, ErrUnknownTenant)
+	}
+	t.batch.close()
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
+	return nil
+}
+
+// queryRequest carries the textual query form, e.g.
+// "select title, rating from Proceedings where rating >= 7".
+type queryRequest struct {
+	Q string `json:"q"`
+}
+
+type queryResponse struct {
+	Rows  []map[string]WireValue `json:"rows"`
+	Stats WireQueryStats         `json:"stats"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
+	t, err := s.tenantOf(r)
+	if err != nil {
+		return err
+	}
+	var req queryRequest
+	if err := readJSON(r, &req); err != nil {
+		return err
+	}
+	q, err := view.ParseQuery(req.Q)
+	if err != nil {
+		return badRequest("parsing query: %v", err)
+	}
+	e, err := t.engine()
+	if err != nil {
+		return err
+	}
+	if !slices.Contains(e.Classes(), q.Class) {
+		return fmt.Errorf("class %q: %w", q.Class, view.ErrUnknownClass)
+	}
+	rows, stats, err := e.RunContext(r.Context(), q)
+	if err != nil {
+		return err
+	}
+	resp := queryResponse{Rows: make([]map[string]WireValue, len(rows)), Stats: EncodeQueryStats(stats)}
+	for i, row := range rows {
+		resp.Rows[i] = EncodeRow(row)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// txRequest carries a mutation batch. With validate_only the batch is
+// checked against the derived global constraints and NOT shipped — the
+// paper's validation role exposed as a dry run.
+type wireTxRequest struct {
+	Ops          []WireMutation `json:"ops"`
+	ValidateOnly bool           `json:"validate_only,omitempty"`
+}
+
+type txResponse struct {
+	Applied       int               `json:"applied"`
+	ValidateStats WireValidateStats `json:"validate_stats"`
+}
+
+func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) error {
+	t, err := s.tenantOf(r)
+	if err != nil {
+		return err
+	}
+	var req wireTxRequest
+	if err := readJSON(r, &req); err != nil {
+		return err
+	}
+	if len(req.Ops) == 0 {
+		return badRequest("empty op list")
+	}
+	ops, err := DecodeMutations(req.Ops)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	e, err := t.engine()
+	if err != nil {
+		return err
+	}
+	// Validation first — the paper's §5.2 role: predict the local
+	// managers' verdict before any subtransaction is shipped. A
+	// rejected batch never reaches the batcher.
+	rejs, vstats, err := e.Validate(r.Context(), ops)
+	if err != nil {
+		return err
+	}
+	if len(rejs) > 0 {
+		return &httpError{
+			status:  http.StatusConflict,
+			msg:     view.Rejections(rejs).Error(),
+			payload: EncodeRejections(rejs),
+		}
+	}
+	if req.ValidateOnly {
+		writeJSON(w, http.StatusOK, txResponse{Applied: 0, ValidateStats: EncodeValidateStats(vstats)})
+		return nil
+	}
+	if err := t.batch.enqueue(r.Context(), ops); err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, txResponse{Applied: len(ops), ValidateStats: EncodeValidateStats(vstats)})
+	return nil
+}
+
+// attachRequest attaches a member at runtime: a named catalog member
+// (fixture_member) or uploaded TM specs.
+type attachRequest struct {
+	FixtureMember string `json:"fixture_member,omitempty"`
+	Spec          string `json:"spec,omitempty"`
+	Integration   string `json:"integration,omitempty"`
+}
+
+func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) error {
+	t, err := s.tenantOf(r)
+	if err != nil {
+		return err
+	}
+	var req attachRequest
+	if err := readJSON(r, &req); err != nil {
+		return err
+	}
+	var m fixtureMember
+	switch {
+	case req.FixtureMember != "" && req.Spec != "":
+		return badRequest("supply either fixture_member or spec, not both")
+	case req.FixtureMember != "":
+		fm, err := builtinAttachable(req.FixtureMember)
+		if err != nil {
+			return badRequest("%v", err)
+		}
+		m = fm
+	case req.Spec != "":
+		fm, err := parseUploadedMember(req.Spec, req.Integration)
+		if err != nil {
+			return badRequest("%v", err)
+		}
+		m = fm
+	default:
+		return badRequest("supply fixture_member or spec")
+	}
+	if err := t.fed.AttachContext(r.Context(), m.spec, m.store, m.integration); err != nil {
+		return fmt.Errorf("attach: %w", err)
+	}
+	writeJSON(w, http.StatusOK, s.infoFor(t))
+	return nil
+}
+
+type detachRequest struct {
+	Member string `json:"member"`
+}
+
+func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) error {
+	t, err := s.tenantOf(r)
+	if err != nil {
+		return err
+	}
+	var req detachRequest
+	if err := readJSON(r, &req); err != nil {
+		return err
+	}
+	if req.Member == "" {
+		return badRequest("member name required")
+	}
+	if err := t.fed.DetachContext(r.Context(), req.Member); err != nil {
+		return badRequest("detach: %v", err)
+	}
+	writeJSON(w, http.StatusOK, s.infoFor(t))
+	return nil
+}
+
+func (s *Server) handleClasses(w http.ResponseWriter, r *http.Request) error {
+	t, err := s.tenantOf(r)
+	if err != nil {
+		return err
+	}
+	e, err := t.engine()
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"classes": e.Classes()})
+	return nil
+}
+
+// tenantCacheStats is one tenant's engine-counter entry in /metrics.
+type tenantCacheStats struct {
+	PlanHits      int64   `json:"plan_hits"`
+	PlanMisses    int64   `json:"plan_misses"`
+	PlanHitRate   float64 `json:"plan_hit_rate"`
+	SolverQueries int64   `json:"solver_queries"`
+	Compiles      int64   `json:"compiles"`
+	Publishes     int64   `json:"publishes"`
+}
+
+// handleMetrics renders per-endpoint latency/QPS counters and every
+// tenant's engine cache stats. It bypasses admission control: the
+// saturated server is exactly the one whose metrics must stay
+// reachable.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	tenants := make(map[string]*tenant, len(s.tenants))
+	for n, t := range s.tenants {
+		tenants[n] = t
+	}
+	s.mu.RUnlock()
+
+	perTenant := map[string]tenantCacheStats{}
+	for n, t := range tenants {
+		e := t.fed.Engine()
+		if e == nil {
+			continue
+		}
+		cs := e.CacheStats()
+		perTenant[n] = tenantCacheStats{
+			PlanHits:      cs.PlanHits,
+			PlanMisses:    cs.PlanMisses,
+			PlanHitRate:   cs.PlanHitRate(),
+			SolverQueries: cs.SolverQueries,
+			Compiles:      cs.Compiles,
+			Publishes:     cs.Publishes,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s":  time.Since(s.metrics.start).Seconds(),
+		"draining":  s.draining.Load(),
+		"in_flight": len(s.sem),
+		"endpoints": s.metrics.snapshot(),
+		"tenants":   perTenant,
+	})
+}

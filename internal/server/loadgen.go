@@ -1,0 +1,298 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"interopdb"
+	"interopdb/internal/view"
+)
+
+// The B11 load driver: drives a running interopd over HTTP with the
+// same mixed read workload B9 runs in-process — five plan-cache-warm
+// queries against the figure1 tenant plus one writer shipping insert
+// batches — and reports wire throughput and latency percentiles next
+// to an in-process baseline on an identical engine. The gap between
+// the two is the transport bill (JSON codec, HTTP framing, loopback
+// TCP), isolated from the serving engine's own cost, which both sides
+// share. cmd/interopbench invokes it (-only b11), self-hosting a
+// loopback server when no -serve-url is given.
+
+// LoadOptions configures one load run.
+type LoadOptions struct {
+	// BaseURL is the server to drive (e.g. "http://127.0.0.1:7070").
+	// Empty self-hosts a loopback server with a figure1 tenant.
+	BaseURL string
+	// Tenant is the target tenant (default "figure1").
+	Tenant string
+	// Readers is the number of concurrent query clients (default 8).
+	Readers int
+	// OpsPerReader is the number of queries each client issues
+	// (default 200).
+	OpsPerReader int
+	// NoWriter disables the concurrent insert writer.
+	NoWriter bool
+}
+
+// LoadResult reports one load run.
+type LoadResult struct {
+	Readers      int           `json:"readers"`
+	Ops          int           `json:"ops"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
+	WireQPS      float64       `json:"wire_qps"`
+	WirePerOp    time.Duration `json:"wire_per_op_ns"`
+	P50          time.Duration `json:"p50_ns"`
+	P95          time.Duration `json:"p95_ns"`
+	P99          time.Duration `json:"p99_ns"`
+	Mutations    int64         `json:"mutations"`
+	InprocPerOp  time.Duration `json:"inproc_per_op_ns"`
+	WireOverhead float64       `json:"wire_overhead_x"`
+}
+
+// loadQueries is the B9 query mix in textual wire form.
+var loadQueries = []string{
+	"select title from Item where isbn = 'vldb96'",
+	"select title from Item where shopprice <= 20",
+	"select title, rating from Proceedings where rating >= 7 and shopprice < 75",
+	"select title from Proceedings where rating in {5, 8}",
+	"select title from Item where shopprice < 50",
+}
+
+// StartLocal boots a loopback interopd with the given tenants
+// (name → fixture) and returns its base URL and a shutdown function.
+func StartLocal(tenants map[string]string) (string, func(), error) {
+	srv := New(Config{})
+	for name, fix := range tenants {
+		if err := srv.AddTenant(name, fix); err != nil {
+			return "", nil, fmt.Errorf("tenant %s: %w", name, err)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	shutdown := func() {
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		srv.Close()
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// RunLoad executes one load run against a server (self-hosted when
+// opts.BaseURL is empty).
+func RunLoad(opts LoadOptions) (LoadResult, error) {
+	if opts.Tenant == "" {
+		opts.Tenant = "figure1"
+	}
+	if opts.Readers <= 0 {
+		opts.Readers = 8
+	}
+	if opts.OpsPerReader <= 0 {
+		opts.OpsPerReader = 200
+	}
+	base := opts.BaseURL
+	if base == "" {
+		url, shutdown, err := StartLocal(map[string]string{opts.Tenant: "figure1"})
+		if err != nil {
+			return LoadResult{}, err
+		}
+		defer shutdown()
+		base = url
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: opts.Readers + 2,
+	}}
+	queryURL := fmt.Sprintf("%s/v1/%s/query", base, opts.Tenant)
+	txURL := fmt.Sprintf("%s/v1/%s/tx", base, opts.Tenant)
+
+	post := func(url string, body any) (int, []byte, error) {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, out, err
+	}
+
+	// Warm the plan cache so the measured section reports steady state,
+	// like B9.
+	for _, q := range loadQueries {
+		if code, body, err := post(queryURL, queryRequest{Q: q}); err != nil || code != http.StatusOK {
+			return LoadResult{}, fmt.Errorf("warm-up query %q: status %d err %v body %s", q, code, err, body)
+		}
+	}
+
+	bookseller := interopdb.Figure1Bookseller().Schema.Name
+	stop := make(chan struct{})
+	var mutations atomic.Int64
+	var writerWG sync.WaitGroup
+	var writerErr error
+	if !opts.NoWriter {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				isbn := fmt.Sprintf("b11-%d-%d", opts.Readers, i)
+				req := wireTxRequest{Ops: []WireMutation{{
+					Kind: "insert", Class: "Item",
+					Attrs: map[string]WireValue{
+						"title":     EncodeValue(interopdb.Str(isbn)),
+						"isbn":      EncodeValue(interopdb.Str(isbn)),
+						"publisher": EncodeValue(interopdb.Ref{DB: bookseller, OID: 2}),
+						"shopprice": EncodeValue(interopdb.Real(50)),
+						"libprice":  EncodeValue(interopdb.Real(40)),
+					},
+				}}}
+				code, body, err := post(txURL, req)
+				if err != nil || code != http.StatusOK {
+					writerErr = fmt.Errorf("writer batch %d: status %d err %v body %s", i, code, err, body)
+					return
+				}
+				mutations.Add(1)
+			}
+		}()
+	}
+
+	// Measured section: every reader times each query round trip.
+	latencies := make([][]time.Duration, opts.Readers)
+	errs := make(chan error, opts.Readers)
+	var readerWG sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < opts.Readers; w++ {
+		readerWG.Add(1)
+		go func(w int) {
+			defer readerWG.Done()
+			lats := make([]time.Duration, 0, opts.OpsPerReader)
+			for i := 0; i < opts.OpsPerReader; i++ {
+				q := loadQueries[(w+i)%len(loadQueries)]
+				s0 := time.Now()
+				code, body, err := post(queryURL, queryRequest{Q: q})
+				lats = append(lats, time.Since(s0))
+				if err != nil || code != http.StatusOK {
+					errs <- fmt.Errorf("reader %d op %d: status %d err %v body %s", w, i, code, err, body)
+					return
+				}
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	readerWG.Wait()
+	elapsed := time.Since(t0)
+	close(stop)
+	writerWG.Wait()
+	select {
+	case err := <-errs:
+		return LoadResult{}, err
+	default:
+	}
+	if writerErr != nil {
+		return LoadResult{}, writerErr
+	}
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		idx := int(p / 100 * float64(len(all)-1))
+		return all[idx]
+	}
+	totalOps := len(all)
+
+	inproc, err := inprocBaseline(opts.Readers, opts.OpsPerReader)
+	if err != nil {
+		return LoadResult{}, err
+	}
+
+	res := LoadResult{
+		Readers:     opts.Readers,
+		Ops:         totalOps,
+		Elapsed:     elapsed,
+		P50:         pct(50),
+		P95:         pct(95),
+		P99:         pct(99),
+		Mutations:   mutations.Load(),
+		InprocPerOp: inproc,
+	}
+	if elapsed > 0 {
+		res.WireQPS = float64(totalOps) / elapsed.Seconds()
+	}
+	if totalOps > 0 {
+		res.WirePerOp = elapsed * time.Duration(opts.Readers) / time.Duration(totalOps)
+	}
+	if inproc > 0 {
+		res.WireOverhead = float64(res.WirePerOp) / float64(inproc)
+	}
+	return res, nil
+}
+
+// inprocBaseline runs the same query mix with the same concurrency
+// directly against an identical engine (figure1, scale 1) — no codec,
+// no HTTP — and reports the mean per-op latency the wire numbers are
+// compared against.
+func inprocBaseline(readers, opsPerReader int) (time.Duration, error) {
+	local, remote := interopdb.Figure1Stores(interopdb.FixtureOptions{Scale: 1})
+	res, err := interopdb.Integrate(interopdb.Figure1Library(), interopdb.Figure1Bookseller(),
+		interopdb.Figure1IntegrationRepaired(), local, remote, 1)
+	if err != nil {
+		return 0, err
+	}
+	e := interopdb.NewQueryEngine(res)
+	queries := make([]view.Query, len(loadQueries))
+	for i, src := range loadQueries {
+		q, err := view.ParseQuery(src)
+		if err != nil {
+			return 0, fmt.Errorf("parsing %q: %w", src, err)
+		}
+		queries[i] = q
+		if _, _, err := e.Run(q); err != nil { // warm plans
+			return 0, err
+		}
+	}
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerReader; i++ {
+				_, _, _ = e.Run(queries[(w+i)%len(queries)])
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := readers * opsPerReader
+	if total == 0 {
+		return 0, nil
+	}
+	return time.Since(t0) * time.Duration(readers) / time.Duration(total), nil
+}

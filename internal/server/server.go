@@ -1,0 +1,286 @@
+// Package server hosts federations over HTTP/JSON: multi-tenant
+// serving of the integrated view (queries, validated transactions,
+// runtime attach/detach) with admission control, per-endpoint metrics
+// and graceful drain. It is the transport layer over the engine's
+// context-aware API — every request's context flows into RunContext/
+// Validate/AttachContext, so a disconnected client stops burning CPU at
+// the next scan-loop or solver-call boundary, and the typed sentinels
+// (ErrRejected, ErrUnknownClass, ErrUnknownObject, ErrUnknownTenant)
+// map failures to status codes without string matching.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"interopdb"
+	"interopdb/internal/view"
+)
+
+// Config configures a Server.
+type Config struct {
+	// MaxInFlight bounds concurrently admitted /v1 requests; excess
+	// requests are refused immediately with 429 and a Retry-After hint
+	// rather than queued (queueing under overload only moves the
+	// collapse point). 0 means DefaultMaxInFlight. /metrics and pprof
+	// are exempt — observability must work exactly when the server is
+	// saturated.
+	MaxInFlight int
+	// Logf receives request-level log lines; nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// DefaultMaxInFlight is the admission bound when Config.MaxInFlight is
+// zero.
+const DefaultMaxInFlight = 64
+
+// Server is the multi-tenant HTTP front end. It implements
+// http.Handler; mount it on an http.Server (cmd/interopd) or an
+// httptest.Server (tests).
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	metrics *metricsRegistry
+	sem     chan struct{}
+
+	draining atomic.Bool
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+}
+
+// New builds a server with no tenants.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		metrics: newMetricsRegistry(),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		tenants: map[string]*tenant{},
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/tenants", s.serve("create_tenant", s.handleCreateTenant))
+	s.mux.HandleFunc("GET /v1/tenants", s.serve("list_tenants", s.handleListTenants))
+	s.mux.HandleFunc("DELETE /v1/tenants/{tenant}", s.serve("delete_tenant", s.handleDeleteTenant))
+	s.mux.HandleFunc("POST /v1/{tenant}/query", s.serve("query", s.handleQuery))
+	s.mux.HandleFunc("POST /v1/{tenant}/tx", s.serve("tx", s.handleTx))
+	s.mux.HandleFunc("POST /v1/{tenant}/attach", s.serve("attach", s.handleAttach))
+	s.mux.HandleFunc("POST /v1/{tenant}/detach", s.serve("detach", s.handleDetach))
+	s.mux.HandleFunc("GET /v1/{tenant}/classes", s.serve("classes", s.handleClasses))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// pprof: the default-mux handlers, mounted explicitly (the server
+	// never uses http.DefaultServeMux).
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpError carries a status code through a handler's error return.
+type httpError struct {
+	status  int
+	msg     string
+	payload any // optional structured body (e.g. rejections)
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// serve wraps a handler with the /v1 middleware stack: drain refusal,
+// admission control, metrics recording, and typed-error → status-code
+// mapping.
+func (s *Server) serve(name string, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	m := s.metrics.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "server is draining"})
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			m.record(0, true)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error": fmt.Sprintf("server at admission limit (%d in flight)", cap(s.sem)),
+			})
+			return
+		}
+		t0 := time.Now()
+		err := h(w, r)
+		m.record(time.Since(t0), err != nil)
+		if err != nil {
+			s.writeError(w, r, name, err)
+		}
+	}
+}
+
+// writeError maps a handler error to a response by sentinel.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, name string, err error) {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		body := map[string]any{"error": he.msg}
+		if he.payload != nil {
+			body["rejections"] = he.payload
+		}
+		writeJSON(w, he.status, body)
+	case errors.Is(err, ErrUnknownTenant),
+		errors.Is(err, view.ErrUnknownClass),
+		errors.Is(err, view.ErrUnknownObject):
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+	case errors.Is(err, view.ErrRejected):
+		body := map[string]any{"error": err.Error()}
+		var rejs view.Rejections
+		if errors.As(err, &rejs) {
+			body["rejections"] = EncodeRejections(rejs)
+		}
+		writeJSON(w, http.StatusConflict, body)
+	case errors.Is(err, view.ErrPartialCommit):
+		// The one failure that is not safely retryable.
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error": err.Error(), "retryable": false,
+		})
+	case r.Context().Err() != nil:
+		// The client is gone; the status is for the log only.
+		s.logf("%s: client cancelled: %v", name, err)
+		writeJSON(w, statusClientClosedRequest, map[string]any{"error": err.Error()})
+	default:
+		s.logf("%s: %v", name, err)
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+	}
+}
+
+// statusClientClosedRequest is the de-facto code for "client went away
+// mid-request" (nginx's 499); no official constant exists.
+const statusClientClosedRequest = 499
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+func readJSON(r *http.Request, into any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return badRequest("request body: %v", err)
+	}
+	return nil
+}
+
+// tenantOf resolves the {tenant} path value.
+func (s *Server) tenantOf(r *http.Request) (*tenant, error) {
+	name := r.PathValue("tenant")
+	s.mu.RLock()
+	t := s.tenants[name]
+	s.mu.RUnlock()
+	if t == nil {
+		return nil, fmt.Errorf("tenant %q: %w", name, ErrUnknownTenant)
+	}
+	return t, nil
+}
+
+// AddTenant builds a tenant from a built-in fixture and registers it —
+// the programmatic path cmd/interopd uses to preload tenants at boot.
+func (s *Server) AddTenant(name, fixtureName string) error {
+	members, err := builtinFixture(fixtureName)
+	if err != nil {
+		return err
+	}
+	fed, err := buildFederation(context.Background(), members)
+	if err != nil {
+		return err
+	}
+	return s.registerTenant(name, fed)
+}
+
+func (s *Server) registerTenant(name string, fed *interopdb.Federation) error {
+	if name == "" || strings.ContainsAny(name, "/ ") {
+		return badRequest("tenant name %q: must be non-empty without '/' or spaces", name)
+	}
+	if name == "tenants" {
+		return badRequest("tenant name %q is reserved", name)
+	}
+	t := newTenant(name, fed)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tenants[name]; dup {
+		t.batch.close()
+		return badRequest("tenant %q already exists", name)
+	}
+	s.tenants[name] = t
+	return nil
+}
+
+// Tenants lists the hosted tenant names.
+func (s *Server) Tenants() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tenants))
+	for n := range s.tenants {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Drain puts the server into draining mode (new /v1 requests get 503)
+// and, once the caller's http.Server.Shutdown has drained in-flight
+// handlers, stops every tenant's batcher, flushing requests already
+// enqueued. Call order in cmd/interopd:
+//
+//	srv.Drain()              // refuse new work
+//	httpServer.Shutdown(ctx) // drain in-flight handlers (batchers live)
+//	srv.Close()              // stop batchers
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close stops every tenant's batcher, shipping anything still
+// enqueued. Handlers must be drained first (see Drain).
+func (s *Server) Close() {
+	s.mu.Lock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.Unlock()
+	for _, t := range tenants {
+		t.batch.close()
+	}
+}

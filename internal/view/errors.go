@@ -1,0 +1,64 @@
+package view
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Typed failure kinds for the serving API. Callers — in particular the
+// HTTP handlers of internal/server — map failures to responses by
+// sentinel (errors.Is) or by concrete type (errors.As) instead of
+// string-matching error text:
+//
+//	ErrRejected      — a mutation was refused by the derived global
+//	                   constraints; errors.As recovers the []Rejection
+//	                   with its repair proposals via Rejections.
+//	ErrUnknownClass  — the named global class does not exist on the
+//	                   integrated view (or the object is not a member).
+//	ErrUnknownObject — no object with the given view ID exists.
+var (
+	// ErrRejected marks constraint rejections. Both a single Rejection
+	// and a Rejections batch match it via errors.Is.
+	ErrRejected = errors.New("mutation rejected by global constraints")
+	// ErrUnknownClass marks references to global classes the integrated
+	// view does not serve (including class-membership mismatches on
+	// update/delete targets).
+	ErrUnknownClass = errors.New("unknown global class")
+	// ErrUnknownObject marks update/delete targets that do not exist in
+	// the integrated view.
+	ErrUnknownObject = errors.New("unknown view object")
+	// ErrPartialCommit marks a cross-member batch that failed after at
+	// least one autonomous member database had already committed: the
+	// federation state needs repair, and the batch MUST NOT be retried
+	// wholesale (re-shipping would double-apply the committed part).
+	ErrPartialCommit = errors.New("batch partially committed across member databases")
+)
+
+// Is makes errors.Is(rej, ErrRejected) true for any Rejection.
+func (r Rejection) Is(target error) bool { return target == ErrRejected }
+
+// Rejections is a batch of constraint rejections as one error value, so
+// validation outcomes travel through error-returning call chains (and
+// network boundaries) without losing their structure: errors.Is matches
+// ErrRejected, errors.As recovers the full slice with every repair
+// proposal intact.
+type Rejections []Rejection
+
+// Error implements error.
+func (rs Rejections) Error() string {
+	if len(rs) == 0 {
+		return "mutation rejected"
+	}
+	if len(rs) == 1 {
+		return rs[0].Error()
+	}
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = r.Error()
+	}
+	return fmt.Sprintf("%d rejections: %s", len(rs), strings.Join(parts, "; "))
+}
+
+// Is makes errors.Is(rs, ErrRejected) true.
+func (rs Rejections) Is(target error) bool { return target == ErrRejected }

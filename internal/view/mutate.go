@@ -1,6 +1,7 @@
 package view
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -131,14 +132,16 @@ func (o overlayObj) Identity() object.Ref {
 // live view without mutating it.
 type txState struct {
 	e       *Engine
+	ctx     context.Context
 	post    map[int]map[string]object.Value // object ID → cumulative assignments
 	deleted map[int]bool
 	inserts map[string][]expr.Object // global class → staged inserts in its extent
 }
 
-func newTxState(e *Engine) *txState {
+func newTxState(ctx context.Context, e *Engine) *txState {
 	return &txState{
 		e:       e,
+		ctx:     ctx,
 		post:    map[int]map[string]object.Value{},
 		deleted: map[int]bool{},
 		inserts: map[string][]expr.Object{},
@@ -349,22 +352,41 @@ func (e *Engine) ValidateDelete(class string, id int) ([]Rejection, ValidateStat
 	return e.ValidateTx([]Mutation{{Kind: MutDelete, Class: class, ID: id}})
 }
 
-// ValidateTx stages a mixed insert/update/delete batch (mirroring
-// store.Tx's deferred validation) and checks it atomically against the
-// conformed global constraints: each operation is validated against the
-// view state with all preceding operations of the batch applied, so
-// intra-batch interactions — two inserts claiming one key, an update
-// freeing a key an insert then takes, a delete emptying an extent an
-// aggregate reads — resolve exactly as a deferred local commit would
-// resolve them. Checking is delta-restricted per operation (see the
-// package comment); the returned stats make the saving observable.
+// ValidateTx is Validate with context.Background(): never cancelled,
+// kept so pre-unification call sites migrate incrementally.
+//
+// Deprecated: new code should call Validate, the unified context-aware
+// entrypoint (singletons are one-element batches).
 func (e *Engine) ValidateTx(ops []Mutation) ([]Rejection, ValidateStats, error) {
+	return e.Validate(context.Background(), ops)
+}
+
+// Validate is the unified validation entrypoint: it stages a mixed
+// insert/update/delete batch (mirroring store.Tx's deferred validation)
+// and checks it atomically against the conformed global constraints:
+// each operation is validated against the view state with all preceding
+// operations of the batch applied, so intra-batch interactions — two
+// inserts claiming one key, an update freeing a key an insert then
+// takes, a delete emptying an extent an aggregate reads — resolve
+// exactly as a deferred local commit would resolve them. Checking is
+// delta-restricted per operation (see the package comment); the
+// returned stats make the saving observable. A singleton mutation is a
+// one-element batch; the ValidateInsert/ValidateUpdate/ValidateDelete/
+// ValidateTx names predate this entrypoint and remain as wrappers.
+//
+// The context is checked between operations and inside the extent
+// sweeps: cancellation aborts validation with ctx.Err(). Validation
+// never mutates the view, so an aborted call leaves no trace.
+func (e *Engine) Validate(ctx context.Context, ops []Mutation) ([]Rejection, ValidateStats, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	var out []Rejection
 	var stats ValidateStats
-	st := newTxState(e)
+	st := newTxState(ctx, e)
 	for i, op := range ops {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		switch op.Kind {
 		case MutInsert:
 			rejs, s, err := e.validateInsertOp(st, op)
@@ -403,7 +425,10 @@ func (e *Engine) ValidateTx(ops []Mutation) ([]Rejection, ValidateStats, error) 
 				return nil, stats, fmt.Errorf("op %d: %w", i, err)
 			}
 			st.deleted[g.ID] = true
-			rejs, s := e.validateDeleteOp(st, op, g)
+			rejs, s, err := e.validateDeleteOp(st, op, g)
+			if err != nil {
+				return nil, stats, fmt.Errorf("op %d: %w", i, err)
+			}
 			out = append(out, rejs...)
 			stats.add(s)
 		default:
@@ -419,10 +444,10 @@ func (e *Engine) ValidateTx(ops []Mutation) ([]Rejection, ValidateStats, error) 
 func (e *Engine) targetOf(st *txState, op Mutation) (*core.GObj, error) {
 	g, ok := e.res.View.ByID(op.ID)
 	if !ok || st.deleted[op.ID] {
-		return nil, fmt.Errorf("%s: no object g%d in the integrated view", op.Kind, op.ID)
+		return nil, fmt.Errorf("%s: no object g%d in the integrated view: %w", op.Kind, op.ID, ErrUnknownObject)
 	}
 	if !g.Classes[op.Class] {
-		return nil, fmt.Errorf("%s: object g%d is not a member of class %s", op.Kind, op.ID, op.Class)
+		return nil, fmt.Errorf("%s: object g%d is not a member of class %s: %w", op.Kind, op.ID, op.Class, ErrUnknownClass)
 	}
 	return g, nil
 }
@@ -434,7 +459,7 @@ func (e *Engine) targetOf(st *txState, op Mutation) (*core.GObj, error) {
 // are caught.
 func (e *Engine) validateInsertOp(st *txState, op Mutation) ([]Rejection, ValidateStats, error) {
 	if _, ok := e.res.View.Origin[op.Class]; !ok {
-		return nil, ValidateStats{}, fmt.Errorf("insert: no origin class for global class %s", op.Class)
+		return nil, ValidateStats{}, fmt.Errorf("insert: no origin class for global class %s: %w", op.Class, ErrUnknownClass)
 	}
 	var out []Rejection
 	var stats ValidateStats
@@ -455,7 +480,9 @@ func (e *Engine) validateInsertOp(st *txState, op Mutation) ([]Rejection, Valida
 		// The new member extends the extents aggregates and quantifiers
 		// read: re-check extent-reading constraints on existing members.
 		if oc.ext {
-			e.sweepExtentChecks(st, oc, 0, "violated on an existing member by the staged insert", &out, &stats)
+			if err := e.sweepExtentChecks(st, oc, 0, "violated on an existing member by the staged insert", &out, &stats); err != nil {
+				return nil, stats, err
+			}
 		}
 	}
 	for _, kc := range cg.keys {
@@ -506,8 +533,10 @@ func (e *Engine) validateUpdateOp(st *txState, op Mutation, g *core.GObj) ([]Rej
 		// An extent-reading constraint can flip on a different member
 		// when this object's new values feed its aggregate/quantifier.
 		if oc.ext {
-			e.sweepExtentChecks(st, oc, g.ID,
-				fmt.Sprintf("violated on another member by the staged update of g%d", g.ID), &out, &stats)
+			if err := e.sweepExtentChecks(st, oc, g.ID,
+				fmt.Sprintf("violated on another member by the staged update of g%d", g.ID), &out, &stats); err != nil {
+				return nil, stats, err
+			}
 		}
 	}
 	for _, kc := range cg.keys {
@@ -532,7 +561,7 @@ func (e *Engine) validateUpdateOp(st *txState, op Mutation, g *core.GObj) ([]Rej
 // deleted object's class group over the remaining members (the staged
 // delete is already applied to the overlay). Self-only constraints and
 // key constraints cannot be violated by a removal and are skipped.
-func (e *Engine) validateDeleteOp(st *txState, op Mutation, g *core.GObj) ([]Rejection, ValidateStats) {
+func (e *Engine) validateDeleteOp(st *txState, op Mutation, g *core.GObj) ([]Rejection, ValidateStats, error) {
 	var out []Rejection
 	var stats ValidateStats
 	cg := e.consForClasses(classNames(g))
@@ -543,10 +572,12 @@ func (e *Engine) validateDeleteOp(st *txState, op Mutation, g *core.GObj) ([]Rej
 			continue
 		}
 		stats.ConstraintsChecked++
-		e.sweepExtentChecks(st, oc, g.ID,
-			fmt.Sprintf("violated on a remaining member after deleting g%d", op.ID), &out, &stats)
+		if err := e.sweepExtentChecks(st, oc, g.ID,
+			fmt.Sprintf("violated on a remaining member after deleting g%d", op.ID), &out, &stats); err != nil {
+			return nil, stats, err
+		}
 	}
-	return out, stats
+	return out, stats, nil
 }
 
 // sweepExtentChecks re-evaluates one extent-reading constraint on the
@@ -556,10 +587,16 @@ func (e *Engine) validateDeleteOp(st *txState, op Mutation, g *core.GObj) ([]Rej
 // are not swept: each is fully checked by its own insert operation.
 // Like all validation this is a prediction — cross-class propagation
 // (an extent-reading constraint attached to a class outside the mutated
-// object's set) is left to the authoritative local commit.
-func (e *Engine) sweepExtentChecks(st *txState, oc objectCheck, excludeID int, detail string, out *[]Rejection, stats *ValidateStats) {
+// object's set) is left to the authoritative local commit. The sweep is
+// the one validation loop whose work grows with extent size, so the
+// batch context is checked as it scans; cancellation aborts with
+// ctx.Err().
+func (e *Engine) sweepExtentChecks(st *txState, oc objectCheck, excludeID int, detail string, out *[]Rejection, stats *ValidateStats) error {
 	for _, cls := range oc.classes {
-		for _, g := range e.res.View.Extent(cls) {
+		for i, g := range e.res.View.Extent(cls) {
+			if i%ctxCheckRows == 0 && st.ctx.Err() != nil {
+				return st.ctx.Err()
+			}
 			if st.deleted[g.ID] || g.ID == excludeID {
 				continue
 			}
@@ -574,10 +611,11 @@ func (e *Engine) sweepExtentChecks(st *txState, oc objectCheck, excludeID int, d
 					Constraint: oc.gc,
 					Detail:     fmt.Sprintf("%s (g%d in %s)", detail, g.ID, cls),
 				})
-				return // one witness per constraint is enough
+				return nil // one witness per constraint is enough
 			}
 		}
 	}
+	return nil
 }
 
 // findKeyHolder scans the overlaid extent for another object holding the
@@ -691,16 +729,25 @@ func (e *Engine) CheckAll() ([]Rejection, ValidateStats) {
 	return out, stats
 }
 
-// ShipUpdate decomposes a validated update into component-store updates
-// of the object's constituents held by st and executes them in one local
-// transaction, reporting whether the local manager accepted the batch.
-// On success the update is applied to the integrated view — including
-// reclassification across Sim-derived memberships — and the next
-// snapshot is published. The live object is detached (cloned) before
-// mutation, so readers of the previous snapshot keep serving its frozen
-// pre-update state. attrs must be in the conformed (global) domain,
-// like ShipInsert's.
+// ShipUpdate is ShipUpdateContext with context.Background() — a
+// documented wrapper kept for in-process callers with no deadline to
+// propagate.
 func (e *Engine) ShipUpdate(st *store.Store, class string, id int, attrs map[string]object.Value) error {
+	return e.ShipUpdateContext(context.Background(), st, class, id, attrs)
+}
+
+// ShipUpdateContext decomposes a validated update into component-store
+// updates of the object's constituents held by st and executes them in
+// one local transaction, reporting whether the local manager accepted
+// the batch. On success the update is applied to the integrated view —
+// including reclassification across Sim-derived memberships — and the
+// next snapshot is published. The live object is detached (cloned)
+// before mutation, so readers of the previous snapshot keep serving its
+// frozen pre-update state. attrs must be in the conformed (global)
+// domain, like ShipInsert's. Cancellation before the local commit rolls
+// back and leaves the view untouched; after commit, view application
+// always completes.
+func (e *Engine) ShipUpdateContext(ctx context.Context, st *store.Store, class string, id int, attrs map[string]object.Value) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	g, err := e.lockedTarget(class, id)
@@ -717,6 +764,10 @@ func (e *Engine) ShipUpdate(st *store.Store, class string, id int, attrs map[str
 			tx.Rollback()
 			return err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		tx.Rollback()
+		return err
 	}
 	if err := tx.Commit(); err != nil {
 		return err
@@ -736,7 +787,14 @@ func (e *Engine) ShipUpdate(st *store.Store, class string, id int, attrs map[str
 	return nil
 }
 
-// ShipDelete decomposes a validated deletion into component-store
+// ShipDelete is ShipDeleteContext with context.Background() — a
+// documented wrapper kept for in-process callers with no deadline to
+// propagate.
+func (e *Engine) ShipDelete(class string, id int, stores ...*store.Store) error {
+	return e.ShipDeleteContext(context.Background(), class, id, stores...)
+}
+
+// ShipDeleteContext decomposes a validated deletion into component-store
 // deletions of every constituent of the object — a merged object spans
 // several databases, so a store must be supplied for each Name() that
 // holds a constituent. Local transactions commit store by store: a later
@@ -746,7 +804,12 @@ func (e *Engine) ShipUpdate(st *store.Store, class string, id int, attrs map[str
 // removed from the integrated view and the next snapshot is published
 // (the removed object itself stays frozen, so readers of the previous
 // snapshot keep serving its pre-delete state).
-func (e *Engine) ShipDelete(class string, id int, stores ...*store.Store) error {
+//
+// The context is honoured only until the first local commit: once any
+// member database has committed, the remaining commits and the view
+// application run to completion regardless of cancellation — aborting
+// midway would strand committed deletions outside the view.
+func (e *Engine) ShipDeleteContext(ctx context.Context, class string, id int, stores ...*store.Store) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	g, err := e.lockedTarget(class, id)
@@ -787,6 +850,14 @@ func (e *Engine) ShipDelete(class string, id int, stores ...*store.Store) error 
 				return shipDeleteErr(id, committed, err)
 			}
 		}
+		if committed == 0 {
+			// Last cancellation point: nothing has committed yet, so
+			// aborting here leaves the federation untouched.
+			if err := ctx.Err(); err != nil {
+				tx.Rollback()
+				return err
+			}
+		}
 		if err := tx.Commit(); err != nil {
 			return shipDeleteErr(id, committed, err)
 		}
@@ -802,23 +873,37 @@ func (e *Engine) ShipDelete(class string, id int, stores ...*store.Store) error 
 
 func shipDeleteErr(id, committed int, err error) error {
 	if committed > 0 {
-		return fmt.Errorf("delete of g%d rejected after %d component database(s) already committed — view not updated, federation state needs repair: %w", id, committed, err)
+		return fmt.Errorf("delete of g%d rejected after %d component database(s) already committed — view not updated, federation state needs repair (%w): %w", id, committed, ErrPartialCommit, err)
 	}
 	return err
 }
 
-// ShipTx stages a mixed insert/update/delete batch as ONE deferred-
-// validation transaction on a component store and commits it atomically
-// (the local manager validates the final state once — the throughput
-// win over shipping N singleton transactions, measured by B8). All
-// operations must resolve within st: inserts go to the origin class of
-// their global class, updates touch the constituents st holds, deletes
-// require every non-virtual constituent to live in st. On local commit
-// every operation is applied to the integrated view in batch order and
-// ONE snapshot is published for the whole batch — concurrent readers
-// observe the batch atomically (all of it or none of it), and the
-// copy-on-write publication cost is amortised across the batch.
+// ShipTx is ShipTxContext with context.Background() — a documented
+// wrapper kept for in-process callers with no deadline to propagate.
+// New code routing batches across federation members should prefer the
+// unified Ship (route.go), which resolves each operation's member
+// stores itself.
 func (e *Engine) ShipTx(st *store.Store, ops []Mutation) error {
+	return e.ShipTxContext(context.Background(), st, ops)
+}
+
+// ShipTxContext stages a mixed insert/update/delete batch as ONE
+// deferred-validation transaction on a component store and commits it
+// atomically (the local manager validates the final state once — the
+// throughput win over shipping N singleton transactions, measured by
+// B8). All operations must resolve within st: inserts go to the origin
+// class of their global class, updates touch the constituents st holds,
+// deletes require every non-virtual constituent to live in st. On local
+// commit every operation is applied to the integrated view in batch
+// order and ONE snapshot is published for the whole batch — concurrent
+// readers observe the batch atomically (all of it or none of it), and
+// the copy-on-write publication cost is amortised across the batch.
+//
+// The context is checked between staged operations and once more before
+// the local commit: cancellation rolls the component transaction back
+// and leaves the view untouched. After the local manager commits, view
+// application always completes.
+func (e *Engine) ShipTxContext(ctx context.Context, st *store.Store, ops []Mutation) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
@@ -830,11 +915,14 @@ func (e *Engine) ShipTx(st *store.Store, ops []Mutation) error {
 		return err
 	}
 	for i, op := range ops {
+		if err := ctx.Err(); err != nil {
+			return abort(err)
+		}
 		switch op.Kind {
 		case MutInsert:
 			org, ok := e.res.View.Origin[op.Class]
 			if !ok {
-				return abort(fmt.Errorf("op %d: no origin class for global class %s", i, op.Class))
+				return abort(fmt.Errorf("op %d: no origin class for global class %s: %w", i, op.Class, ErrUnknownClass))
 			}
 			oid, err := tx.Insert(org.Class, op.Attrs)
 			if err != nil {
@@ -878,6 +966,9 @@ func (e *Engine) ShipTx(st *store.Store, ops []Mutation) error {
 		default:
 			return abort(fmt.Errorf("op %d: unknown mutation kind %d", i, int(op.Kind)))
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return abort(err)
 	}
 	if err := tx.Commit(); err != nil {
 		return err
@@ -953,10 +1044,10 @@ func (e *Engine) applyShipped(applies []shippedOp) error {
 func (e *Engine) lockedTarget(class string, id int) (*core.GObj, error) {
 	g, ok := e.res.View.ByID(id)
 	if !ok {
-		return nil, fmt.Errorf("no object g%d in the integrated view", id)
+		return nil, fmt.Errorf("no object g%d in the integrated view: %w", id, ErrUnknownObject)
 	}
 	if !g.Classes[class] {
-		return nil, fmt.Errorf("object g%d is not a member of class %s", id, class)
+		return nil, fmt.Errorf("object g%d is not a member of class %s: %w", id, class, ErrUnknownClass)
 	}
 	return g, nil
 }

@@ -1,6 +1,7 @@
 package view
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -115,27 +116,33 @@ func (e *Engine) CacheStats() CacheStats {
 
 // planFor returns the cached plan for the predicate under the given
 // flags, building and (capacity permitting) caching it on miss. hit
-// reports whether the plan came from the cache.
-func (e *Engine) planFor(s *snapshot, cs *classState, pred expr.Node, useCons, useIdx bool) (p *plan, hit bool) {
+// reports whether the plan came from the cache. A build aborted by
+// context cancellation returns the error and caches NOTHING — a
+// half-planned query must not poison the cache for later callers.
+func (e *Engine) planFor(ctx context.Context, s *snapshot, cs *classState, pred expr.Node, useCons, useIdx bool) (p *plan, hit bool, err error) {
 	fp := expr.Fingerprint(pred)
 	key := planKey{hi: fp.Hi, lo: fp.Lo, cons: useCons, idx: useIdx, gate: e.CostGate}
 	if v, ok := cs.plans.Load(key); ok {
 		p := v.(*plan)
 		if expr.Equal(p.pred, pred) {
 			e.counters.planHits.Add(1)
-			return p, true
+			return p, true, nil
 		}
 		// Fingerprint collision: serve a throwaway plan, leave the
 		// incumbent cached.
 		e.counters.planMisses.Add(1)
-		return e.buildPlan(s, cs, pred, useCons, useIdx), false
+		p, err = e.buildPlan(ctx, s, cs, pred, useCons, useIdx)
+		return p, false, err
 	}
 	e.counters.planMisses.Add(1)
-	p = e.buildPlan(s, cs, pred, useCons, useIdx)
+	p, err = e.buildPlan(ctx, s, cs, pred, useCons, useIdx)
+	if err != nil {
+		return nil, false, err
+	}
 	if cs.nplans.Load() < maxPlansPerClass {
 		if _, loaded := cs.plans.LoadOrStore(key, p); !loaded {
 			cs.nplans.Add(1)
 		}
 	}
-	return p, false
+	return p, false, nil
 }

@@ -1,6 +1,7 @@
 package view
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -125,15 +126,20 @@ func (e *Engine) constraintPhaseWorthwhile(s *snapshot, cs *classState, conjs []
 // conjunct list — the caller's own slice, untouched, when nothing was
 // dropped. The checker is passed in (the snapshot's generation) because
 // plan building is lock-free and a federation membership change may swap
-// the engine's derivation mid-flight.
-func (e *Engine) constraintPhase(ck *logic.Checker, cons []expr.Node, pred expr.Node, conjs []expr.Node) (pruned bool, kept []expr.Node, dropped int) {
+// the engine's derivation mid-flight. The context is checked between
+// solver calls (each can cost tens of microseconds cold): cancellation
+// aborts the phase with ctx.Err().
+func (e *Engine) constraintPhase(ctx context.Context, ck *logic.Checker, cons []expr.Node, pred expr.Node, conjs []expr.Node) (pruned bool, kept []expr.Node, dropped int, err error) {
 	all := append(append(make([]expr.Node, 0, len(cons)+1), cons...), pred)
 	e.counters.solver.Add(1)
 	if ck.Satisfiable(all...) == logic.No {
-		return true, nil, 0
+		return true, nil, 0, nil
 	}
 	var residual []expr.Node
 	for i, c := range conjs {
+		if ctx.Err() != nil {
+			return false, nil, 0, ctx.Err()
+		}
 		e.counters.solver.Add(1)
 		if ck.Entails(cons, c) == logic.Yes {
 			if dropped == 0 {
@@ -151,14 +157,18 @@ func (e *Engine) constraintPhase(ck *logic.Checker, cons []expr.Node, pred expr.
 		// Nothing dropped: reuse the original conjuncts (and, upstream,
 		// the original predicate node) instead of re-conjoining an
 		// identical copy.
-		return false, conjs, 0
+		return false, conjs, 0, nil
 	}
-	return false, residual, dropped
+	return false, residual, dropped, nil
 }
 
 // buildPlan plans one (class, predicate, flags) combination against the
-// snapshot. pred must be non-nil.
-func (e *Engine) buildPlan(s *snapshot, cs *classState, pred expr.Node, useCons, useIdx bool) *plan {
+// snapshot. pred must be non-nil. Cancellation mid-build returns
+// ctx.Err(); the caller discards the partial plan.
+func (e *Engine) buildPlan(ctx context.Context, s *snapshot, cs *classState, pred expr.Node, useCons, useIdx bool) (*plan, error) {
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
 	p := &plan{pred: pred}
 	conjs := conjuncts(pred)
 	residual := pred
@@ -167,10 +177,13 @@ func (e *Engine) buildPlan(s *snapshot, cs *classState, pred expr.Node, useCons,
 		cons := e.consFor(cs.name).object
 		if len(cons) > 0 {
 			if e.constraintPhaseWorthwhile(s, cs, conjs) {
-				pruned, kept, dropped := e.constraintPhase(s.checker, cons, pred, conjs)
+				pruned, kept, dropped, err := e.constraintPhase(ctx, s.checker, cons, pred, conjs)
+				if err != nil {
+					return nil, err
+				}
 				if pruned {
 					p.pruned = true
-					return p
+					return p, nil
 				}
 				p.dropped = dropped
 				if dropped > 0 {
@@ -204,7 +217,7 @@ func (e *Engine) buildPlan(s *snapshot, cs *classState, pred expr.Node, useCons,
 			p.interp = true
 		}
 	}
-	return p
+	return p, nil
 }
 
 // probePrefix answers the maximal index-answerable prefix of the
@@ -271,7 +284,10 @@ func (e *Engine) runReference(q Query) ([]Row, Stats, error) {
 			s := e.snap.Load()
 			conjs := conjuncts(pred)
 			if e.constraintPhaseWorthwhile(s, s.class(q.Class), conjs) {
-				pruned, kept, dropped := e.constraintPhase(s.checker, cons, pred, conjs)
+				pruned, kept, dropped, err := e.constraintPhase(context.Background(), s.checker, cons, pred, conjs)
+				if err != nil {
+					return nil, stats, err
+				}
 				if pruned {
 					stats.PrunedEmpty = true
 					return nil, stats, nil

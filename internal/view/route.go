@@ -1,6 +1,7 @@
 package view
 
 import (
+	"context"
 	"fmt"
 
 	"interopdb/internal/store"
@@ -16,18 +17,55 @@ import (
 // (preserving ShipTx's batching win) while the caller stays member-
 // agnostic.
 
-// ShipTxRouted stages a mixed insert/update/delete batch across the
-// member stores of the registry: every operation is routed to the
+// BindStores binds the federation's member-store registry to the
+// engine, enabling the unified Ship entrypoint. The federation that
+// owns the engine calls it at construction and after every membership
+// change; passing nil unbinds.
+func (e *Engine) BindStores(reg *store.Registry) {
+	e.stores.Store(reg)
+}
+
+// Ship is the unified shipping entrypoint: it routes a validated mixed
+// insert/update/delete batch across the member stores the federation
+// bound with BindStores, one deferred-validation transaction per member
+// (see ShipTxRoutedContext for the routing and commit-order contract).
+// A singleton mutation is a one-element batch; the ShipInsert/
+// ShipUpdate/ShipDelete/ShipTx/ShipTxRouted names predate this
+// entrypoint and remain as documented wrappers for callers that manage
+// their own stores.
+func (e *Engine) Ship(ctx context.Context, ops []Mutation) error {
+	reg := e.stores.Load()
+	if reg == nil {
+		return fmt.Errorf("no store registry bound to the engine (BindStores was never called)")
+	}
+	return e.ShipTxRoutedContext(ctx, reg, ops)
+}
+
+// ShipTxRouted is ShipTxRoutedContext with context.Background() — a
+// documented wrapper kept for in-process callers with no deadline to
+// propagate.
+func (e *Engine) ShipTxRouted(reg *store.Registry, ops []Mutation) error {
+	return e.ShipTxRoutedContext(context.Background(), reg, ops)
+}
+
+// ShipTxRoutedContext stages a mixed insert/update/delete batch across
+// the member stores of the registry: every operation is routed to the
 // member database(s) that own it, one deferred-validation transaction
 // per member. Transactions commit in first-use order (deterministic);
 // because autonomous databases cannot commit atomically across members,
 // a later member's rejection leaves earlier commits in place — exactly
-// the exposure ValidateTx's prediction exists to avoid — and is
-// reported as a federation-state error. On full success the batch is
-// applied to the integrated view in order and ONE snapshot is
-// published, so concurrent readers observe the whole batch or none of
-// it.
-func (e *Engine) ShipTxRouted(reg *store.Registry, ops []Mutation) error {
+// the exposure Validate's prediction exists to avoid — and is reported
+// as a federation-state error. On full success the batch is applied to
+// the integrated view in order and ONE snapshot is published, so
+// concurrent readers observe the whole batch or none of it.
+//
+// The context is checked between staged operations and once more before
+// the first member commit: cancellation there rolls every member
+// transaction back and leaves the view untouched. Once the first member
+// has committed, the remaining commits and the view application run to
+// completion regardless of cancellation — aborting midway would strand
+// committed subtransactions outside the view.
+func (e *Engine) ShipTxRoutedContext(ctx context.Context, reg *store.Registry, ops []Mutation) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
@@ -55,11 +93,14 @@ func (e *Engine) ShipTxRouted(reg *store.Registry, ops []Mutation) error {
 
 	applies := make([]shippedOp, 0, len(ops))
 	for i, op := range ops {
+		if err := ctx.Err(); err != nil {
+			return abort(err)
+		}
 		switch op.Kind {
 		case MutInsert:
 			org, ok := e.res.View.Origin[op.Class]
 			if !ok {
-				return abort(fmt.Errorf("op %d: no origin class for global class %s", i, op.Class))
+				return abort(fmt.Errorf("op %d: no origin class for global class %s: %w", i, op.Class, ErrUnknownClass))
 			}
 			member := e.res.Conformed.MemberName(org.Side)
 			tx, err := txFor(member)
@@ -121,6 +162,9 @@ func (e *Engine) ShipTxRouted(reg *store.Registry, ops []Mutation) error {
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return abort(err)
+	}
 	committed := 0
 	for ci, member := range order {
 		if err := txs[member].Commit(); err != nil {
@@ -128,8 +172,8 @@ func (e *Engine) ShipTxRouted(reg *store.Registry, ops []Mutation) error {
 				txs[later].Rollback()
 			}
 			if committed > 0 {
-				return fmt.Errorf("batch rejected by %s after %d member database(s) already committed — view not updated, federation state needs repair: %w",
-					member, committed, err)
+				return fmt.Errorf("batch rejected by %s after %d member database(s) already committed — view not updated, federation state needs repair (%w): %w",
+					member, committed, ErrPartialCommit, err)
 			}
 			return err
 		}

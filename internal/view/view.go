@@ -14,6 +14,7 @@
 package view
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -101,6 +102,12 @@ type Engine struct {
 
 	// snap is the published serving snapshot (snapshot.go).
 	snap atomic.Pointer[snapshot]
+
+	// stores is the registry the unified Ship entrypoint routes through
+	// (route.go). Bound by the federation that owns the engine; nil until
+	// then. An atomic pointer because Attach/Detach rebind it while
+	// concurrent Ship calls read it.
+	stores atomic.Pointer[store.Registry]
 
 	// cmu guards the constraint caches below. Constraints are fixed for
 	// the engine's lifetime, so these caches survive snapshot
@@ -193,17 +200,37 @@ func (e *Engine) consFor(class string) *classCons {
 }
 
 // Run executes a query against the published snapshot — without taking
-// the engine lock, so readers never serialise behind mutations. With
-// UseConstraints, the derived global constraints prune provably-empty
-// queries without touching the extent and drop implied conjuncts from
-// the residual predicate — when the cost gate judges the solver work
-// worthwhile (planner.go). With UseIndexes, sargable conjuncts
+// the engine lock, so readers never serialise behind mutations. It is
+// RunContext with context.Background(): never cancelled, kept for
+// in-process callers that have no deadline to propagate.
+func (e *Engine) Run(q Query) ([]Row, Stats, error) {
+	return e.RunContext(context.Background(), q)
+}
+
+// ctxCheckRows is how many rows a serving or validation loop processes
+// between context-cancellation checks: coarse enough that the check is
+// free on the fast path, fine enough that a disconnected client stops
+// burning CPU within microseconds on large extents.
+const ctxCheckRows = 256
+
+// RunContext executes a query against the published snapshot — without
+// taking the engine lock, so readers never serialise behind mutations.
+// With UseConstraints, the derived global constraints prune provably-
+// empty queries without touching the extent and drop implied conjuncts
+// from the residual predicate — when the cost gate judges the solver
+// work worthwhile (planner.go). With UseIndexes, sargable conjuncts
 // (equality, range and finite-set restrictions on stored attributes)
 // are answered from lazily-built extent indexes and the remaining
 // predicate is compiled once per plan. All of it is planned once per
 // (class, predicate, flags) and replayed from the plan cache on
 // repetition.
-func (e *Engine) Run(q Query) ([]Row, Stats, error) {
+//
+// The context is checked at the scan-loop and solver-call boundaries: a
+// cancelled ctx terminates the query with ctx.Err() mid-scan, and a
+// plan build aborted by cancellation is discarded rather than cached —
+// the snapshot and the plan cache are never poisoned by a client that
+// went away (reads never mutate either; pinned by TestRunContext*).
+func (e *Engine) RunContext(ctx context.Context, q Query) ([]Row, Stats, error) {
 	s := e.snap.Load()
 	cs := s.class(q.Class)
 	var stats Stats
@@ -215,7 +242,10 @@ func (e *Engine) Run(q Query) ([]Row, Stats, error) {
 	if q.Where == nil {
 		stats.CandidateRows = len(cs.ext)
 		var rows []Row
-		for _, g := range cs.ext {
+		for i, g := range cs.ext {
+			if i%ctxCheckRows == 0 && ctx.Err() != nil {
+				return nil, stats, ctx.Err()
+			}
 			stats.Scanned++
 			rows = append(rows, projectRow(g, q.Select))
 		}
@@ -223,7 +253,10 @@ func (e *Engine) Run(q Query) ([]Row, Stats, error) {
 	}
 
 	useCons, useIdx := e.UseConstraints, e.UseIndexes
-	p, hit := e.planFor(s, cs, q.Where, useCons, useIdx)
+	p, hit, err := e.planFor(ctx, s, cs, q.Where, useCons, useIdx)
+	if err != nil {
+		return nil, stats, err
+	}
 	stats.PlanCached = hit
 	stats.PrunedEmpty = p.pruned
 	stats.DroppedConjuncts = p.dropped
@@ -254,7 +287,10 @@ func (e *Engine) Run(q Query) ([]Row, Stats, error) {
 	if p.served > 0 {
 		stats.IndexHits = p.served
 		stats.CandidateRows = len(p.positions)
-		for _, pos := range p.positions {
+		for i, pos := range p.positions {
+			if i%ctxCheckRows == 0 && ctx.Err() != nil {
+				return nil, stats, ctx.Err()
+			}
 			g := cs.ext[pos]
 			ok, err := evalRow(g)
 			if err != nil {
@@ -267,7 +303,10 @@ func (e *Engine) Run(q Query) ([]Row, Stats, error) {
 		return rows, stats, nil
 	}
 	stats.CandidateRows = len(cs.ext)
-	for _, g := range cs.ext {
+	for i, g := range cs.ext {
+		if i%ctxCheckRows == 0 && ctx.Err() != nil {
+			return nil, stats, ctx.Err()
+		}
 		ok, err := evalRow(g)
 		if err != nil {
 			return nil, stats, err
@@ -413,26 +452,48 @@ func (e *Engine) findKeyHolderID(class string, attrs []string, obj expr.Object) 
 	return 0
 }
 
-// ShipInsert decomposes a validated insert into a component-store insert
-// (into the origin class of the global class) and executes it, reporting
-// whether the local transaction manager accepted it. On success the
-// object is also applied to the integrated view (classified along its
-// origin chain) and the next snapshot is published, so subsequent
-// queries and key-uniqueness checks see it without re-integration.
-// attrs must be in the conformed (global) domain — the domain
-// ValidateInsert evaluates; PropEq value conversion between that domain
-// and an origin class's native one is not applied (matching the
-// component insert, which also receives attrs as given).
+// ShipInsert is ShipInsertContext with context.Background(): never
+// cancelled, kept for in-process callers with no deadline to propagate.
+// (Like every pre-unification Ship* name it is a documented wrapper; new
+// code routing mixed batches should prefer the unified Ship.)
 func (e *Engine) ShipInsert(st *store.Store, class string, attrs map[string]object.Value) error {
+	return e.ShipInsertContext(context.Background(), st, class, attrs)
+}
+
+// ShipInsertContext decomposes a validated insert into a component-store
+// insert (into the origin class of the global class) and executes it,
+// reporting whether the local transaction manager accepted it. On
+// success the object is also applied to the integrated view (classified
+// along its origin chain) and the next snapshot is published, so
+// subsequent queries and key-uniqueness checks see it without
+// re-integration. attrs must be in the conformed (global) domain — the
+// domain ValidateInsert evaluates; PropEq value conversion between that
+// domain and an origin class's native one is not applied (matching the
+// component insert, which also receives attrs as given).
+//
+// The context is honoured up to the local commit: cancellation before
+// Commit rolls the component transaction back and leaves the view
+// untouched; once the local manager has committed, application to the
+// view always completes (a half-applied commit would desynchronise the
+// federation).
+func (e *Engine) ShipInsertContext(ctx context.Context, st *store.Store, class string, attrs map[string]object.Value) error {
 	org, ok := e.res.View.Origin[class]
 	if !ok {
-		return fmt.Errorf("no origin class for global class %s", class)
+		return fmt.Errorf("no origin class for global class %s: %w", class, ErrUnknownClass)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	tx := st.Begin()
+	if err := ctx.Err(); err != nil {
+		tx.Rollback()
+		return err
+	}
 	oid, err := tx.Insert(org.Class, attrs)
 	if err != nil {
+		tx.Rollback()
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		tx.Rollback()
 		return err
 	}

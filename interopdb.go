@@ -290,8 +290,34 @@ func NewQueryEngine(res *Result) *QueryEngine { return view.New(res) }
 
 // Rejection explains why a mutation was rejected before shipping; it
 // carries the violated global constraint and minimal-change repair
-// proposals.
+// proposals. It implements error and matches ErrRejected via errors.Is.
 type Rejection = view.Rejection
+
+// Rejections is a batch of constraint rejections as one error value:
+// errors.Is matches ErrRejected, errors.As recovers the full slice with
+// every repair proposal intact — the form internal/server returns over
+// the wire.
+type Rejections = view.Rejections
+
+// Typed failure sentinels for the serving API (errors.Is). The engine's
+// context-aware entrypoints — RunContext, Validate, Ship and the
+// *Context variants of the legacy names — wrap their failures so
+// transport layers map them to responses without string matching.
+var (
+	// ErrRejected marks mutations refused by the derived global
+	// constraints.
+	ErrRejected = view.ErrRejected
+	// ErrUnknownClass marks references to global classes the integrated
+	// view does not serve.
+	ErrUnknownClass = view.ErrUnknownClass
+	// ErrUnknownObject marks update/delete targets that do not exist in
+	// the integrated view.
+	ErrUnknownObject = view.ErrUnknownObject
+	// ErrPartialCommit marks a cross-member batch that failed after at
+	// least one autonomous member database had committed; the federation
+	// state needs repair and the batch must not be retried wholesale.
+	ErrPartialCommit = view.ErrPartialCommit
+)
 
 // Repair is one verified minimal-change proposal attached to a
 // Rejection: the smallest attribute adjustment, or a tuple deletion for
@@ -308,7 +334,9 @@ const (
 )
 
 // Mutation is one staged operation of a batch transaction against the
-// integrated view (ValidateTx/ShipTx).
+// integrated view, validated by Engine.Validate and shipped by
+// Engine.Ship (the ValidateTx/ShipTx/ShipTxRouted names remain as
+// wrappers).
 type Mutation = view.Mutation
 
 // MutationKind discriminates Mutation operations.
