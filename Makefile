@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-smoke baseline bench-compare profile serve load
+.PHONY: all build vet fmt fmt-check test race bench bench-smoke chaos baseline bench-compare profile serve load
 
 all: build vet fmt-check test
 
@@ -29,6 +29,15 @@ race:
 	$(GO) test -race ./internal/core/... ./internal/logic/... ./internal/view/...
 	$(GO) test -race -run Federation .
 
+# Fixed-seed fault-injection suite under the race detector: the chaos
+# wrapper's own contract, the engine differentials (post-reconcile state
+# byte-identical to a fault-free run) and the wire-level degraded-serving
+# tests.
+chaos:
+	$(GO) test -race -count=1 ./internal/store/chaos/
+	$(GO) test -race -count=1 -run 'Chaos|Breaker|PartialCommit|LateRejection|FailAfterCommit' ./internal/view/
+	$(GO) test -race -count=1 -run 'Health|Wire|BackgroundReconciler' ./internal/server/
+
 # Full benchmark run (slow).
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -43,13 +52,13 @@ bench-smoke:
 
 # Regenerate the machine-readable benchmark baseline for this PR.
 baseline:
-	$(GO) run ./cmd/interopbench -quick -json BENCH_6.json
+	$(GO) run ./cmd/interopbench -quick -json BENCH_7.json
 
 # Diff the current baseline against the previous PR's and GATE: shared
 # timing metrics regressing beyond -max-regress fail (sub-10µs rows are
 # noise-floored; E-series pass→fail drift always fails).
 bench-compare:
-	$(GO) run ./cmd/benchcompare -max-regress 100 BENCH_5.json BENCH_6.json
+	$(GO) run ./cmd/benchcompare -max-regress 100 BENCH_6.json BENCH_7.json
 
 # Serve the federation over HTTP: figure1 + personnel tenants on :7070,
 # with /metrics and pprof. Ctrl-C drains gracefully.

@@ -58,6 +58,7 @@ var sections = []struct {
 	{"b9", []string{"readers"}, []string{"per_op_ns"}},
 	{"b10", []string{"scale"}, []string{"attach_ns", "reintegrate_ns"}},
 	{"b11", []string{"readers"}, []string{"wire_per_op_ns", "p50_ns"}},
+	{"b12", []string{"scale"}, []string{"faulty_ns", "reconverge_ns"}},
 }
 
 func load(path string) (*report, error) {

@@ -60,6 +60,7 @@ type report struct {
 	B9         []b9JSON              `json:"b9,omitempty"`
 	B10        []b10JSON             `json:"b10,omitempty"`
 	B11        []b11JSON             `json:"b11,omitempty"`
+	B12        []b12JSON             `json:"b12,omitempty"`
 }
 
 type eResult struct {
@@ -146,6 +147,26 @@ type b11JSON struct {
 	WireOverhead float64 `json:"wire_overhead_x"`
 }
 
+// b12JSON flattens B12Result for trend tracking across baselines:
+// serving under injected member faults, degraded-mode behaviour during
+// an outage, and the reconvergence cost after healing.
+type b12JSON struct {
+	Scale           int     `json:"scale"`
+	Batches         int     `json:"batches"`
+	Rate            float64 `json:"rate"`
+	Injected        int     `json:"injected"`
+	Retries         int64   `json:"retries"`
+	ClientErrors    int     `json:"client_errors"`
+	PartialSurfaced int     `json:"partial_surfaced"`
+	FaultyNanos     int64   `json:"faulty_ns"`
+	FaultFreeNanos  int64   `json:"fault_free_ns"`
+	OverheadX       float64 `json:"overhead_x"`
+	DegradedReads   int     `json:"degraded_reads"`
+	WriteFastFails  int     `json:"write_fast_fails"`
+	ReconvergeNanos int64   `json:"reconverge_ns"`
+	Completed       int     `json:"completed"`
+}
+
 type b4JSON struct {
 	Constraints  int     `json:"constraints"`
 	Derived      int     `json:"derived"`
@@ -195,6 +216,9 @@ func main() {
 	}
 	if *only == "" || strings.EqualFold(*only, "B") || strings.EqualFold(*only, "b11") {
 		runB11(*quick, *serveURL, &rep)
+	}
+	if *only == "" || strings.EqualFold(*only, "B") || strings.EqualFold(*only, "b12") {
+		runB12(*quick, &rep)
 	}
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
@@ -404,6 +428,38 @@ func runB11(quick bool, serveURL string, rep *report) {
 			P50:       r.P50.Nanoseconds(), P95: r.P95.Nanoseconds(), P99: r.P99.Nanoseconds(),
 			Mutations: r.Mutations, InprocPerOp: r.InprocPerOp.Nanoseconds(),
 			WireOverhead: r.WireOverhead,
+		})
+	}
+}
+
+// runB12 measures fault-tolerant serving: cross-member batches under a
+// seeded transient-fault rate on one member (the retry layer must
+// absorb every fault — zero partial commits reach callers), then a
+// forced outage with degraded serving, then the reconcile pass that
+// completes the stranded batch once the member heals.
+func runB12(quick bool, rep *report) {
+	scales := []int{1, 10, 50}
+	batches := 200
+	if quick {
+		scales = []int{1, 10}
+		batches = 50
+	}
+	const rate = 0.05
+	fmt.Printf("\nB12: serving under member faults (%d cross-member batches, %.0f%% transient commit-fault rate)\n", batches, 100*rate)
+	for _, scale := range scales {
+		r, err := experiments.B12(scale, batches, rate)
+		exitOn(err)
+		fmt.Printf("  scale=%3d injected=%3d retries=%3d surfaced partials=%d | faulted %12v vs clean %12v (%.2fx) | outage: %d reads served, %d writes fast-failed | reconverge %10v (%d completed)\n",
+			r.Scale, r.Injected, r.Retries, r.PartialSurfaced, r.FaultyTotal, r.FaultFreeTotal, r.Overhead(),
+			r.DegradedReads, r.WriteFastFails, r.Reconverge, r.Completed)
+		rep.B12 = append(rep.B12, b12JSON{
+			Scale: r.Scale, Batches: r.Batches, Rate: r.Rate,
+			Injected: r.Injected, Retries: r.Retries,
+			ClientErrors: r.ClientErrors, PartialSurfaced: r.PartialSurfaced,
+			FaultyNanos: r.FaultyTotal.Nanoseconds(), FaultFreeNanos: r.FaultFreeTotal.Nanoseconds(),
+			OverheadX:     r.Overhead(),
+			DegradedReads: r.DegradedReads, WriteFastFails: r.WriteFastFails,
+			ReconvergeNanos: r.Reconverge.Nanoseconds(), Completed: r.Completed,
 		})
 	}
 }

@@ -42,13 +42,19 @@ func main() {
 		"comma-separated name=fixture preload list (fixtures: figure1, personnel); empty boots no tenants")
 	quiet := flag.Bool("quiet", false, "suppress request logging")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+	reconcileInterval := flag.Duration("reconcile-interval", server.DefaultReconcileInterval,
+		"background partial-commit reconcile cadence (0 uses the default, negative disables)")
 	flag.Parse()
 
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	srv := server.New(server.Config{MaxInFlight: *maxInFlight, Logf: logf})
+	srv := server.New(server.Config{
+		MaxInFlight:       *maxInFlight,
+		Logf:              logf,
+		ReconcileInterval: *reconcileInterval,
+	})
 
 	if *tenants != "" {
 		for _, spec := range strings.Split(*tenants, ",") {

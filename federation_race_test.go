@@ -99,7 +99,7 @@ func TestFederationConcurrentMembership(t *testing.T) {
 				"shopprice": Real(45), "libprice": Real(40),
 				"ref?": Bool(true), "rating": Int(9),
 			}
-			if err := e.ShipTx(bookseller, []Mutation{{Kind: MutInsert, Class: "Proceedings", Attrs: attrs}}); err != nil {
+			if err := e.ShipTx(bookseller.(*Store), []Mutation{{Kind: MutInsert, Class: "Proceedings", Attrs: attrs}}); err != nil {
 				errs <- fmt.Errorf("ShipTx: %w", err)
 				return
 			}

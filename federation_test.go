@@ -290,7 +290,7 @@ func TestFederationShipTxRouted(t *testing.T) {
 		t.Fatalf("archive count %d, want %d (one insert, one delete)", got, archBefore)
 	}
 	// The title update reached every member holding a constituent.
-	for _, st := range []*Store{lib, bs, arch} {
+	for _, st := range []StoreBackend{lib, bs, arch} {
 		found := false
 		for _, ms := range vldb.Parts {
 			for _, m := range ms {

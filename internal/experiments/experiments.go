@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -19,6 +21,7 @@ import (
 	"interopdb/internal/logic"
 	"interopdb/internal/object"
 	"interopdb/internal/store"
+	"interopdb/internal/store/chaos"
 	"interopdb/internal/tm"
 	"interopdb/internal/view"
 	"interopdb/internal/workload"
@@ -1339,6 +1342,215 @@ func B10(scales []int) ([]B10Row, error) {
 		out = append(out, row)
 	}
 	return out, nil
+}
+
+// B12Result is the fault-tolerance serving measurement: a mixed
+// cross-member workload under seeded transient commit faults, a full
+// member outage with degraded serving, and the reconvergence cost once
+// the member heals. The acceptance property is that transient faults at
+// the configured rate are absorbed entirely by the retry layer — zero
+// partial commits surface to callers — and that an outage past the
+// retry budget degrades to fast-failing writes and snapshot reads
+// instead of errors.
+type B12Result struct {
+	Scale   int
+	Batches int
+	Rate    float64
+
+	// Faulty phase: seeded transient commit faults at Rate on the
+	// library member, absorbed by capped-backoff retries.
+	Injected        int           // faults the chaos wrapper injected
+	Retries         int64         // commit retries the engine burned
+	ClientErrors    int           // errors surfaced to callers, any kind
+	PartialSurfaced int           // ErrPartialCommit surfaced to callers — must stay 0
+	FaultyTotal     time.Duration // wall time of the faulted workload
+	FaultFreeTotal  time.Duration // same workload, no injection
+
+	// Outage phase: the library member stays down past the retry
+	// budget, stranding one batch in the commit journal.
+	DegradedReads  int // queries answered while the member was quarantined
+	WriteFastFails int // writes refused with ErrMemberUnavailable, no peer commit
+
+	// Reconvergence: the member heals and one reconcile pass completes
+	// the stranded batch into the served view.
+	Reconverge time.Duration
+	Completed  int // journal entries the reconcile pass completed
+}
+
+// Overhead is the faulted/fault-free wall-time ratio for the same
+// workload — the serving bill of absorbing the fault rate.
+func (r B12Result) Overhead() float64 {
+	if r.FaultFreeTotal <= 0 {
+		return 0
+	}
+	return float64(r.FaultyTotal) / float64(r.FaultFreeTotal)
+}
+
+// b12Engine builds a two-member federation with the library member
+// wrapped in a chaos backend, routed shipping bound, and retries that
+// keep their capped-exponential shape but take no wall clock.
+func b12Engine(scale int, libOpts chaos.Options) (*view.Engine, *chaos.Backend, string, int, error) {
+	lib, bs := fixture.Figure1Stores(fixture.Options{Scale: scale})
+	res, err := core.Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), lib, bs, 1)
+	if err != nil {
+		return nil, nil, "", 0, err
+	}
+	e := view.New(res)
+	cb := chaos.Wrap(lib, libOpts)
+	reg := store.NewRegistry()
+	if err := reg.Add(cb); err != nil {
+		return nil, nil, "", 0, err
+	}
+	if err := reg.Add(bs); err != nil {
+		return nil, nil, "", 0, err
+	}
+	e.BindStores(reg)
+	e.Retry = view.RetryPolicy{BaseDelay: time.Microsecond, MaxDelay: time.Microsecond, Sleep: func(time.Duration) {}}
+	vldbID := -1
+	for _, g := range res.View.Objects {
+		if v, ok := g.Get("isbn"); ok && v.Equal(object.Str("vldb96")) {
+			vldbID = g.ID
+			break
+		}
+	}
+	if vldbID < 0 {
+		return nil, nil, "", 0, fmt.Errorf("B12: vldb96 not in the integrated view")
+	}
+	return e, cb, bs.Name(), vldbID, nil
+}
+
+// b12Batch is one cross-member batch: a bookseller-routed insert plus a
+// title update of the merged vldb96 object, which fans to a constituent
+// in BOTH members — the partial-commit shape.
+func b12Batch(bsName string, vldbID int, prefix string, i int) []view.Mutation {
+	key := fmt.Sprintf("%s-%d", prefix, i)
+	return []view.Mutation{
+		{Kind: view.MutInsert, Class: "Item", Attrs: map[string]object.Value{
+			"title":     object.Str("B12 " + key),
+			"isbn":      object.Str(key),
+			"publisher": object.Ref{DB: bsName, OID: 2},
+			"shopprice": object.Real(50), "libprice": object.Real(40),
+		}},
+		{Kind: view.MutUpdate, Class: "Item", ID: vldbID, Attrs: map[string]object.Value{
+			"title": object.Str(fmt.Sprintf("VLDB 96 Proceedings %s", key)),
+		}},
+	}
+}
+
+// B12 measures serving under member faults on the scaled Figure 1
+// fixture. Phase one ships cross-member batches while the library
+// member's commits fail transiently at the seeded rate: the engine's
+// retry layer must absorb every fault (zero partial commits surfaced),
+// and the wall-time ratio against a fault-free run of the same workload
+// is the absorption bill. Phase two forces the member down past the
+// retry budget: the stranded batch is journaled, subsequent writes
+// fast-fail before any peer commits, and reads keep serving from the
+// last-good snapshot. Phase three heals the member and times the
+// reconcile pass that completes the stranded batch into the view.
+func B12(scale, batches int, rate float64) (B12Result, error) {
+	r := B12Result{Scale: scale, Batches: batches, Rate: rate}
+	ctx := context.Background()
+
+	// Fault-free control run first: same engine shape, no injection.
+	ce, _, cbs, cid, err := b12Engine(scale, chaos.Options{})
+	if err != nil {
+		return r, err
+	}
+	t0 := time.Now()
+	for i := 0; i < batches; i++ {
+		if err := ce.Ship(ctx, b12Batch(cbs, cid, "b12", i)); err != nil {
+			return r, fmt.Errorf("B12 fault-free batch %d: %w", i, err)
+		}
+	}
+	r.FaultFreeTotal = time.Since(t0)
+
+	// Faulted run: seeded transient faults on library commit attempts.
+	e, cb, bsName, vldbID, err := b12Engine(scale, chaos.Options{Seed: 12, TransientRate: rate})
+	if err != nil {
+		return r, err
+	}
+	fs0 := e.FaultStats()
+	t0 = time.Now()
+	for i := 0; i < batches; i++ {
+		err := e.Ship(ctx, b12Batch(bsName, vldbID, "b12", i))
+		if err != nil {
+			r.ClientErrors++
+			if errors.Is(err, view.ErrPartialCommit) {
+				r.PartialSurfaced++
+			}
+		}
+	}
+	r.FaultyTotal = time.Since(t0)
+	fs1 := e.FaultStats()
+	r.Injected = cb.Stats().Transient
+	r.Retries = fs1.Retries - fs0.Retries
+
+	// The faulted and fault-free federations must have converged to the
+	// same served extent — the faults were absorbed, not dropped.
+	count := func(e *view.Engine) (int, error) {
+		rows, _, err := e.Run(view.Query{Class: "Item"})
+		return len(rows), err
+	}
+	nFaulty, err := count(e)
+	if err != nil {
+		return r, err
+	}
+	nClean, err := count(ce)
+	if err != nil {
+		return r, err
+	}
+	if nFaulty != nClean {
+		return r, fmt.Errorf("B12: faulted run served %d items, fault-free %d — a fault was dropped", nFaulty, nClean)
+	}
+
+	// Outage: the next four library commit attempts fail, exhausting the
+	// retry budget after the bookseller committed — one stranded batch.
+	cb.ScheduleNext(chaos.FaultTransient, 4)
+	err = e.Ship(ctx, b12Batch(bsName, vldbID, "b12-stranded", 0))
+	if !errors.Is(err, view.ErrPartialCommit) {
+		return r, fmt.Errorf("B12 outage batch: err = %v, want ErrPartialCommit", err)
+	}
+	for i := 0; i < 20; i++ {
+		rows, st, err := e.Run(view.Query{Class: "Item"})
+		if err != nil {
+			return r, fmt.Errorf("B12 degraded read %d: %w", i, err)
+		}
+		if len(rows) != nFaulty {
+			return r, fmt.Errorf("B12 degraded read %d served %d items, want the pre-outage %d", i, len(rows), nFaulty)
+		}
+		if i == 0 && len(st.Degraded) == 0 {
+			return r, fmt.Errorf("B12: degraded read did not name the quarantined member")
+		}
+		r.DegradedReads++
+	}
+	for i := 0; i < 5; i++ {
+		err := e.Ship(ctx, b12Batch(bsName, vldbID, "b12-refused", i))
+		if !errors.Is(err, view.ErrMemberUnavailable) {
+			return r, fmt.Errorf("B12 quarantined write %d: err = %v, want ErrMemberUnavailable", i, err)
+		}
+		r.WriteFastFails++
+	}
+
+	// Heal (the schedule is exhausted) and time the reconcile pass.
+	t0 = time.Now()
+	rs, err := e.Reconcile(ctx)
+	if err != nil {
+		return r, err
+	}
+	r.Reconverge = time.Since(t0)
+	r.Completed = rs.Completed
+	rep := e.Health()
+	if !rep.Healthy || rep.JournalDepth != 0 {
+		return r, fmt.Errorf("B12 after reconcile: healthy=%v journal=%d, want a drained healthy federation", rep.Healthy, rep.JournalDepth)
+	}
+	n, err := count(e)
+	if err != nil {
+		return r, err
+	}
+	if n != nFaulty+1 {
+		return r, fmt.Errorf("B12 after reconcile: %d items served, want %d (stranded batch applied)", n, nFaulty+1)
+	}
+	return r, nil
 }
 
 // Reasoner runs a micro-benchmark-sized workload through the logic

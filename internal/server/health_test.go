@@ -1,0 +1,283 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"interopdb/internal/object"
+	"interopdb/internal/store/chaos"
+	"interopdb/internal/view"
+)
+
+// Wire-level fault-tolerance tests: a member backend is swapped for a
+// chaos wrapper inside a live tenant's registry, and the HTTP surface
+// must hold the degraded-serving contract — 503 + Retry-After for
+// quarantined writes, a structured partial-commit body pointing at the
+// health endpoint, reads that keep serving, and a background reconciler
+// that resolves the journal without client action.
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if into != nil {
+		if err := json.Unmarshal(body, into); err != nil {
+			t.Fatalf("GET %s: decoding %s: %v", url, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// chaosTenantServer boots a figure1 tenant with the named member
+// wrapped in a chaos backend and instant engine retries.
+func chaosTenantServer(t *testing.T, cfg Config, member string, opts chaos.Options) (*Server, *httptest.Server, *view.Engine, *chaos.Backend) {
+	t.Helper()
+	srv := New(cfg)
+	if err := srv.AddTenant("figure1", "figure1"); err != nil {
+		t.Fatal(err)
+	}
+	ten, err := srv.tenantByName("figure1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := ten.fed.Stores()
+	inner, ok := reg.Get(member)
+	if !ok {
+		t.Fatalf("member %s not registered", member)
+	}
+	cb := chaos.Wrap(inner, opts)
+	if err := reg.Swap(member, cb); err != nil {
+		t.Fatalf("Swap(%s): %v", member, err)
+	}
+	e := ten.fed.Engine()
+	e.Retry = view.RetryPolicy{BaseDelay: time.Microsecond, MaxDelay: time.Microsecond, Sleep: func(time.Duration) {}}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts, e, cb
+}
+
+// globalIDByISBN finds a global object ID through the federation's
+// public integration result — the handle a wire update needs.
+func globalIDByISBN(t *testing.T, ten *tenant, isbn string) int {
+	t.Helper()
+	for _, g := range ten.fed.Result().View.Objects {
+		if v, ok := g.Get("isbn"); ok && v.Equal(object.Str(isbn)) {
+			return g.ID
+		}
+	}
+	t.Fatalf("no object with isbn %q in the integrated view", isbn)
+	return 0
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+
+	var rep healthResponse
+	if code := getJSON(t, ts.URL+"/v1/figure1/health", &rep); code != http.StatusOK {
+		t.Fatalf("health: status %d", code)
+	}
+	if !rep.Healthy || rep.JournalDepth != 0 || len(rep.Degraded) != 0 {
+		t.Errorf("fresh tenant unhealthy: %+v", rep)
+	}
+	if len(rep.Members) != 2 {
+		t.Fatalf("health lists %d members, want 2: %+v", len(rep.Members), rep.Members)
+	}
+	for _, m := range rep.Members {
+		if m.State != "closed" {
+			t.Errorf("member %s breaker %q, want closed", m.Member, m.State)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/v1/nosuch/health", nil); code != http.StatusNotFound {
+		t.Errorf("unknown tenant health: status %d, want 404", code)
+	}
+}
+
+// TestWireMemberUnavailable pins the quarantine contract on the wire: a
+// member whose commits keep failing turns writes into 503 +
+// Retry-After, reads keep serving, and the health endpoint names the
+// quarantined member.
+func TestWireMemberUnavailable(t *testing.T) {
+	// Four scheduled transient faults exhaust the engine's retry budget
+	// on the first write; nothing has committed, so it's a clean abort.
+	_, ts, _, _ := chaosTenantServer(t, Config{ReconcileInterval: -1}, "Bookseller", chaos.Options{
+		Schedule: map[int]chaos.Fault{
+			1: chaos.FaultTransient, 2: chaos.FaultTransient,
+			3: chaos.FaultTransient, 4: chaos.FaultTransient,
+		},
+	})
+	before := countItems(t, ts, "figure1")
+
+	raw, _ := json.Marshal(wireTxRequest{Ops: []WireMutation{wireInsert("outage-1", 30)}})
+	resp, err := http.Post(ts.URL+"/v1/figure1/tx", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("write to failing member: status %d body %s, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	var out struct {
+		Retryable bool   `json:"retryable"`
+		Member    string `json:"member"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Retryable || out.Member != "Bookseller" {
+		t.Errorf("503 body %s: want retryable=true member=Bookseller", body)
+	}
+
+	// Reads still serve from the last-good snapshot.
+	if got := countItems(t, ts, "figure1"); got != before {
+		t.Errorf("degraded read: %d items, want %d", got, before)
+	}
+	var rep healthResponse
+	getJSON(t, ts.URL+"/v1/figure1/health", &rep)
+	if rep.Healthy || len(rep.Degraded) != 1 || rep.Degraded[0] != "Bookseller" {
+		t.Errorf("health after outage: %+v, want degraded [Bookseller]", rep)
+	}
+	if rep.Faults.Outages == 0 {
+		t.Error("health fault counters missing the outage")
+	}
+}
+
+// TestWirePartialCommitAndManualReconcile pins the stranded-batch wire
+// contract: 503 with a structured body naming the committed members and
+// pointing at the health endpoint; the journal visible over the wire;
+// and Reconcile completing the batch once the member heals.
+func TestWirePartialCommitAndManualReconcile(t *testing.T) {
+	srv, ts, e, _ := chaosTenantServer(t, Config{ReconcileInterval: -1}, "CSLibrary", chaos.Options{
+		Schedule: map[int]chaos.Fault{
+			1: chaos.FaultTransient, 2: chaos.FaultTransient,
+			3: chaos.FaultTransient, 4: chaos.FaultTransient,
+		},
+	})
+	ten, _ := srv.tenantByName("figure1")
+	vldbID := globalIDByISBN(t, ten, "vldb96")
+	before := countItems(t, ts, "figure1")
+
+	// Leading with the Bookseller-routed insert pins the commit order:
+	// the bookseller commits, then the faulted library strands.
+	ops := []WireMutation{
+		wireInsert("stranded-wire-1", 30),
+		{Kind: "update", Class: "Item", ID: vldbID, Attrs: map[string]WireValue{
+			"title": EncodeValue(object.Str("VLDB 96 (stranded rev)")),
+		}},
+	}
+	code, body := postJSON(t, ts.URL+"/v1/figure1/tx", wireTxRequest{Ops: ops})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("stranded batch: status %d body %s, want 503", code, body)
+	}
+	var out struct {
+		Retryable   bool     `json:"retryable"`
+		Reconciling bool     `json:"reconciling"`
+		Committed   []string `json:"committed"`
+		Pending     []string `json:"pending"`
+		Status      string   `json:"status"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Retryable || !out.Reconciling {
+		t.Errorf("partial commit body %s: want retryable=false reconciling=true", body)
+	}
+	if len(out.Committed) != 1 || out.Committed[0] != "Bookseller" {
+		t.Errorf("committed = %v, want [Bookseller]", out.Committed)
+	}
+	if len(out.Pending) != 1 || out.Pending[0] != "CSLibrary" {
+		t.Errorf("pending = %v, want [CSLibrary]", out.Pending)
+	}
+	if out.Status != "/v1/figure1/health" {
+		t.Errorf("status pointer = %q, want /v1/figure1/health", out.Status)
+	}
+
+	// The journal is visible over the wire; the batch is not yet served.
+	var rep healthResponse
+	getJSON(t, ts.URL+"/v1/figure1/health", &rep)
+	if rep.JournalDepth != 1 || len(rep.Journal) != 1 || rep.Journal[0].Mode != "complete" {
+		t.Fatalf("health journal: %+v, want one complete-mode entry", rep)
+	}
+	if got := countItems(t, ts, "figure1"); got != before {
+		t.Errorf("stranded batch visible to readers: %d items, want %d", got, before)
+	}
+
+	// The schedule is exhausted — the member has healed. One reconcile
+	// pass completes the batch and applies it to the served view.
+	rs, err := e.Reconcile(context.Background())
+	if err != nil {
+		t.Fatalf("Reconcile: %v", err)
+	}
+	if rs.Completed != 1 {
+		t.Fatalf("Reconcile stats %+v, want 1 completed", rs)
+	}
+	if got := countItems(t, ts, "figure1"); got != before+1 {
+		t.Errorf("after reconcile: %d items, want %d", got, before+1)
+	}
+	getJSON(t, ts.URL+"/v1/figure1/health", &rep)
+	if !rep.Healthy || rep.JournalDepth != 0 || rep.Faults.ReconcileCompleted != 1 {
+		t.Errorf("health after reconcile: %+v, want healthy with an empty journal", rep)
+	}
+}
+
+// TestBackgroundReconcilerDrainsJournal pins the tentpole's serving
+// loop: with the reconciler running, a stranded batch resolves without
+// ANY client action — the journal drains and the batch appears in the
+// view while the test merely polls the health endpoint.
+func TestBackgroundReconcilerDrainsJournal(t *testing.T) {
+	srv, ts, _, _ := chaosTenantServer(t, Config{ReconcileInterval: 2 * time.Millisecond}, "CSLibrary", chaos.Options{
+		Schedule: map[int]chaos.Fault{
+			1: chaos.FaultTransient, 2: chaos.FaultTransient,
+			3: chaos.FaultTransient, 4: chaos.FaultTransient,
+		},
+	})
+	ten, _ := srv.tenantByName("figure1")
+	vldbID := globalIDByISBN(t, ten, "vldb96")
+	before := countItems(t, ts, "figure1")
+
+	ops := []WireMutation{
+		wireInsert("bg-stranded-1", 30),
+		{Kind: "update", Class: "Item", ID: vldbID, Attrs: map[string]WireValue{
+			"title": EncodeValue(object.Str("VLDB 96 (background rev)")),
+		}},
+	}
+	code, body := postJSON(t, ts.URL+"/v1/figure1/tx", wireTxRequest{Ops: ops})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("stranded batch: status %d body %s, want 503", code, body)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var rep healthResponse
+		getJSON(t, ts.URL+"/v1/figure1/health", &rep)
+		if rep.Healthy && rep.JournalDepth == 0 && rep.Reconciles > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background reconciler never drained the journal: %+v", rep)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := countItems(t, ts, "figure1"); got != before+1 {
+		t.Errorf("after background reconcile: %d items, want %d", got, before+1)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,11 @@ type Config struct {
 	// are exempt — observability must work exactly when the server is
 	// saturated.
 	MaxInFlight int
+	// ReconcileInterval is the cadence of the background reconciler that
+	// completes (or compensates) partially committed batches and closes
+	// healed members' breakers. 0 means DefaultReconcileInterval;
+	// negative disables the reconciler (tests drive Reconcile manually).
+	ReconcileInterval time.Duration
 	// Logf receives request-level log lines; nil means silent.
 	Logf func(format string, args ...any)
 }
@@ -53,6 +59,10 @@ type Server struct {
 
 	draining atomic.Bool
 
+	reconcileStop chan struct{}
+	reconcileDone chan struct{}
+	closeOnce     sync.Once
+
 	mu      sync.RWMutex
 	tenants map[string]*tenant
 }
@@ -63,13 +73,24 @@ func New(cfg Config) *Server {
 		cfg.MaxInFlight = DefaultMaxInFlight
 	}
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		metrics: newMetricsRegistry(),
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		tenants: map[string]*tenant{},
+		cfg:           cfg,
+		mux:           http.NewServeMux(),
+		metrics:       newMetricsRegistry(),
+		sem:           make(chan struct{}, cfg.MaxInFlight),
+		tenants:       map[string]*tenant{},
+		reconcileStop: make(chan struct{}),
+		reconcileDone: make(chan struct{}),
 	}
 	s.routes()
+	if cfg.ReconcileInterval >= 0 {
+		interval := cfg.ReconcileInterval
+		if interval == 0 {
+			interval = DefaultReconcileInterval
+		}
+		go s.reconcileLoop(interval)
+	} else {
+		close(s.reconcileDone)
+	}
 	return s
 }
 
@@ -82,6 +103,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/{tenant}/attach", s.serve("attach", s.handleAttach))
 	s.mux.HandleFunc("POST /v1/{tenant}/detach", s.serve("detach", s.handleDetach))
 	s.mux.HandleFunc("GET /v1/{tenant}/classes", s.serve("classes", s.handleClasses))
+	// Health bypasses the /v1 middleware stack (see handleHealth).
+	s.mux.HandleFunc("GET /v1/{tenant}/health", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// pprof: the default-mux handlers, mounted explicitly (the server
 	// never uses http.DefaultServeMux).
@@ -117,7 +140,7 @@ func (s *Server) serve(name string, h func(w http.ResponseWriter, r *http.Reques
 	m := s.metrics.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "server is draining"})
 			return
 		}
@@ -126,7 +149,10 @@ func (s *Server) serve(name string, h func(w http.ResponseWriter, r *http.Reques
 			defer func() { <-s.sem }()
 		default:
 			m.record(0, true)
-			w.Header().Set("Retry-After", "1")
+			// The hint tracks observed latency and queue depth, not a
+			// constant: a saturated slow server should not invite an
+			// immediate retry storm.
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			writeJSON(w, http.StatusTooManyRequests, map[string]any{
 				"error": fmt.Sprintf("server at admission limit (%d in flight)", cap(s.sem)),
 			})
@@ -162,11 +188,42 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, name string,
 			body["rejections"] = EncodeRejections(rejs)
 		}
 		writeJSON(w, http.StatusConflict, body)
+	case errors.Is(err, view.ErrMemberUnavailable):
+		// A quarantined (or freshly failed) member refused the batch
+		// before any peer committed: cleanly retryable after the
+		// breaker's cool-down.
+		body := map[string]any{"error": err.Error(), "retryable": true}
+		retryAfter := s.retryAfterSeconds()
+		var mue *view.MemberUnavailableError
+		if errors.As(err, &mue) {
+			body["member"] = mue.Member
+			retryAfter = retryAfterForOutage(mue.RetryAfter)
+		}
+		body["retry_after_s"] = retryAfter
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, body)
 	case errors.Is(err, view.ErrPartialCommit):
-		// The one failure that is not safely retryable.
-		writeJSON(w, http.StatusInternalServerError, map[string]any{
-			"error": err.Error(), "retryable": false,
-		})
+		// A member went away after its peers committed. The batch is
+		// journaled and the background reconciler completes (or
+		// compensates) it — do NOT resubmit, poll the health endpoint
+		// until the journal entry resolves.
+		body := map[string]any{
+			"error":       err.Error(),
+			"retryable":   false,
+			"reconciling": true,
+		}
+		var pce *view.PartialCommitError
+		if errors.As(err, &pce) {
+			body["journal_seq"] = pce.Seq
+			body["committed"] = pce.Committed
+			body["pending"] = pce.Pending
+			body["mode"] = pce.Mode
+		}
+		if tn := r.PathValue("tenant"); tn != "" {
+			body["status"] = "/v1/" + tn + "/health"
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterForOutage(DefaultReconcileInterval)))
+		writeJSON(w, http.StatusServiceUnavailable, body)
 	case r.Context().Err() != nil:
 		// The client is gone; the status is for the log only.
 		s.logf("%s: client cancelled: %v", name, err)
@@ -271,16 +328,21 @@ func (s *Server) Drain() { s.draining.Store(true) }
 // Draining reports whether Drain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Close stops every tenant's batcher, shipping anything still
-// enqueued. Handlers must be drained first (see Drain).
+// Close stops the background reconciler and every tenant's batcher,
+// shipping anything still enqueued. Handlers must be drained first (see
+// Drain). Safe to call more than once.
 func (s *Server) Close() {
-	s.mu.Lock()
-	tenants := make([]*tenant, 0, len(s.tenants))
-	for _, t := range s.tenants {
-		tenants = append(tenants, t)
-	}
-	s.mu.Unlock()
-	for _, t := range tenants {
-		t.batch.close()
-	}
+	s.closeOnce.Do(func() {
+		close(s.reconcileStop)
+		<-s.reconcileDone
+		s.mu.Lock()
+		tenants := make([]*tenant, 0, len(s.tenants))
+		for _, t := range s.tenants {
+			tenants = append(tenants, t)
+		}
+		s.mu.Unlock()
+		for _, t := range tenants {
+			t.batch.close()
+		}
+	})
 }

@@ -1,0 +1,72 @@
+package store
+
+import (
+	"errors"
+
+	"interopdb/internal/object"
+)
+
+// Backend is the surface the federation's routing and reconciliation
+// layers require of a member database. *Store satisfies it directly;
+// internal/store/chaos wraps any Backend with deterministic fault
+// injection so every member failure mode is testable. The integration
+// pipeline itself (core.Integrate) still reads concrete *Store values —
+// Backend covers the serving-time paths only: transactional writes,
+// point reads for effect verification, and liveness probes.
+type Backend interface {
+	// Name returns the member database name.
+	Name() string
+	// Count returns the number of stored objects.
+	Count() int
+	// Get looks an object up by OID.
+	Get(oid object.OID) (*Obj, bool)
+	// Extent returns the extension of a class (direct instances plus
+	// declared subclasses).
+	Extent(class string) []*Obj
+	// Begin starts a deferred-validation transaction.
+	Begin() Txn
+	// Ping probes member liveness without mutating anything. A healthy
+	// in-process store always answers nil; wrappers for remote or
+	// fault-injected members return an error matching ErrUnavailable
+	// while the member is unreachable.
+	Ping() error
+}
+
+// Txn is a member-local deferred-validation transaction: mutations are
+// staged, then the whole batch commits atomically (all effects or none)
+// against the member's local constraint manager.
+type Txn interface {
+	// Insert stages an insert and returns the OID reserved for it.
+	Insert(class string, attrs map[string]object.Value) (object.OID, error)
+	// InsertAt stages an insert under a caller-supplied OID — the
+	// replay/compensation primitive: re-creating an object deleted by a
+	// half-committed batch must restore its original identity, or every
+	// reference held by peers and by the integrated view would dangle.
+	InsertAt(oid object.OID, class string, attrs map[string]object.Value) error
+	// Update stages a partial update.
+	Update(oid object.OID, attrs map[string]object.Value) error
+	// Delete stages a deletion.
+	Delete(oid object.OID) error
+	// Commit applies the staged batch atomically; on any local
+	// constraint violation the member is left untouched.
+	Commit() error
+	// Rollback discards the staged operations.
+	Rollback()
+}
+
+// ErrUnavailable marks transient member failures: the operation did not
+// happen because the member is (temporarily) unreachable, and retrying
+// later is the correct response. Local constraint rejections and schema
+// errors never match it — those are permanent verdicts from the member's
+// own manager.
+var ErrUnavailable = errors.New("member database unavailable")
+
+// IsTransient reports whether an error is a transient member failure
+// worth retrying (matches ErrUnavailable anywhere in its chain).
+func IsTransient(err error) bool { return errors.Is(err, ErrUnavailable) }
+
+// Ping implements Backend. An in-process store is always reachable.
+func (s *Store) Ping() error { return nil }
+
+// Compile-time check that *Store satisfies Backend.
+var _ Backend = (*Store)(nil)

@@ -1,0 +1,249 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"interopdb/internal/fixture"
+	"interopdb/internal/object"
+	"interopdb/internal/store"
+)
+
+func bookseller(t *testing.T) *store.Store {
+	t.Helper()
+	_, bs := fixture.Figure1Stores(fixture.Options{})
+	return bs
+}
+
+// itemAttrs builds a Monograph referencing an existing publisher
+// (Bookseller's db1 requires every Publisher to have an Item, so bare
+// Publisher inserts are not a legal single-op transaction).
+func itemAttrs(isbn string) map[string]object.Value {
+	return map[string]object.Value{
+		"title": object.Str("Chaos Title " + isbn), "isbn": object.Str(isbn),
+		"publisher": object.Ref{DB: "Bookseller", OID: 2},
+		"authors":   object.NewSet(object.Str("Writer")),
+		"shopprice": object.Real(50), "libprice": object.Real(45),
+		"subjects": object.NewSet(object.Str("testing")),
+	}
+}
+
+func TestScheduledTransientFaultThenRetry(t *testing.T) {
+	bs := bookseller(t)
+	before := bs.Count()
+	b := Wrap(bs, Options{Schedule: map[int]Fault{1: FaultTransient}})
+
+	tx := b.Begin()
+	oid, err := tx.Insert("Monograph", itemAttrs("chaos-house"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = tx.Commit()
+	if err == nil {
+		t.Fatal("scheduled transient fault did not fire")
+	}
+	if !store.IsTransient(err) {
+		t.Fatalf("transient fault not marked retryable: %v", err)
+	}
+	if bs.Count() != before {
+		t.Fatalf("transient fault mutated the store: %d objects, want %d", bs.Count(), before)
+	}
+	// The inner transaction was never run: the same Txn retries cleanly.
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("retry after transient fault: %v", err)
+	}
+	if _, ok := bs.Get(oid); !ok {
+		t.Fatal("retried commit did not apply")
+	}
+	st := b.Stats()
+	if st.CommitAttempts != 2 || st.Transient != 1 {
+		t.Fatalf("stats = %+v, want 2 attempts / 1 transient", st)
+	}
+}
+
+func TestFailAfterCommitAppliesEffects(t *testing.T) {
+	bs := bookseller(t)
+	b := Wrap(bs, Options{Schedule: map[int]Fault{1: FaultAfterCommit}})
+
+	tx := b.Begin()
+	oid, err := tx.Insert("Monograph", itemAttrs("ambiguous-press"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = tx.Commit()
+	if err == nil || !store.IsTransient(err) {
+		t.Fatalf("fail-after-commit must report a transient failure, got %v", err)
+	}
+	// The ambiguity: the error said "failed", the store says otherwise.
+	if _, ok := bs.Get(oid); !ok {
+		t.Fatal("fail-after-commit did not apply the inner commit")
+	}
+}
+
+func TestPermanentFaultRollsBack(t *testing.T) {
+	bs := bookseller(t)
+	before := bs.Count()
+	b := Wrap(bs, Options{Schedule: map[int]Fault{1: FaultPermanent}})
+
+	tx := b.Begin()
+	if _, err := tx.Insert("Monograph", itemAttrs("doomed-books")); err != nil {
+		t.Fatal(err)
+	}
+	err := tx.Commit()
+	if err == nil {
+		t.Fatal("scheduled permanent fault did not fire")
+	}
+	if store.IsTransient(err) {
+		t.Fatalf("permanent fault must not be retryable: %v", err)
+	}
+	if bs.Count() != before {
+		t.Fatalf("permanent fault mutated the store: %d objects, want %d", bs.Count(), before)
+	}
+	// The next transaction (attempt 2, unscheduled) passes through.
+	tx2 := b.Begin()
+	if _, err := tx2.Insert("Monograph", itemAttrs("surviving-books")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatalf("unscheduled commit after permanent fault: %v", err)
+	}
+}
+
+func TestOutageAndHeal(t *testing.T) {
+	bs := bookseller(t)
+	b := Wrap(bs, Options{})
+	b.StartOutage()
+
+	if err := b.Ping(); !store.IsTransient(err) {
+		t.Fatalf("Ping during outage = %v, want transient failure", err)
+	}
+	tx := b.Begin()
+	if _, err := tx.Insert("Monograph", itemAttrs("unreachable")); !store.IsTransient(err) {
+		t.Fatalf("Insert during outage = %v, want transient failure", err)
+	}
+	if err := tx.Commit(); !store.IsTransient(err) {
+		t.Fatalf("Commit during outage = %v, want transient failure", err)
+	}
+	// Reads pass through: effect verification needs the truth.
+	if b.Count() != bs.Count() {
+		t.Fatal("reads must pass through during an outage")
+	}
+
+	b.Heal()
+	if err := b.Ping(); err != nil {
+		t.Fatalf("Ping after heal: %v", err)
+	}
+	tx2 := b.Begin()
+	if _, err := tx2.Insert("Monograph", itemAttrs("back-online")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatalf("commit after heal: %v", err)
+	}
+	if b.Stats().OutageRejects == 0 {
+		t.Fatal("outage rejects not counted")
+	}
+}
+
+func TestInsertAtDelegates(t *testing.T) {
+	bs := bookseller(t)
+	b := Wrap(bs, Options{})
+	tx := b.Begin()
+	if err := tx.InsertAt(object.OID(4242), "Monograph", itemAttrs("pinned-oid")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	o, ok := bs.Get(object.OID(4242))
+	if !ok {
+		t.Fatal("InsertAt did not land on the requested OID")
+	}
+	if v, _ := o.Get("isbn"); v.String() != "'pinned-oid'" {
+		t.Fatalf("unexpected object at pinned OID: %v", o)
+	}
+}
+
+// TestSeededRateDeterminism pins the contract the differential tests
+// rely on: the same seed and the same call sequence produce the same
+// fault schedule.
+func TestSeededRateDeterminism(t *testing.T) {
+	run := func() (Stats, []bool) {
+		bs := bookseller(t)
+		b := Wrap(bs, Options{Seed: 7, TransientRate: 0.3})
+		var outcomes []bool
+		for i := 0; i < 40; i++ {
+			tx := b.Begin()
+			if _, err := tx.Insert("Monograph", itemAttrs(fmt.Sprintf("determinism-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+			err := tx.Commit()
+			for err != nil {
+				if !store.IsTransient(err) {
+					t.Fatalf("unexpected permanent failure: %v", err)
+				}
+				err = tx.Commit()
+			}
+			outcomes = append(outcomes, err == nil)
+		}
+		return b.Stats(), outcomes
+	}
+	s1, o1 := run()
+	s2, o2 := run()
+	if s1 != s2 {
+		t.Fatalf("seeded runs diverged: %+v vs %+v", s1, s2)
+	}
+	if s1.Transient == 0 {
+		t.Fatal("rate 0.3 over 40 commits injected nothing — sampler dead")
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("outcome %d diverged between seeded runs", i)
+		}
+	}
+}
+
+// TestScheduleNextCountsFromObservedAttempts pins the mid-run handle:
+// faults staged with ScheduleNext land on the attempts immediately
+// after those already consumed, not on absolute attempt numbers.
+func TestScheduleNextCountsFromObservedAttempts(t *testing.T) {
+	bs := bookseller(t)
+	b := Wrap(bs, Options{})
+	tx := b.Begin()
+	if _, err := tx.Insert("Monograph", itemAttrs("pre-schedule")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil { // attempt 1, clean
+		t.Fatal(err)
+	}
+
+	b.ScheduleNext(FaultTransient, 2) // attempts 2 and 3
+	tx2 := b.Begin()
+	if _, err := tx2.Insert("Monograph", itemAttrs("post-schedule")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := tx2.Commit(); !store.IsTransient(err) {
+			t.Fatalf("scheduled attempt %d: err = %v, want transient", i+2, err)
+		}
+	}
+	if err := tx2.Commit(); err != nil { // attempt 4, past the window
+		t.Fatalf("attempt past the scheduled window: %v", err)
+	}
+	if st := b.Stats(); st.Transient != 2 || st.CommitAttempts != 4 {
+		t.Fatalf("stats = %+v, want 2 transient over 4 attempts", st)
+	}
+}
+
+func TestErrMemberUnavailableChain(t *testing.T) {
+	b := Wrap(bookseller(t), Options{Schedule: map[int]Fault{1: FaultTransient}})
+	tx := b.Begin()
+	if _, err := tx.Insert("Monograph", itemAttrs("chain-x")); err != nil {
+		t.Fatal(err)
+	}
+	err := tx.Commit()
+	if !errors.Is(err, store.ErrUnavailable) {
+		t.Fatalf("transient fault must wrap store.ErrUnavailable, got %v", err)
+	}
+}

@@ -5,25 +5,27 @@ import (
 	"sync"
 )
 
-// Registry is the member registry of a federation: the component stores
-// currently attached, addressable by database name. The view engine's
-// routed shipping (ShipTxRouted) resolves each operation's target store
-// through it, so callers need not know which member holds which
-// constituent. Safe for concurrent use.
+// Registry is the member registry of a federation: the component
+// backends currently attached, addressable by database name. The view
+// engine's routed shipping (ShipTxRouted) resolves each operation's
+// target backend through it, so callers need not know which member
+// holds which constituent. It holds Backend values (not concrete
+// stores) so a member can be served through a wrapper — fault injection
+// today, remote transports later. Safe for concurrent use.
 type Registry struct {
 	mu     sync.RWMutex
-	byName map[string]*Store
+	byName map[string]Backend
 	order  []string
 }
 
 // NewRegistry returns an empty member registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: map[string]*Store{}}
+	return &Registry{byName: map[string]Backend{}}
 }
 
-// Add registers a member store under its database name. Registering a
-// second store with the same name is an error.
-func (r *Registry) Add(st *Store) error {
+// Add registers a member backend under its database name. Registering a
+// second backend with the same name is an error.
+func (r *Registry) Add(st Backend) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	name := st.Name()
@@ -35,7 +37,7 @@ func (r *Registry) Add(st *Store) error {
 	return nil
 }
 
-// Remove deregisters a member store, reporting whether it was present.
+// Remove deregisters a member backend, reporting whether it was present.
 func (r *Registry) Remove(name string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -52,8 +54,27 @@ func (r *Registry) Remove(name string) bool {
 	return true
 }
 
-// Get resolves a member store by database name.
-func (r *Registry) Get(name string) (*Store, bool) {
+// Swap replaces the serving backend of an already-registered member,
+// keeping its registration order. This is how tests and experiments
+// interpose a fault-injecting wrapper (internal/store/chaos) around a
+// live member without re-deriving the federation: integration artifacts
+// reference the member by name, so serving-path routing picks up the
+// wrapper transparently. The new backend must carry the same name.
+func (r *Registry) Swap(name string, st Backend) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; !ok {
+		return fmt.Errorf("store %s not registered", name)
+	}
+	if st.Name() != name {
+		return fmt.Errorf("swap backend name %s does not match registration %s", st.Name(), name)
+	}
+	r.byName[name] = st
+	return nil
+}
+
+// Get resolves a member backend by database name.
+func (r *Registry) Get(name string) (Backend, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	st, ok := r.byName[name]
@@ -67,11 +88,11 @@ func (r *Registry) Names() []string {
 	return append([]string{}, r.order...)
 }
 
-// Stores lists the registered stores in registration order.
-func (r *Registry) Stores() []*Store {
+// Stores lists the registered backends in registration order.
+func (r *Registry) Stores() []Backend {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]*Store, 0, len(r.order))
+	out := make([]Backend, 0, len(r.order))
 	for _, n := range r.order {
 		out = append(out, r.byName[n])
 	}

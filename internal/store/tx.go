@@ -31,8 +31,10 @@ type txOp struct {
 	attrs map[string]object.Value
 }
 
-// Begin starts a transaction.
-func (s *Store) Begin() *Tx { return &Tx{s: s} }
+// Begin starts a transaction. The return type is the Txn interface (not
+// *Tx) so *Store satisfies Backend; in-package callers needing the
+// concrete type can assert.
+func (s *Store) Begin() Txn { return &Tx{s: s} }
 
 // Insert stages an insert and returns the OID the object will have if the
 // transaction commits. The OID is reserved on the store at staging time
@@ -56,6 +58,31 @@ func (t *Tx) Insert(class string, attrs map[string]object.Value) (object.OID, er
 	t.s.nextOID++
 	t.ops = append(t.ops, txOp{kind: opInsert, class: class, oid: oid, attrs: cp})
 	return oid, nil
+}
+
+// InsertAt stages an insert under a caller-supplied OID (see
+// Txn.InsertAt): compensation re-creates deleted objects under their
+// original identity. The allocation counter is bumped past the OID so
+// later allocations cannot collide with it.
+func (t *Tx) InsertAt(oid object.OID, class string, attrs map[string]object.Value) error {
+	if t.done {
+		return fmt.Errorf("transaction already finished")
+	}
+	if err := t.s.validateAttrs(class, attrs); err != nil {
+		return err
+	}
+	if _, taken := t.s.objs[oid]; taken {
+		return fmt.Errorf("store %s: OID %s already occupied", t.s.Name(), oid)
+	}
+	cp := make(map[string]object.Value, len(attrs))
+	for k, v := range attrs {
+		cp[k] = v
+	}
+	if oid >= t.s.nextOID {
+		t.s.nextOID = oid + 1
+	}
+	t.ops = append(t.ops, txOp{kind: opInsert, class: class, oid: oid, attrs: cp})
+	return nil
 }
 
 // Update stages a partial update.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Typed failure kinds for the serving API. Callers — in particular the
@@ -29,11 +30,74 @@ var (
 	// the integrated view.
 	ErrUnknownObject = errors.New("unknown view object")
 	// ErrPartialCommit marks a cross-member batch that failed after at
-	// least one autonomous member database had already committed: the
-	// federation state needs repair, and the batch MUST NOT be retried
-	// wholesale (re-shipping would double-apply the committed part).
+	// least one autonomous member database had already committed. The
+	// batch MUST NOT be retried wholesale (re-shipping would double-apply
+	// the committed part) — but since PR 7 the failure is a *retriable
+	// state*, not a dead end: the committed prefix is recorded in the
+	// engine's commit journal and Engine.Reconcile completes (or
+	// compensates) it when the failed member heals. errors.As recovers
+	// the *PartialCommitError with the journal position.
 	ErrPartialCommit = errors.New("batch partially committed across member databases")
+	// ErrMemberUnavailable marks writes refused because a member database
+	// is unreachable or quarantined by its circuit breaker. No member
+	// committed anything: the batch is safe to retry wholesale after the
+	// hinted backoff. errors.As recovers the *MemberUnavailableError.
+	ErrMemberUnavailable = errors.New("member database unavailable")
 )
+
+// MemberUnavailableError reports a write refused — before any peer
+// committed — because one member is down or quarantined. RetryAfter is
+// the breaker's remaining cool-down, the natural Retry-After hint.
+type MemberUnavailableError struct {
+	Member     string
+	RetryAfter time.Duration
+	Err        error
+}
+
+// Error implements error.
+func (e *MemberUnavailableError) Error() string {
+	msg := fmt.Sprintf("member %s unavailable, batch not started (retry after %s)", e.Member, e.RetryAfter.Round(time.Millisecond))
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Is makes errors.Is(err, ErrMemberUnavailable) true.
+func (e *MemberUnavailableError) Is(target error) bool { return target == ErrMemberUnavailable }
+
+// Unwrap exposes the underlying member failure.
+func (e *MemberUnavailableError) Unwrap() error { return e.Err }
+
+// PartialCommitError reports a batch stranded between members: the
+// Committed members applied it, the Pending ones have not (complete
+// mode) or must have it rolled back (compensate mode). The entry stays
+// in the commit journal under Seq until Engine.Reconcile resolves it.
+type PartialCommitError struct {
+	// Seq is the journal sequence number of the pending entry.
+	Seq uint64
+	// Committed names the members whose local transactions committed.
+	Committed []string
+	// Pending names the members reconciliation still has to visit.
+	Pending []string
+	// Mode is "complete" (commit the rest when the member heals) or
+	// "compensate" (undo the committed prefix).
+	Mode string
+	// Err is the member failure that stranded the batch.
+	Err error
+}
+
+// Error implements error.
+func (e *PartialCommitError) Error() string {
+	return fmt.Sprintf("batch committed on [%s] but pending on [%s] — journal entry %d awaits %s by Reconcile (%s): %v",
+		strings.Join(e.Committed, ","), strings.Join(e.Pending, ","), e.Seq, e.Mode, ErrPartialCommit.Error(), e.Err)
+}
+
+// Is makes errors.Is(err, ErrPartialCommit) true.
+func (e *PartialCommitError) Is(target error) bool { return target == ErrPartialCommit }
+
+// Unwrap exposes the member failure that stranded the batch.
+func (e *PartialCommitError) Unwrap() error { return e.Err }
 
 // Is makes errors.Is(rej, ErrRejected) true for any Rejection.
 func (r Rejection) Is(target error) bool { return target == ErrRejected }

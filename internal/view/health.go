@@ -1,0 +1,253 @@
+package view
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Per-member health tracking with a circuit breaker. The paper's member
+// databases are autonomous: the federation cannot keep one from going
+// away, it can only stop letting a dead member take healthy writes down
+// with it. The breaker quarantines a member after its commits start
+// failing transiently, so subsequent writes that would touch it
+// fast-fail with ErrMemberUnavailable BEFORE any peer commits — a
+// refused batch is retryable, a partially committed one needs the
+// journal. Reads never consult the breaker: they serve from the
+// last-good published snapshot, annotated (Stats.Degraded) with the
+// members whose contributions may be stale.
+
+// BreakerState is one member's circuit-breaker position.
+type BreakerState int
+
+const (
+	// BreakerClosed: the member is healthy, writes flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the member is quarantined, writes fast-fail until
+	// the cool-down elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cool-down elapsed; writes are admitted again
+	// and the first outcome decides between Closed and Open.
+	BreakerHalfOpen
+)
+
+// String renders the state for reports.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// MemberHealth is one member's entry in the engine's health report.
+type MemberHealth struct {
+	Member string
+	State  BreakerState
+	// ConsecutiveOutages counts commit give-ups since the last success;
+	// each doubles the quarantine cool-down.
+	ConsecutiveOutages int
+	// CooldownRemaining is how long writes will keep fast-failing
+	// (zero unless the breaker is open).
+	CooldownRemaining time.Duration
+	// PendingEntries counts journal entries awaiting this member.
+	PendingEntries int
+	// LastError is the failure that opened the breaker, if any.
+	LastError string
+}
+
+type memberHealthState struct {
+	state    BreakerState
+	outages  int
+	openedAt time.Time
+	cooldown time.Duration
+	lastErr  string
+}
+
+// healthTracker holds the breaker state of every member the engine has
+// shipped to. Mutations take the mutex; the degraded-member list is
+// additionally published through an atomic pointer so the lock-free
+// read path (RunContext) can annotate Stats without touching a lock.
+type healthTracker struct {
+	mu      sync.Mutex
+	now     func() time.Time // injectable for tests
+	base    time.Duration    // first quarantine cool-down
+	max     time.Duration    // cool-down cap
+	members map[string]*memberHealthState
+
+	degraded atomic.Pointer[[]string]
+}
+
+const (
+	defaultBreakerBase = 250 * time.Millisecond
+	defaultBreakerMax  = 15 * time.Second
+)
+
+func newHealthTracker() *healthTracker {
+	return &healthTracker{
+		now:     time.Now,
+		base:    defaultBreakerBase,
+		max:     defaultBreakerMax,
+		members: map[string]*memberHealthState{},
+	}
+}
+
+func (h *healthTracker) state(member string) *memberHealthState {
+	m, ok := h.members[member]
+	if !ok {
+		m = &memberHealthState{}
+		h.members[member] = m
+	}
+	return m
+}
+
+// allow reports whether writes may target the member right now; when it
+// refuses, the second result is the remaining cool-down (the Retry-After
+// hint). An open breaker whose cool-down has elapsed half-opens and
+// admits the caller as the probe.
+func (h *healthTracker) allow(member string) (bool, time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m := h.state(member)
+	switch m.state {
+	case BreakerOpen:
+		remaining := m.cooldown - h.now().Sub(m.openedAt)
+		if remaining > 0 {
+			return false, remaining
+		}
+		m.state = BreakerHalfOpen
+		h.refreshDegraded()
+		return true, 0
+	default:
+		return true, 0
+	}
+}
+
+// retryHint returns the member's remaining cool-down without changing
+// breaker state (for error construction after a refusal).
+func (h *healthTracker) retryHint(member string) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m := h.state(member)
+	if m.state != BreakerOpen {
+		return h.base
+	}
+	if remaining := m.cooldown - h.now().Sub(m.openedAt); remaining > 0 {
+		return remaining
+	}
+	return h.base
+}
+
+// outage records a commit given up after retries: the breaker opens (or
+// re-opens with a doubled cool-down, capped).
+func (h *healthTracker) outage(member string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m := h.state(member)
+	m.outages++
+	m.state = BreakerOpen
+	m.openedAt = h.now()
+	shift := m.outages - 1
+	if shift > 10 {
+		shift = 10
+	}
+	m.cooldown = h.base << uint(shift)
+	if m.cooldown > h.max {
+		m.cooldown = h.max
+	}
+	if err != nil {
+		m.lastErr = err.Error()
+	}
+	h.refreshDegraded()
+}
+
+// success records a healthy member interaction and closes the breaker.
+func (h *healthTracker) success(member string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m := h.state(member)
+	m.state = BreakerClosed
+	m.outages = 0
+	m.lastErr = ""
+	h.refreshDegraded()
+}
+
+// refreshDegraded republishes the lock-free degraded-member list.
+// Caller holds h.mu.
+func (h *healthTracker) refreshDegraded() {
+	var out []string
+	for name, m := range h.members {
+		if m.state != BreakerClosed {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	h.degraded.Store(&out)
+}
+
+// degradedMembers returns the members currently quarantined (open or
+// half-open breaker), without taking a lock — safe on the serve path.
+func (h *healthTracker) degradedMembers() []string {
+	if p := h.degraded.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// openMembers lists members whose breaker is not closed (for the
+// reconciler's liveness probe).
+func (h *healthTracker) openMembers() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []string
+	for name, m := range h.members {
+		if m.state != BreakerClosed {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// snapshot renders breaker state for every name in members (union of
+// registry names and tracked members), sorted by member name.
+func (h *healthTracker) snapshot(names []string) []MemberHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	seen := map[string]bool{}
+	all := make([]string, 0, len(names)+len(h.members))
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			all = append(all, n)
+		}
+	}
+	for n := range h.members {
+		if !seen[n] {
+			seen[n] = true
+			all = append(all, n)
+		}
+	}
+	sort.Strings(all)
+	now := h.now()
+	out := make([]MemberHealth, 0, len(all))
+	for _, n := range all {
+		mh := MemberHealth{Member: n}
+		if m, ok := h.members[n]; ok {
+			mh.State = m.state
+			mh.ConsecutiveOutages = m.outages
+			mh.LastError = m.lastErr
+			if m.state == BreakerOpen {
+				if remaining := m.cooldown - now.Sub(m.openedAt); remaining > 0 {
+					mh.CooldownRemaining = remaining
+				}
+			}
+		}
+		out = append(out, mh)
+	}
+	return out
+}

@@ -62,6 +62,11 @@ type Stats struct {
 	// ConstraintGated is true when the cost gate decided the constraint
 	// phase could not pay for itself and skipped it.
 	ConstraintGated bool
+	// Degraded names the members currently quarantined by the circuit
+	// breaker (health.go): the query was served from the last-good
+	// snapshot, whose contributions from these members may be stale.
+	// Empty on a healthy federation.
+	Degraded []string
 }
 
 // Engine runs queries and validates mutations against an integration
@@ -118,6 +123,19 @@ type Engine struct {
 	mcons map[string]*consGroup
 
 	counters engineCounters
+
+	// Retry configures transient member-commit retries on the routed
+	// shipping path (reconcile.go). The zero value means defaults; set
+	// it before serving traffic — it is read without synchronisation.
+	Retry RetryPolicy
+
+	// health tracks per-member circuit breakers (health.go); journal
+	// holds the partial-commit recovery entries (journal.go); faults
+	// counts the fault-handling events (reconcile.go). All three are
+	// internally synchronised.
+	health  *healthTracker
+	journal *commitJournal
+	faults  faultCounters
 }
 
 // classCons caches one class's scope-all global constraints, split by
@@ -161,6 +179,8 @@ func New(res *core.Result) *Engine {
 		CostGate:       true,
 		cons:           map[string]*classCons{},
 		mcons:          map[string]*consGroup{},
+		health:         newHealthTracker(),
+		journal:        newCommitJournal(),
 	}
 	e.publishAll()
 	return e
@@ -234,6 +254,7 @@ func (e *Engine) RunContext(ctx context.Context, q Query) ([]Row, Stats, error) 
 	s := e.snap.Load()
 	cs := s.class(q.Class)
 	var stats Stats
+	stats.Degraded = e.health.degradedMembers()
 
 	// With q.Where == nil there is nothing to refute, simplify or
 	// index, so no plan is needed: project every row. (Serving pinned

@@ -112,6 +112,19 @@ type Store = store.Store
 // StoredObject is an object held by a Store.
 type StoredObject = store.Obj
 
+// StoreBackend is the serving-time surface of a member database:
+// transactional writes, point reads and liveness probes. *Store
+// satisfies it; the federation registry holds members through it so a
+// member can be served via a wrapper (e.g. fault injection).
+type StoreBackend = store.Backend
+
+// StoreTxn is a member-local deferred-validation transaction.
+type StoreTxn = store.Txn
+
+// ErrStoreUnavailable marks transient member failures worth retrying
+// (the routed shipping path retries them with backoff automatically).
+var ErrStoreUnavailable = store.ErrUnavailable
+
 // Violation describes one constraint violation found by a Store.
 type Violation = store.Violation
 
@@ -314,10 +327,42 @@ var (
 	// the integrated view.
 	ErrUnknownObject = view.ErrUnknownObject
 	// ErrPartialCommit marks a cross-member batch that failed after at
-	// least one autonomous member database had committed; the federation
-	// state needs repair and the batch must not be retried wholesale.
+	// least one autonomous member database had committed. The batch must
+	// not be retried wholesale; the committed prefix is journaled and
+	// QueryEngine.Reconcile completes or compensates it when the failed
+	// member heals (errors.As recovers *PartialCommitError).
 	ErrPartialCommit = view.ErrPartialCommit
+	// ErrMemberUnavailable marks writes refused before any member
+	// committed, because a target member is down or quarantined by its
+	// circuit breaker. Retry wholesale after the hinted backoff
+	// (errors.As recovers *MemberUnavailableError).
+	ErrMemberUnavailable = view.ErrMemberUnavailable
 )
+
+// MemberUnavailableError carries the quarantined member and the
+// Retry-After hint behind ErrMemberUnavailable.
+type MemberUnavailableError = view.MemberUnavailableError
+
+// PartialCommitError carries the committed/pending member split and the
+// journal position behind ErrPartialCommit.
+type PartialCommitError = view.PartialCommitError
+
+// RetryPolicy bounds transient member-commit retries on the routed
+// shipping path (QueryEngine.Retry).
+type RetryPolicy = view.RetryPolicy
+
+// HealthReport is the engine's fault-handling state: breaker positions,
+// pending commit journal, last reconcile pass (QueryEngine.Health).
+type HealthReport = view.HealthReport
+
+// MemberHealth is one member's circuit-breaker entry in a HealthReport.
+type MemberHealth = view.MemberHealth
+
+// ReconcileStats reports one QueryEngine.Reconcile pass.
+type ReconcileStats = view.ReconcileStats
+
+// FaultStats snapshots the engine's fault-handling counters.
+type FaultStats = view.FaultStats
 
 // Repair is one verified minimal-change proposal attached to a
 // Rejection: the smallest attribute adjustment, or a tuple deletion for
