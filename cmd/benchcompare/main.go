@@ -17,6 +17,18 @@
 // any sensible threshold, and gating them would only teach people to
 // ignore the gate. E-series pass→fail drift always counts as a
 // regression, regardless of thresholds.
+//
+// A second mode de-noises baselines before they are committed:
+//
+//	benchcompare -merge BENCH_8.json r1.json r2.json r3.json
+//
+// merges N runs of the same suite into one report, taking the per-row
+// MINIMUM of every gated timing metric (min-of-N is the standard
+// estimator for one-shot wall times: the min is the run the scheduler
+// and GC interfered with least, so a stall landing in one run's
+// measurement window cannot poison the committed baseline). E-series
+// pass flags are ANDed — a scenario must pass in every run to be
+// recorded as passing. All non-timing fields come from the first run.
 package main
 
 import (
@@ -24,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 type eResult struct {
@@ -56,6 +69,7 @@ var sections = []struct {
 	{"b7", []string{"scale", "kind", "detail"}, []string{"scan_ns", "fast_ns"}},
 	{"b8", []string{"scale", "mode"}, []string{"per_op_ns"}},
 	{"b9", []string{"readers"}, []string{"per_op_ns"}},
+	{"b9v", []string{"readers"}, []string{"per_op_ns"}},
 	{"b10", []string{"scale"}, []string{"attach_ns", "reintegrate_ns"}},
 	{"b11", []string{"readers"}, []string{"wire_per_op_ns", "p50_ns"}},
 	{"b12", []string{"scale"}, []string{"faulty_ns", "reconverge_ns"}},
@@ -98,7 +112,16 @@ func ident(r row, keys []string) string {
 func main() {
 	maxRegress := flag.Float64("max-regress", 0, "REQUIRED: exit 1 when a shared timing metric slows down by more than this percentage")
 	regressFloor := flag.Float64("regress-floor", 10000, "ignore rows whose baseline is below this many nanoseconds (noise floor)")
+	mergeOut := flag.String("merge", "", "merge N run reports into this output file (per-metric min, E-series pass ANDed) instead of comparing")
 	flag.Parse()
+	if *mergeOut != "" {
+		if flag.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchcompare -merge OUT.json RUN1.json RUN2.json [RUN3.json ...]")
+			os.Exit(2)
+		}
+		exitOn(mergeRuns(*mergeOut, flag.Args()))
+		return
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchcompare -max-regress pct [-regress-floor ns] OLD.json NEW.json")
 		os.Exit(2)
@@ -185,6 +208,108 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("gate passed: no shared timing metric regressed beyond %.0f%% (floor %.0fns)\n", *maxRegress, *regressFloor)
+}
+
+// mergeRuns combines N interopbench reports of the same suite into one:
+// every gated timing metric becomes the minimum observed across runs
+// (rows matched by their section identity keys), E-series pass flags
+// are ANDed, and everything else — metadata, counters, sections this
+// tool doesn't know — is carried from the first run verbatim.
+func mergeRuns(outPath string, inPaths []string) error {
+	reports := make([]map[string]any, len(inPaths))
+	for i, p := range inPaths {
+		buf, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(buf, &reports[i]); err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+	}
+	base := reports[0]
+
+	// E-series: a scenario passes only if it passed in every run.
+	if eList, ok := base["e_results"].([]any); ok {
+		for _, rep := range reports[1:] {
+			other, _ := rep["e_results"].([]any)
+			passed := map[string]bool{}
+			for _, e := range other {
+				if m, ok := e.(map[string]any); ok {
+					passed[fmt.Sprint(m["id"])], _ = m["passed"].(bool)
+				}
+			}
+			for _, e := range eList {
+				m, ok := e.(map[string]any)
+				if !ok {
+					continue
+				}
+				if p, seen := passed[fmt.Sprint(m["id"])]; seen && !p {
+					m["passed"] = false
+				}
+			}
+		}
+	}
+
+	merged := 0
+	for _, s := range sections {
+		baseRows, ok := base[s.name].([]any)
+		if !ok {
+			continue
+		}
+		for _, rep := range reports[1:] {
+			otherRows, _ := rep[s.name].([]any)
+			byID := map[string]map[string]any{}
+			for _, r := range otherRows {
+				if m, ok := r.(map[string]any); ok {
+					byID[ident(m, s.idKeys)] = m
+				}
+			}
+			for _, r := range baseRows {
+				m, ok := r.(map[string]any)
+				if !ok {
+					continue
+				}
+				o := byID[ident(m, s.idKeys)]
+				if o == nil {
+					continue
+				}
+				for k := range m {
+					if !isTimingKey(s.nsKeys, k) {
+						continue
+					}
+					bv, bok := asFloat(m[k])
+					ov, ook := asFloat(o[k])
+					if bok && ook && ov > 0 && ov < bv {
+						m[k] = ov
+						merged++
+					}
+				}
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d runs → %s (%d timing metrics took a later run's minimum)\n",
+		len(inPaths), outPath, merged)
+	return nil
+}
+
+// isTimingKey reports whether k is one of the section's gated timing
+// metrics, or follows the _ns naming convention (covers ungated timing
+// fields like total_ns so merged rows stay self-consistent).
+func isTimingKey(nsKeys []string, k string) bool {
+	for _, nk := range nsKeys {
+		if k == nk {
+			return true
+		}
+	}
+	return strings.HasSuffix(k, "_ns")
 }
 
 func asFloat(v any) (float64, bool) {

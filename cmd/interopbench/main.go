@@ -38,6 +38,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"interopdb/internal/experiments"
 	"interopdb/internal/server"
@@ -58,6 +59,7 @@ type report struct {
 	B7         []b7JSON              `json:"b7,omitempty"`
 	B8         []b8JSON              `json:"b8,omitempty"`
 	B9         []b9JSON              `json:"b9,omitempty"`
+	B9V        []b9vJSON             `json:"b9v,omitempty"`
 	B10        []b10JSON             `json:"b10,omitempty"`
 	B11        []b11JSON             `json:"b11,omitempty"`
 	B12        []b12JSON             `json:"b12,omitempty"`
@@ -117,6 +119,22 @@ type b9JSON struct {
 	Mutations     int     `json:"mutations"`
 	PlanHitRate   float64 `json:"plan_hit_rate"`
 	SolverQueries int64   `json:"solver_queries"`
+}
+
+// b9vJSON flattens B9VRow for trend tracking across baselines.
+type b9vJSON struct {
+	Readers          int     `json:"readers"`
+	Ops              int     `json:"ops"`
+	TotalNanos       int64   `json:"total_ns"`
+	PerOpNanos       int64   `json:"per_op_ns"`
+	Throughput       float64 `json:"throughput_qps"`
+	Mutations        int     `json:"mutations"`
+	WriteIntervalNs  int64   `json:"write_interval_ns"`
+	PlanHitRate      float64 `json:"plan_hit_rate"`
+	MaxChainVersions int     `json:"max_chain_versions"`
+	MaxLag           uint64  `json:"max_lag"`
+	Coalesced        int64   `json:"coalesced"`
+	Truncated        int64   `json:"truncated"`
 }
 
 // b10JSON flattens B10Row for trend tracking across baselines.
@@ -374,6 +392,35 @@ func runB(quick bool, rep *report) {
 			TotalNanos: r.Total.Nanoseconds(), PerOpNanos: r.PerOp.Nanoseconds(),
 			Throughput: r.Throughput(), Mutations: r.Mutations,
 			PlanHitRate: r.PlanHitRate, SolverQueries: r.SolverQueries,
+		})
+	}
+
+	// B9v: reader scaling at a FIXED write rate over the multi-version
+	// ring. Unlike B9's free-running writer, the write pressure here is
+	// identical at every reader count, so per-query cost across 1/2/4/8
+	// readers isolates reader-side scaling; the ring-health high-water
+	// marks show reclamation keeping up under the same churn. On this
+	// single-core CI host wall-clock scaling is reported, not gated
+	// (the PR 1 precedent) — the correctness half is asserted inline.
+	b9vOps, b9vInterval := 2000, 2*time.Millisecond
+	if quick {
+		b9vOps = 500
+	}
+	fmt.Printf("\nB9v: reader scaling at a fixed write rate (scale %d, %d queries/reader, one insert per %v)\n",
+		b9Scale, b9vOps, b9vInterval)
+	for _, readers := range []int{1, 2, 4, 8} {
+		r, err := experiments.B9V(b9Scale, readers, b9vOps, b9vInterval)
+		exitOn(err)
+		fmt.Printf("  readers=%2d ops=%6d wall %12v | per-query %8v | %9.0f q/s | %4d writes | plan-hit %5.1f%% | chain hwm %d | lag hwm %d\n",
+			r.Readers, r.Ops, r.Total, r.PerOp, r.Throughput(), r.Mutations, 100*r.PlanHitRate, r.MaxChainVersions, r.MaxLag)
+		rep.B9V = append(rep.B9V, b9vJSON{
+			Readers: r.Readers, Ops: r.Ops,
+			TotalNanos: r.Total.Nanoseconds(), PerOpNanos: r.PerOp.Nanoseconds(),
+			Throughput: r.Throughput(), Mutations: r.Mutations,
+			WriteIntervalNs:  r.WriteInterval.Nanoseconds(),
+			PlanHitRate:      r.PlanHitRate,
+			MaxChainVersions: r.MaxChainVersions, MaxLag: r.MaxLag,
+			Coalesced: r.Coalesced, Truncated: r.Truncated,
 		})
 	}
 

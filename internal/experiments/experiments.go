@@ -1187,6 +1187,177 @@ func B9(scale, readers, opsPerReader int) (B9Row, error) {
 	return row, nil
 }
 
+// B9VRow is one reader-scaling measurement over the multi-version
+// snapshot ring: aggregate read throughput with N readers against a
+// writer pinned to a FIXED write rate, plus the ring-health high-water
+// marks sampled during the run. B9 lets its writer free-run, so its
+// write pressure grows with the run length; B9V holds writes constant
+// across reader counts, isolating reader-side scaling — on a multi-core
+// host throughput grows near-linearly with the reader count, and the
+// sampled reclaim depth stays bounded regardless.
+type B9VRow struct {
+	Readers int
+	Ops     int           // total queries served
+	Total   time.Duration // wall time for the reader pool
+	PerOp   time.Duration // wall time × readers / ops (per-query cost)
+	// Mutations counts the writes the ticker shipped during the reader
+	// phase; WriteInterval is the fixed tick between them.
+	Mutations     int
+	WriteInterval time.Duration
+	PlanHitRate   float64
+	// MaxChainVersions is the sampled high-water mark of retired class
+	// versions still chained (the reclaim depth); MaxLag the worst
+	// sampled reader lag in versions. Both bounded by the epoch
+	// protocol, not by the mutation count.
+	MaxChainVersions int
+	MaxLag           uint64
+	// Coalesced / Truncated are the run's deltas of the ring's
+	// publication-coalescing and version-excision counters.
+	Coalesced int64
+	Truncated int64
+}
+
+// Throughput is the aggregate serving rate in queries per second.
+func (r B9VRow) Throughput() float64 {
+	if r.Total <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Total.Seconds()
+}
+
+// B9V measures reader scaling at a fixed write rate over the scaled
+// Figure 1 fixture: a ticker-driven writer ships one singleton insert
+// per interval (republishing through the per-class delta path) while N
+// reader goroutines run the B9 query mix against pinned snapshots; a
+// sampler tracks the ring's reclaim depth and reader lag throughout.
+// Row answers are cross-checked against the warmed single-threaded
+// answers before timing, exactly like B9.
+func B9V(scale, readers, opsPerReader int, writeInterval time.Duration) (B9VRow, error) {
+	row := B9VRow{Readers: readers, WriteInterval: writeInterval}
+	local, remote := fixture.Figure1Stores(fixture.Options{Scale: scale})
+	res, err := core.Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), local, remote, 1)
+	if err != nil {
+		return row, err
+	}
+	e := view.New(res)
+	queries := []view.Query{
+		{Class: "Item", Where: expr.MustParse("isbn = 'vldb96'")},
+		{Class: "Item", Where: expr.MustParse("shopprice <= 20")},
+		{Class: "Proceedings", Where: expr.MustParse("rating >= 7 and shopprice < 75")},
+		{Class: "Proceedings", Where: expr.MustParse("rating in {5, 8}")},
+		{Class: "Proceedings", Where: expr.MustParse("publisher.name = 'IEEE' and ref? = false")},
+	}
+	want := make([]int, len(queries))
+	for i, q := range queries {
+		rows, _, err := e.Run(q)
+		if err != nil {
+			return row, err
+		}
+		want[i] = len(rows)
+	}
+
+	statsBefore := e.CacheStats()
+	ringBefore := e.RingStats()
+	var readerWG, auxWG sync.WaitGroup
+	errs := make(chan error, readers+1)
+	stop := make(chan struct{})
+	var mutations atomic.Int64
+
+	// Writer: one insert per tick, priced outside every probed range so
+	// the readers' expected answers stay fixed across republications.
+	auxWG.Add(1)
+	go func() {
+		defer auxWG.Done()
+		tick := time.NewTicker(writeInterval)
+		defer tick.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			attrs := map[string]object.Value{
+				"title":     object.Str(fmt.Sprintf("b9v-%d-%d", readers, i)),
+				"isbn":      object.Str(fmt.Sprintf("b9v-%d-%d", readers, i)),
+				"publisher": object.Ref{DB: remote.Name(), OID: 2},
+				"shopprice": object.Real(50), "libprice": object.Real(40),
+			}
+			if err := e.ShipInsert(remote, "Item", attrs); err != nil {
+				errs <- fmt.Errorf("B9V writer insert %d: %w", i, err)
+				return
+			}
+			mutations.Add(1)
+		}
+	}()
+
+	// Sampler: ring-health high-water marks while the run is live.
+	auxWG.Add(1)
+	go func() {
+		defer auxWG.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			st := e.RingStats()
+			if st.ChainVersions > row.MaxChainVersions {
+				row.MaxChainVersions = st.ChainVersions
+			}
+			if st.MaxLag > row.MaxLag {
+				row.MaxLag = st.MaxLag
+			}
+		}
+	}()
+
+	t0 := time.Now()
+	for w := 0; w < readers; w++ {
+		readerWG.Add(1)
+		go func(w int) {
+			defer readerWG.Done()
+			for i := 0; i < opsPerReader; i++ {
+				qi := (w + i) % len(queries)
+				rows, _, err := e.Run(queries[qi])
+				if err != nil {
+					errs <- fmt.Errorf("B9V reader %d: %w", w, err)
+					return
+				}
+				if len(rows) != want[qi] {
+					errs <- fmt.Errorf("B9V reader %d: query %d served %d rows, want %d",
+						w, qi, len(rows), want[qi])
+					return
+				}
+			}
+		}(w)
+	}
+	readerWG.Wait()
+	row.Total = time.Since(t0)
+	close(stop)
+	auxWG.Wait()
+
+	close(errs)
+	for err := range errs {
+		return row, err
+	}
+	row.Ops = readers * opsPerReader
+	row.Mutations = int(mutations.Load())
+	statsAfter := e.CacheStats()
+	hits := statsAfter.PlanHits - statsBefore.PlanHits
+	misses := statsAfter.PlanMisses - statsBefore.PlanMisses
+	if hits+misses > 0 {
+		row.PlanHitRate = float64(hits) / float64(hits+misses)
+	}
+	ringAfter := e.RingStats()
+	row.Coalesced = ringAfter.Coalesced - ringBefore.Coalesced
+	row.Truncated = ringAfter.Truncated - ringBefore.Truncated
+	if row.Ops > 0 {
+		row.PerOp = time.Duration(int64(row.Total) * int64(readers) / int64(row.Ops))
+	}
+	return row, nil
+}
+
 // B10Row is one federation membership-change measurement.
 type B10Row struct {
 	Scale int

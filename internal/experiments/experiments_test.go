@@ -3,6 +3,7 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestAllScenarioReproductionsPass locks the E-series: every worked
@@ -135,5 +136,25 @@ func TestB6AlwaysSuggestsRepairs(t *testing.T) {
 	// Weakening oc2 below the obligation adds a conflict vs. baseline.
 	if rows[1].Conflicts <= rows[0].Conflicts-1 {
 		t.Errorf("weakened oc2 should add a conflict: %+v", rows[:2])
+	}
+}
+
+// TestB9VSmoke runs the reader-scaling experiment at toy size: answers
+// stay correct under the ticker-driven writer, the fixed write rate
+// actually produced writes, and the sampled ring-health marks stay
+// bounded (reclamation keeps up with the churn).
+func TestB9VSmoke(t *testing.T) {
+	r, err := B9V(1, 2, 60, 500*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops != 2*60 {
+		t.Errorf("ops = %d, want %d", r.Ops, 2*60)
+	}
+	if r.Total <= 0 || r.PerOp <= 0 {
+		t.Errorf("degenerate timings: %+v", r)
+	}
+	if r.MaxChainVersions > 100 {
+		t.Errorf("reclaim depth high-water mark %d is unbounded territory", r.MaxChainVersions)
 	}
 }

@@ -299,7 +299,10 @@ func (s *Server) handleClasses(w http.ResponseWriter, r *http.Request) error {
 	return nil
 }
 
-// tenantCacheStats is one tenant's engine-counter entry in /metrics.
+// tenantCacheStats is one tenant's engine-counter entry in /metrics:
+// the plan-cache/solver counters plus the multi-version snapshot ring's
+// health (sequence, pinned reader epochs, reclaim depth) so operators
+// can see a stalled reader or a reclamation leak from the outside.
 type tenantCacheStats struct {
 	PlanHits      int64   `json:"plan_hits"`
 	PlanMisses    int64   `json:"plan_misses"`
@@ -307,6 +310,13 @@ type tenantCacheStats struct {
 	SolverQueries int64   `json:"solver_queries"`
 	Compiles      int64   `json:"compiles"`
 	Publishes     int64   `json:"publishes"`
+	Seq           uint64  `json:"snapshot_seq"`
+	PinnedReaders int     `json:"pinned_readers"`
+	MaxLag        uint64  `json:"max_reader_lag"`
+	ChainVersions int     `json:"chain_versions"`
+	Coalesced     int64   `json:"coalesced_publishes"`
+	Truncated     int64   `json:"truncated_versions"`
+	Structural    int64   `json:"structural_publishes"`
 }
 
 // handleMetrics renders per-endpoint latency/QPS counters and every
@@ -328,6 +338,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		cs := e.CacheStats()
+		rs := e.RingStats()
 		perTenant[n] = tenantCacheStats{
 			PlanHits:      cs.PlanHits,
 			PlanMisses:    cs.PlanMisses,
@@ -335,6 +346,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			SolverQueries: cs.SolverQueries,
 			Compiles:      cs.Compiles,
 			Publishes:     cs.Publishes,
+			Seq:           rs.Seq,
+			PinnedReaders: rs.PinnedReaders,
+			MaxLag:        rs.MaxLag,
+			ChainVersions: rs.ChainVersions,
+			Coalesced:     rs.Coalesced,
+			Truncated:     rs.Truncated,
+			Structural:    rs.Structural,
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

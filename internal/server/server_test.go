@@ -666,6 +666,11 @@ func TestMetricsEndpoint(t *testing.T) {
 	if f.PlanHits < 2 {
 		t.Errorf("figure1 plan hits %d, want >= 2 (stats %+v)", f.PlanHits, f)
 	}
+	// Ring health: queries pin and unpin around each request, so at rest
+	// nothing is pinned and every chain is reclaimed to its head.
+	if f.PinnedReaders != 0 || f.ChainVersions != 0 {
+		t.Errorf("ring not quiescent between requests: %+v", f)
+	}
 }
 
 // TestPprofMounted pins that the profiling surface is reachable.

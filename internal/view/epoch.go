@@ -1,0 +1,151 @@
+package view
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Epoch-based reclamation (DESIGN.md §11): every lock-free reader
+// announces the snapshot sequence it is serving from in a private,
+// cache-line-padded epoch slot before it touches any chained class
+// version. The publisher installs the next snapshot FIRST and scans the
+// slots SECOND, while a reader stores its epoch FIRST and re-checks the
+// snapshot pointer SECOND — Go atomics are sequentially consistent, so
+// one side always observes the other: either the publisher's scan sees
+// the pin and keeps the reader's versions, or the reader's re-check
+// sees the new snapshot and re-pins at it. Retired class versions that
+// no announced epoch can resolve are excised from the version chains
+// (snapshot.go) and become garbage.
+
+const (
+	// slotFree marks a slot no reader owns; slotClaimed marks a slot a
+	// reader acquired but has not pinned. A pinned slot stores the
+	// reader's snapshot sequence biased by pinBias, so sequence 0 is
+	// distinguishable from both idle states.
+	slotFree    = 0
+	slotClaimed = 1
+	pinBias     = 2
+)
+
+// epochSlot is one reader's epoch announcement cell, padded past a
+// cache line so concurrent readers on different slots never share one.
+// While a slot is claimed its counters are owned exclusively by that
+// reader, so the per-query plan-cache bookkeeping costs an uncontended
+// local add instead of a fetch-add on a line every reader fights over.
+type epochSlot struct {
+	state      atomic.Uint64 // slotFree | slotClaimed | seq+pinBias
+	planHits   atomic.Int64
+	planMisses atomic.Int64
+	_          [104]byte // pad to 128 bytes: no false sharing between slots
+}
+
+// epochTable registers every epoch slot ever created. Slots are
+// acquired through a sync.Pool hint (the common case: the slot a P
+// just released), with a table scan and a grow path behind it, and are
+// never removed — the table is bounded by the peak number of
+// concurrent readers, and keeping retired slots makes counter
+// aggregation a simple sum.
+type epochTable struct {
+	slots atomic.Pointer[[]*epochSlot]
+	grow  sync.Mutex
+	pool  sync.Pool
+}
+
+func newEpochTable() *epochTable {
+	t := &epochTable{}
+	empty := []*epochSlot{}
+	t.slots.Store(&empty)
+	return t
+}
+
+// acquire claims a free slot: the pooled hint when it is still free,
+// any free table slot otherwise, a freshly grown one as a last resort.
+// The CAS arbitrates between the hint path and the scan path, so a slot
+// is never claimed twice.
+func (t *epochTable) acquire() *epochSlot {
+	if v := t.pool.Get(); v != nil {
+		if s := v.(*epochSlot); s.state.CompareAndSwap(slotFree, slotClaimed) {
+			return s
+		}
+	}
+	for _, s := range *t.slots.Load() {
+		if s.state.CompareAndSwap(slotFree, slotClaimed) {
+			return s
+		}
+	}
+	t.grow.Lock()
+	defer t.grow.Unlock()
+	s := &epochSlot{}
+	s.state.Store(slotClaimed)
+	old := *t.slots.Load()
+	next := make([]*epochSlot, len(old)+1)
+	copy(next, old)
+	next[len(old)] = s
+	t.slots.Store(&next)
+	return s
+}
+
+// release frees the slot and pools it as the next acquire's hint.
+func (t *epochTable) release(s *epochSlot) {
+	s.state.Store(slotFree)
+	t.pool.Put(s)
+}
+
+// all returns the slot registry (for counter aggregation).
+func (t *epochTable) all() []*epochSlot {
+	return *t.slots.Load()
+}
+
+// pinnedSeqs returns the distinct pinned snapshot sequences, sorted
+// descending — the shape truncateChain consumes.
+func (t *epochTable) pinnedSeqs() []uint64 {
+	var out []uint64
+	for _, s := range *t.slots.Load() {
+		if st := s.state.Load(); st >= pinBias {
+			out = append(out, st-pinBias)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	dst := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// pinnedCount returns how many slots are currently pinned.
+func (t *epochTable) pinnedCount() int {
+	n := 0
+	for _, s := range *t.slots.Load() {
+		if s.state.Load() >= pinBias {
+			n++
+		}
+	}
+	return n
+}
+
+// pin acquires an epoch slot and pins the current snapshot in it. The
+// store-then-recheck loop is the reader half of the Dekker protocol
+// described at the top of this file: returning (s, slot) guarantees the
+// publisher either saw the pin before truncating chains or has not
+// published past s at all.
+func (e *Engine) pin() (*snapshot, *epochSlot) {
+	slot := e.epochs.acquire()
+	for {
+		s := e.snap.Load()
+		slot.state.Store(s.seq + pinBias)
+		if e.snap.Load() == s {
+			return s, slot
+		}
+		// A publication raced the pin; re-pin at the newer snapshot so
+		// the publisher's reclaim scan cannot have missed this reader.
+	}
+}
+
+// unpin releases the reader's pin and recycles the slot.
+func (e *Engine) unpin(slot *epochSlot) {
+	e.epochs.release(slot)
+}

@@ -1,0 +1,66 @@
+package view
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseQuery drives the CLI query parser with arbitrary input. The
+// parser fronts every textual entrypoint (interopcli, the HTTP query
+// endpoint's string form), so its contract is pinned here: it never
+// panics, and on success it returns a well-formed Query — a non-empty,
+// trimmed class name, non-empty trimmed select fields, and a non-nil
+// predicate exactly when the source had a where clause.
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		"select title, rating from Proceedings where rating >= 7",
+		"select * from Item",
+		"from Publication where publisher.name = 'ACM'",
+		"from Monograph",
+		"SELECT title FROM Item WHERE shopprice < 40 and libprice <= shopprice",
+		"select title from Item where exists p in Publisher: p.name = 'ACM'",
+		"from Item where title = 'where from select'",
+		"select ,, from Item",
+		"select title from",
+		"from  where rating > 1",
+		"from Item where",
+		"where rating > 1",
+		"from Item where rating >",
+		"select title, from Item",
+		"",
+		"   \t  ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return // rejected input: the only contract is "no panic"
+		}
+		if q.Class == "" || q.Class != strings.TrimSpace(q.Class) {
+			t.Fatalf("ParseQuery(%q) accepted a malformed class %q", src, q.Class)
+		}
+		for i, sel := range q.Select {
+			if sel == "" || sel != strings.TrimSpace(sel) {
+				t.Fatalf("ParseQuery(%q) accepted a malformed select field %d: %q", src, i, sel)
+			}
+		}
+		if hasWordWhere(src) != (q.Where != nil) {
+			// A where keyword outside a string literal must yield a
+			// predicate (or an error); absence must yield none.
+			t.Fatalf("ParseQuery(%q): where clause presence %v does not match the source", src, q.Where != nil)
+		}
+	})
+}
+
+// hasWordWhere mirrors the parser's own whole-word keyword scan over the
+// class/where tail, conservatively re-checking only unambiguous cases:
+// it reports whether an unquoted whole-word "where" follows the from
+// clause.
+func hasWordWhere(src string) bool {
+	lower := strings.ToLower(strings.TrimSpace(src))
+	if i := indexWord(lower, "from"); i >= 0 {
+		lower = strings.TrimSpace(lower[i+len("from"):])
+	}
+	return indexWord(lower, "where") >= 0
+}

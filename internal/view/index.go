@@ -370,9 +370,11 @@ func rangeProbe(ix *ordIndex, op expr.Op, c object.Value) []int {
 }
 
 // keyViolated probes the composite-key uniqueness index of the current
-// snapshot with the proposed object. Caller must hold e.mu (read): the
-// snapshot is then guaranteed current, so the probe answers over
-// exactly the live extension.
+// snapshot with the proposed object. Caller must hold e.mu (read) AND
+// have checked e.pending == nil: only then is the published snapshot
+// guaranteed current with the live view (a staged-but-unflushed
+// publication means the snapshot lags the live extension), so the probe
+// answers over exactly the live extension.
 func (e *Engine) keyViolated(class string, attrs []string, obj expr.Object) bool {
 	ix := e.keyFor(e.snap.Load().class(class), attrs)
 	if ix.preDup() {

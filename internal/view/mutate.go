@@ -749,6 +749,7 @@ func (e *Engine) ShipUpdate(st *store.Store, class string, id int, attrs map[str
 // always completes.
 func (e *Engine) ShipUpdateContext(ctx context.Context, st *store.Store, class string, id int, attrs map[string]object.Value) error {
 	e.mu.Lock()
+	defer e.ensurePublished()
 	defer e.mu.Unlock()
 	g, err := e.lockedTarget(class, id)
 	if err != nil {
@@ -776,14 +777,14 @@ func (e *Engine) ShipUpdateContext(ctx context.Context, st *store.Store, class s
 	_, changed, err := e.res.View.ApplyUpdate(clone, attrs)
 	if err != nil {
 		// The view's attribute state is updated but reclassification
-		// failed partway; rebuild the whole snapshot so nothing serves
-		// stale memberships.
-		e.publishAll()
+		// failed partway; stage a full rebuild so nothing serves stale
+		// memberships.
+		e.stagePublishAll()
 		return fmt.Errorf("update committed locally but not fully applied to the view: %w", err)
 	}
 	// Every extent of the object changed (the detach swapped its
 	// pointer) plus the memberships reclassification moved.
-	e.publish(append(classNames(clone), changed...), nil, true)
+	e.stagePublication(append(classNames(clone), changed...), nil, true)
 	return nil
 }
 
@@ -811,6 +812,7 @@ func (e *Engine) ShipDelete(class string, id int, stores ...*store.Store) error 
 // midway would strand committed deletions outside the view.
 func (e *Engine) ShipDeleteContext(ctx context.Context, class string, id int, stores ...*store.Store) error {
 	e.mu.Lock()
+	defer e.ensurePublished()
 	defer e.mu.Unlock()
 	g, err := e.lockedTarget(class, id)
 	if err != nil {
@@ -867,7 +869,7 @@ func (e *Engine) ShipDeleteContext(ctx context.Context, class string, id int, st
 	if err != nil {
 		return fmt.Errorf("delete committed locally but not applied to the view: %w", err)
 	}
-	e.publish(classes, nil, true)
+	e.stagePublication(classes, nil, true)
 	return nil
 }
 
@@ -905,6 +907,7 @@ func (e *Engine) ShipTx(st *store.Store, ops []Mutation) error {
 // application always completes.
 func (e *Engine) ShipTxContext(ctx context.Context, st *store.Store, ops []Mutation) error {
 	e.mu.Lock()
+	defer e.ensurePublished()
 	defer e.mu.Unlock()
 
 	applies := make([]shippedOp, 0, len(ops))
@@ -989,9 +992,11 @@ type shippedOp struct {
 
 // applyShipped applies a locally committed batch to the integrated view
 // in batch order, collecting the affected classes and fresh objects for
-// ONE snapshot publication at the end — concurrent readers observe the
-// batch atomically. Shared by ShipTx (single-store batches) and
-// ShipTxRouted (per-member routed batches). Caller holds e.mu (write).
+// ONE staged publication at the end — concurrent readers observe the
+// batch atomically (whole batches are staged and flushed, never a torn
+// prefix). Shared by ShipTx (single-store batches), ShipTxRouted
+// (per-member routed batches) and Reconcile. Caller holds e.mu (write)
+// and must arrange for ensurePublished to run after releasing it.
 func (e *Engine) applyShipped(applies []shippedOp) error {
 	var affected []string
 	var inserted []*core.GObj
@@ -1001,7 +1006,7 @@ func (e *Engine) applyShipped(applies []shippedOp) error {
 		case MutInsert:
 			g, err := e.res.View.ApplyInsert(ap.op.Class, ap.op.Attrs, object.Ref{DB: ap.db, OID: ap.oid})
 			if err != nil {
-				e.publishAll()
+				e.stagePublishAll()
 				return fmt.Errorf("op %d committed locally but not applied to the view: %w", i, err)
 			}
 			inserted = append(inserted, g)
@@ -1016,7 +1021,7 @@ func (e *Engine) applyShipped(applies []shippedOp) error {
 			clone := e.res.View.DetachForUpdate(target)
 			_, changed, err := e.res.View.ApplyUpdate(clone, ap.op.Attrs)
 			if err != nil {
-				e.publishAll()
+				e.stagePublishAll()
 				return fmt.Errorf("op %d committed locally but not fully applied to the view: %w", i, err)
 			}
 			fork = true
@@ -1029,14 +1034,14 @@ func (e *Engine) applyShipped(applies []shippedOp) error {
 			}
 			classes, err := e.res.View.ApplyDelete(target)
 			if err != nil {
-				e.publishAll()
+				e.stagePublishAll()
 				return fmt.Errorf("op %d committed locally but not applied to the view: %w", i, err)
 			}
 			fork = true
 			affected = append(affected, classes...)
 		}
 	}
-	e.publish(affected, inserted, fork)
+	e.stagePublication(affected, inserted, fork)
 	return nil
 }
 

@@ -18,7 +18,7 @@ import (
 func ParseQuery(src string) (Query, error) {
 	var q Query
 	rest := strings.TrimSpace(src)
-	lower := strings.ToLower(rest)
+	lower := lowerASCII(rest)
 
 	// select clause.
 	if strings.HasPrefix(lower, "select ") {
@@ -47,7 +47,7 @@ func ParseQuery(src string) (Query, error) {
 		return q, fmt.Errorf("query needs a from clause")
 	}
 	rest = strings.TrimSpace(rest[len("from "):])
-	lower = strings.ToLower(rest)
+	lower = lowerASCII(rest)
 
 	// class name up to optional where.
 	whereIdx := indexWord(lower, "where")
@@ -72,6 +72,22 @@ func ParseQuery(src string) (Query, error) {
 	}
 	q.Where = n
 	return q, nil
+}
+
+// lowerASCII lowercases ASCII letters only. Unlike strings.ToLower it
+// is byte-length preserving on every input (ToLower re-encodes invalid
+// UTF-8 bytes as the 3-byte replacement rune, which would shift the
+// keyword indices ParseQuery computes on the lowered string and then
+// applies to the original — the panic FuzzParseQuery found). The
+// keywords being matched are pure ASCII, so nothing else is needed.
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+		}
+	}
+	return string(b)
 }
 
 // indexWord finds a whole-word occurrence of the keyword in a lower-cased

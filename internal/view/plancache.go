@@ -58,13 +58,20 @@ type plan struct {
 }
 
 // engineCounters aggregates the serving engine's cache-effectiveness
-// counters (atomics: Run updates them without any lock).
+// counters (atomics: every path updates them without any lock). Plan
+// hits and misses are NOT here: they are striped across the epoch slots
+// (epoch.go) so the steady-state read path never fetch-adds a cache
+// line every reader shares; CacheStats sums the stripes.
 type engineCounters struct {
-	planHits   atomic.Int64
-	planMisses atomic.Int64
-	solver     atomic.Int64
-	compiles   atomic.Int64
-	publishes  atomic.Int64
+	solver    atomic.Int64
+	compiles  atomic.Int64
+	publishes atomic.Int64
+	// coalesced counts staged publications merged into another writer's
+	// flush; truncated counts excised class versions; structural counts
+	// full-rebuild publications (snapshot.go).
+	coalesced  atomic.Int64
+	truncated  atomic.Int64
+	structural atomic.Int64
 }
 
 // CacheStats reports the serving engine's steady-state cache work: plan
@@ -82,8 +89,9 @@ type CacheStats struct {
 	SolverQueries int64
 	// Compiles counts expr.Compile calls made by the planner.
 	Compiles int64
-	// Publishes counts snapshot publications (one per Ship* call plus
-	// one at construction).
+	// Publishes counts snapshot publications: one at construction, one
+	// per flushed Ship* batch — under concurrent writers a single flush
+	// may cover several batches (see RingStats.Coalesced).
 	Publishes int64
 }
 
@@ -103,38 +111,40 @@ func (s CacheStats) String() string {
 		s.PlanHits, s.PlanMisses, 100*s.PlanHitRate(), s.SolverQueries, s.Compiles, s.Publishes)
 }
 
-// CacheStats returns the engine's cache counters.
+// CacheStats returns the engine's cache counters. Plan hits and misses
+// are summed over the epoch-slot stripes each reader updates privately.
 func (e *Engine) CacheStats() CacheStats {
-	return CacheStats{
-		PlanHits:      e.counters.planHits.Load(),
-		PlanMisses:    e.counters.planMisses.Load(),
+	out := CacheStats{
 		SolverQueries: e.counters.solver.Load(),
 		Compiles:      e.counters.compiles.Load(),
 		Publishes:     e.counters.publishes.Load(),
 	}
+	for _, sl := range e.epochs.all() {
+		out.PlanHits += sl.planHits.Load()
+		out.PlanMisses += sl.planMisses.Load()
+	}
+	return out
 }
 
 // planFor returns the cached plan for the predicate under the given
 // flags, building and (capacity permitting) caching it on miss. hit
-// reports whether the plan came from the cache. A build aborted by
-// context cancellation returns the error and caches NOTHING — a
-// half-planned query must not poison the cache for later callers.
+// reports whether the plan came from the cache — the caller records it
+// in its own epoch-slot counter stripe. A build aborted by context
+// cancellation returns the error and caches NOTHING — a half-planned
+// query must not poison the cache for later callers.
 func (e *Engine) planFor(ctx context.Context, s *snapshot, cs *classState, pred expr.Node, useCons, useIdx bool) (p *plan, hit bool, err error) {
 	fp := expr.Fingerprint(pred)
 	key := planKey{hi: fp.Hi, lo: fp.Lo, cons: useCons, idx: useIdx, gate: e.CostGate}
 	if v, ok := cs.plans.Load(key); ok {
 		p := v.(*plan)
 		if expr.Equal(p.pred, pred) {
-			e.counters.planHits.Add(1)
 			return p, true, nil
 		}
 		// Fingerprint collision: serve a throwaway plan, leave the
 		// incumbent cached.
-		e.counters.planMisses.Add(1)
 		p, err = e.buildPlan(ctx, s, cs, pred, useCons, useIdx)
 		return p, false, err
 	}
-	e.counters.planMisses.Add(1)
 	p, err = e.buildPlan(ctx, s, cs, pred, useCons, useIdx)
 	if err != nil {
 		return nil, false, err

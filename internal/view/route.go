@@ -89,6 +89,7 @@ func (e *Engine) ShipTxRouted(reg *store.Registry, ops []Mutation) error {
 // committed subtransactions outside the view.
 func (e *Engine) ShipTxRoutedContext(ctx context.Context, reg *store.Registry, ops []Mutation) error {
 	e.mu.Lock()
+	defer e.ensurePublished()
 	defer e.mu.Unlock()
 
 	txs := map[string]store.Txn{}

@@ -102,11 +102,24 @@ type Engine struct {
 
 	// mu serialises the live view: Validate* and CheckAll hold it for
 	// read, the Ship* methods for write while applying a shipped
-	// mutation and publishing the next snapshot. Run does NOT take it.
+	// mutation and staging its publication. Run does NOT take it.
 	mu sync.RWMutex
 
 	// snap is the published serving snapshot (snapshot.go).
 	snap atomic.Pointer[snapshot]
+
+	// epochs is the reader epoch-slot table (epoch.go): Run pins the
+	// snapshot it serves from so reclamation never excises a class
+	// version a reader can still resolve.
+	epochs *epochTable
+
+	// pending is the staged-but-unflushed publication (snapshot.go) and
+	// deep the classes whose version chains hold retired versions. Both
+	// are guarded by mu: written under the write lock, readable under
+	// either half (ValidateInsert checks pending == nil under the read
+	// lock to decide whether the snapshot's key index is current).
+	pending *pendingPub
+	deep    map[string]*classSlot
 
 	// stores is the registry the unified Ship entrypoint routes through
 	// (route.go). Bound by the federation that owns the engine; nil until
@@ -179,10 +192,12 @@ func New(res *core.Result) *Engine {
 		CostGate:       true,
 		cons:           map[string]*classCons{},
 		mcons:          map[string]*consGroup{},
+		epochs:         newEpochTable(),
+		deep:           map[string]*classSlot{},
 		health:         newHealthTracker(),
 		journal:        newCommitJournal(),
 	}
-	e.publishAll()
+	e.installAllLocked()
 	return e
 }
 
@@ -251,7 +266,10 @@ const ctxCheckRows = 256
 // the snapshot and the plan cache are never poisoned by a client that
 // went away (reads never mutate either; pinned by TestRunContext*).
 func (e *Engine) RunContext(ctx context.Context, q Query) ([]Row, Stats, error) {
-	s := e.snap.Load()
+	// Pin the snapshot in an epoch slot (epoch.go) so concurrent
+	// publications cannot reclaim the class versions this query reads.
+	s, slot := e.pin()
+	defer e.unpin(slot)
 	cs := s.class(q.Class)
 	var stats Stats
 	stats.Degraded = e.health.degradedMembers()
@@ -275,6 +293,11 @@ func (e *Engine) RunContext(ctx context.Context, q Query) ([]Row, Stats, error) 
 
 	useCons, useIdx := e.UseConstraints, e.UseIndexes
 	p, hit, err := e.planFor(ctx, s, cs, q.Where, useCons, useIdx)
+	if hit {
+		slot.planHits.Add(1)
+	} else {
+		slot.planMisses.Add(1)
+	}
 	if err != nil {
 		return nil, stats, err
 	}
@@ -433,10 +456,15 @@ func (e *Engine) ValidateInsert(class string, attrs map[string]object.Value) []R
 		}
 	}
 	// Key constraints: probe the key-uniqueness index of each declaring
-	// class (or, on the reference path, its full extent).
+	// class (or, on the reference path, its full extent). The index
+	// probe requires the published snapshot to be current with the live
+	// view; a publication staged by a Ship* call but not yet flushed
+	// (pending != nil — possible because the flush runs after the write
+	// lock is released) falls back to the reference path, which reads
+	// the live extension directly.
 	for _, kc := range cg.keys {
 		violated := false
-		if e.UseIndexes {
+		if e.UseIndexes && e.pending == nil {
 			violated = e.keyViolated(kc.class, kc.attrs, obj)
 		} else {
 			ext := []expr.Object{obj}
@@ -503,6 +531,10 @@ func (e *Engine) ShipInsertContext(ctx context.Context, st *store.Store, class s
 		return fmt.Errorf("no origin class for global class %s: %w", class, ErrUnknownClass)
 	}
 	e.mu.Lock()
+	// LIFO defer order: the lock is released first, THEN the staged
+	// publication is flushed — publications staged by writers that ran
+	// in between coalesce into one version bump (snapshot.go).
+	defer e.ensurePublished()
 	defer e.mu.Unlock()
 	tx := st.Begin()
 	if err := ctx.Err(); err != nil {
@@ -525,7 +557,7 @@ func (e *Engine) ShipInsertContext(ctx context.Context, st *store.Store, class s
 	if err != nil {
 		return fmt.Errorf("insert committed locally but not applied to the view: %w", err)
 	}
-	e.publish(classNames(g), []*core.GObj{g}, false)
+	e.stagePublication(classNames(g), []*core.GObj{g}, false)
 	return nil
 }
 
@@ -556,6 +588,10 @@ func (e *Engine) Result() *core.Result { return e.res }
 func (e *Engine) Rebind(apply func() (changed, removed []string, err error)) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Drain any publication staged by an unflushed Ship* call before the
+	// membership mutation: the carry-over below copies each untouched
+	// class's CURRENT serving state into the fresh slot map.
+	e.flushLocked()
 	e.cmu.Lock()
 	changed, removed, err := apply()
 	e.cons = map[string]*classCons{}
@@ -565,10 +601,10 @@ func (e *Engine) Rebind(apply func() (changed, removed []string, err error)) err
 	}
 	e.cmu.Unlock()
 	if err != nil {
-		e.publishAll()
+		e.installAllLocked()
 		return err
 	}
-	e.publishMembership(changed, removed)
+	e.publishMembershipLocked(changed, removed)
 	return nil
 }
 
