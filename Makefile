@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race fuzz bench bench-smoke chaos baseline bench-compare profile serve load
+.PHONY: all build vet fmt fmt-check test race fuzz bench bench-smoke chaos crashtest baseline bench-compare profile serve load
 
 all: build vet fmt-check test
 
@@ -37,12 +37,25 @@ chaos:
 	$(GO) test -race -count=1 ./internal/store/chaos/
 	$(GO) test -race -count=1 -run 'Chaos|Breaker|PartialCommit|LateRejection|FailAfterCommit' ./internal/view/
 	$(GO) test -race -count=1 -run 'Health|Wire|BackgroundReconciler' ./internal/server/
+	$(GO) test -race -count=1 -run 'CrashRecovery' .
 
-# Short-budget native fuzzing of the query parser and the wire codec,
-# as in CI. Finds are written to testdata/fuzz — commit them.
+# Crash-safety suite: WAL scan/replay/truncation contracts, checkpoint
+# round trips, kill-and-recover differentials (recovered state
+# byte-identical to the acknowledged prefix, warm starts serving plan
+# hits with zero solver work) — including under injected disk faults —
+# and the wire-level durable-tenant lifecycle.
+crashtest:
+	$(GO) test -race -count=1 -run 'WAL|Checkpoint|Durable|Replay' ./internal/store/
+	$(GO) test -race -count=1 -run 'Durability|WarmStart|CrashRecovery' .
+	$(GO) test -race -count=1 -run 'Durable' ./internal/server/
+
+# Short-budget native fuzzing of the query parser, the wire codec and
+# the WAL decoder, as in CI. Finds are written to testdata/fuzz —
+# commit them.
 fuzz:
 	$(GO) test -fuzz=FuzzParseQuery -fuzztime=20s -run='^$$' ./internal/view/
 	$(GO) test -fuzz=FuzzCodecRoundTrip -fuzztime=20s -run='^$$' ./internal/server/
+	$(GO) test -fuzz=FuzzWALDecode -fuzztime=20s -run='^$$' ./internal/store/
 
 # Full benchmark run (slow).
 bench:
@@ -62,17 +75,17 @@ bench-smoke:
 # a single-core host, especially for one-shot cold timings) cannot
 # poison the committed baseline.
 baseline:
-	$(GO) run ./cmd/interopbench -quick -json BENCH_8.r1.json
-	$(GO) run ./cmd/interopbench -quick -json BENCH_8.r2.json
-	$(GO) run ./cmd/interopbench -quick -json BENCH_8.r3.json
-	$(GO) run ./cmd/benchcompare -merge BENCH_8.json BENCH_8.r1.json BENCH_8.r2.json BENCH_8.r3.json
-	rm -f BENCH_8.r1.json BENCH_8.r2.json BENCH_8.r3.json
+	$(GO) run ./cmd/interopbench -quick -json BENCH_9.r1.json
+	$(GO) run ./cmd/interopbench -quick -json BENCH_9.r2.json
+	$(GO) run ./cmd/interopbench -quick -json BENCH_9.r3.json
+	$(GO) run ./cmd/benchcompare -merge BENCH_9.json BENCH_9.r1.json BENCH_9.r2.json BENCH_9.r3.json
+	rm -f BENCH_9.r1.json BENCH_9.r2.json BENCH_9.r3.json
 
 # Diff the current baseline against the previous PR's and GATE: shared
 # timing metrics regressing beyond -max-regress fail (sub-10µs rows are
 # noise-floored; E-series pass→fail drift always fails).
 bench-compare:
-	$(GO) run ./cmd/benchcompare -max-regress 100 BENCH_7.json BENCH_8.json
+	$(GO) run ./cmd/benchcompare -max-regress 100 BENCH_8.json BENCH_9.json
 
 # Serve the federation over HTTP: figure1 + personnel tenants on :7070,
 # with /metrics and pprof. Ctrl-C drains gracefully.

@@ -73,6 +73,7 @@ var sections = []struct {
 	{"b10", []string{"scale"}, []string{"attach_ns", "reintegrate_ns"}},
 	{"b11", []string{"readers"}, []string{"wire_per_op_ns", "p50_ns"}},
 	{"b12", []string{"scale"}, []string{"faulty_ns", "reconverge_ns"}},
+	{"b13", []string{"scale"}, []string{"ship_wal_sync_ns", "warm_boot_ns"}},
 }
 
 func load(path string) (*report, error) {

@@ -15,7 +15,11 @@
 // plan-cache hit rate; B10 measures incremental attach against full
 // re-integration; B11 drives the same mixed workload through
 // interopd's HTTP surface and reports the wire overhead against the
-// in-process engine.
+// in-process engine; B12 measures serving under injected member faults
+// and the reconvergence cost after an outage; B13 measures the
+// durability bill (write-ahead logging per routed commit, with and
+// without fsync) and the warm-start payoff (cold vs recovered boot to
+// plan-hit serving).
 //
 // Usage:
 //
@@ -63,6 +67,7 @@ type report struct {
 	B10        []b10JSON             `json:"b10,omitempty"`
 	B11        []b11JSON             `json:"b11,omitempty"`
 	B12        []b12JSON             `json:"b12,omitempty"`
+	B13        []b13JSON             `json:"b13,omitempty"`
 }
 
 type eResult struct {
@@ -185,6 +190,27 @@ type b12JSON struct {
 	Completed       int     `json:"completed"`
 }
 
+// b13JSON flattens B13Result for trend tracking across baselines: the
+// write-side durability bill (bare vs WAL vs WAL+fsync shipping) and
+// the boot-side payoff (cold vs warm recovery to plan-hit serving).
+type b13JSON struct {
+	Scale             int     `json:"scale"`
+	Batches           int     `json:"batches"`
+	ShipBareNanos     int64   `json:"ship_bare_ns"`
+	ShipWALNanos      int64   `json:"ship_wal_ns"`
+	ShipWALSyncNanos  int64   `json:"ship_wal_sync_ns"`
+	WALOverheadX      float64 `json:"wal_overhead_x"`
+	WALSyncOverheadX  float64 `json:"wal_sync_overhead_x"`
+	ColdBootNanos     int64   `json:"cold_boot_ns"`
+	WarmBootNanos     int64   `json:"warm_boot_ns"`
+	BootSpeedup       float64 `json:"boot_speedup"`
+	ReplayedCommits   int     `json:"replayed_commits"`
+	MemoEntries       int     `json:"memo_entries"`
+	PlansWarmed       int     `json:"plans_warmed"`
+	WarmPlanHits      int64   `json:"warm_plan_hits"`
+	WarmSolverQueries int64   `json:"warm_solver_queries"`
+}
+
 type b4JSON struct {
 	Constraints  int     `json:"constraints"`
 	Derived      int     `json:"derived"`
@@ -237,6 +263,9 @@ func main() {
 	}
 	if *only == "" || strings.EqualFold(*only, "B") || strings.EqualFold(*only, "b12") {
 		runB12(*quick, &rep)
+	}
+	if *only == "" || strings.EqualFold(*only, "B") || strings.EqualFold(*only, "b13") {
+		runB13(*quick, &rep)
 	}
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
@@ -507,6 +536,37 @@ func runB12(quick bool, rep *report) {
 			OverheadX:     r.Overhead(),
 			DegradedReads: r.DegradedReads, WriteFastFails: r.WriteFastFails,
 			ReconvergeNanos: r.Reconverge.Nanoseconds(), Completed: r.Completed,
+		})
+	}
+}
+
+// runB13 measures durability: the same routed workload shipped bare,
+// WAL-logged, and WAL-logged with an fsync per commit, then a crash of
+// the synced node and the cold-vs-warm boot race back to plan-hit
+// serving.
+func runB13(quick bool, rep *report) {
+	scales := []int{1, 10, 50}
+	batches := 200
+	if quick {
+		scales = []int{1, 10}
+		batches = 50
+	}
+	fmt.Printf("\nB13: durability — WAL ship overhead and warm-start recovery (%d cross-member batches)\n", batches)
+	for _, scale := range scales {
+		r, err := experiments.B13(scale, batches)
+		exitOn(err)
+		fmt.Printf("  scale=%3d ship: bare %12v | wal %12v (%.2fx) | wal+fsync %12v (%.2fx) | boot: cold %12v vs warm %12v (%.2fx, %d commits replayed, %d memo, %d plans, %d solver queries)\n",
+			r.Scale, r.ShipBare, r.ShipWALNoSync, r.WALOverheadNoSync(), r.ShipWALSync, r.WALOverheadSync(),
+			r.ColdBoot, r.WarmBoot, r.BootSpeedup(), r.ReplayedCommits, r.MemoEntries, r.PlansWarmed, r.WarmSolverQueries)
+		rep.B13 = append(rep.B13, b13JSON{
+			Scale: r.Scale, Batches: r.Batches,
+			ShipBareNanos: r.ShipBare.Nanoseconds(), ShipWALNanos: r.ShipWALNoSync.Nanoseconds(),
+			ShipWALSyncNanos: r.ShipWALSync.Nanoseconds(),
+			WALOverheadX:     r.WALOverheadNoSync(), WALSyncOverheadX: r.WALOverheadSync(),
+			ColdBootNanos: r.ColdBoot.Nanoseconds(), WarmBootNanos: r.WarmBoot.Nanoseconds(),
+			BootSpeedup:     r.BootSpeedup(),
+			ReplayedCommits: r.ReplayedCommits, MemoEntries: r.MemoEntries, PlansWarmed: r.PlansWarmed,
+			WarmPlanHits: r.WarmPlanHits, WarmSolverQueries: r.WarmSolverQueries,
 		})
 	}
 }

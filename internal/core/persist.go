@@ -1,0 +1,103 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"interopdb/internal/expr"
+)
+
+// Derivation persistence (DESIGN.md §13). The checkpoint does not
+// restore a Derivation directly — a warm start re-runs derivation over
+// the re-built schemas with the imported memo, so every verdict is a
+// cache hit — but it does persist the derived global constraint set so
+// recovery can VERIFY the re-derived federation matches the pre-crash
+// one. A mismatch means the code or fixtures changed under the data
+// directory; recovery surfaces it instead of silently serving under
+// different constraints than the WAL's batches were validated against.
+
+// constraintExport is one persisted global constraint.
+type constraintExport struct {
+	Classes    []string        `json:"classes,omitempty"`
+	Scope      int             `json:"scope"`
+	Kind       int             `json:"kind"`
+	Expr       json.RawMessage `json:"expr"`
+	Origin     []ConKey        `json:"origin,omitempty"`
+	Derivation string          `json:"derivation,omitempty"`
+	Provenance []string        `json:"provenance,omitempty"`
+}
+
+// ExportDerivation serializes the derivation's global constraint set in
+// its deterministic derivation order, expressions through expr's
+// structural codec.
+func ExportDerivation(d *Derivation) ([]byte, error) {
+	out := make([]constraintExport, 0, len(d.Global))
+	for i, gc := range d.Global {
+		eb, err := expr.EncodeNode(gc.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("derivation export: constraint %d: %w", i, err)
+		}
+		out = append(out, constraintExport{
+			Classes:    gc.Classes,
+			Scope:      int(gc.Scope),
+			Kind:       int(gc.Kind),
+			Expr:       eb,
+			Origin:     gc.Origin,
+			Derivation: gc.Derivation,
+			Provenance: gc.Provenance,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// VerifyDerivation checks a freshly re-derived Derivation against a
+// persisted export: same constraints, same order, same provenance,
+// structurally equal expressions. Returns nil on match.
+func VerifyDerivation(d *Derivation, data []byte) error {
+	var want []constraintExport
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("derivation verify: decode: %w", err)
+	}
+	if len(want) != len(d.Global) {
+		return fmt.Errorf("derivation verify: %d global constraints re-derived, checkpoint has %d", len(d.Global), len(want))
+	}
+	for i, w := range want {
+		g := d.Global[i]
+		if !equalStrings(w.Classes, g.Classes) || w.Scope != int(g.Scope) || w.Kind != int(g.Kind) ||
+			w.Derivation != g.Derivation || !equalStrings(w.Provenance, g.Provenance) || !equalConKeys(w.Origin, g.Origin) {
+			return fmt.Errorf("derivation verify: constraint %d metadata diverged (re-derived %s)", i, g.String())
+		}
+		wexpr, err := expr.DecodeNode(w.Expr)
+		if err != nil {
+			return fmt.Errorf("derivation verify: constraint %d: %w", i, err)
+		}
+		if !expr.Equal(wexpr, g.Expr) {
+			return fmt.Errorf("derivation verify: constraint %d expression diverged (re-derived %s)", i, g.String())
+		}
+	}
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalConKeys(a, b []ConKey) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

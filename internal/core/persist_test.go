@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"interopdb/internal/expr"
+	"interopdb/internal/fixture"
+	"interopdb/internal/tm"
+)
+
+func repairedDerivation(t *testing.T) *Derivation {
+	t.Helper()
+	local, remote := fixture.Figure1Stores(fixture.Options{})
+	res, err := Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), local, remote, 1)
+	if err != nil {
+		t.Fatalf("Integrate: %v", err)
+	}
+	return res.Derivation
+}
+
+func TestDerivationExportVerify(t *testing.T) {
+	d := repairedDerivation(t)
+	if len(d.Global) == 0 {
+		t.Fatal("figure-1 derivation produced no global constraints")
+	}
+	data, err := ExportDerivation(d)
+	if err != nil {
+		t.Fatalf("ExportDerivation: %v", err)
+	}
+
+	// An independent re-derivation of the same federation verifies.
+	if err := VerifyDerivation(repairedDerivation(t), data); err != nil {
+		t.Fatalf("VerifyDerivation(re-derived): %v", err)
+	}
+
+	// A different constraint set does not: drop the last constraint.
+	short := repairedDerivation(t)
+	short.Global = short.Global[:len(short.Global)-1]
+	if err := VerifyDerivation(short, data); err == nil {
+		t.Fatal("VerifyDerivation accepted a shorter derivation")
+	}
+
+	// Nor does one with tampered metadata.
+	tampered := repairedDerivation(t)
+	tampered.Global[0].Derivation = "forged"
+	if err := VerifyDerivation(tampered, data); err == nil {
+		t.Fatal("VerifyDerivation accepted tampered metadata")
+	}
+
+	// Nor a replaced expression.
+	rewritten := repairedDerivation(t)
+	rewritten.Global[0].Expr = expr.MustParse("rating >= 99")
+	if err := VerifyDerivation(rewritten, data); err == nil {
+		t.Fatal("VerifyDerivation accepted a rewritten expression")
+	}
+
+	if err := VerifyDerivation(repairedDerivation(t), []byte("{broken")); err == nil {
+		t.Fatal("VerifyDerivation accepted malformed export")
+	}
+}

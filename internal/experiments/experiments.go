@@ -7,8 +7,11 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -1720,6 +1723,363 @@ func B12(scale, batches int, rate float64) (B12Result, error) {
 	}
 	if n != nFaulty+1 {
 		return r, fmt.Errorf("B12 after reconcile: %d items served, want %d (stranded batch applied)", n, nFaulty+1)
+	}
+	return r, nil
+}
+
+// B13Result is the durability measurement: what logging every routed
+// commit to a checksummed WAL costs at ship time (no log, log without
+// fsync, log with an fsync per commit), and what the persisted derived
+// state buys back at boot time (a warm start — checkpoint restore, WAL
+// tail replay, memo import, plan re-warming — against a cold start that
+// re-runs the solver and re-plans from nothing). The acceptance
+// property is the warm-start contract: the recovered node serves the
+// same extent as the never-crashed control, and its first client
+// queries are plan-cache hits issuing zero solver queries.
+type B13Result struct {
+	Scale   int
+	Batches int
+
+	// Ship phase: the identical cross-member workload three ways.
+	ShipBare      time.Duration // routed registry, no WAL
+	ShipWALNoSync time.Duration // WAL append per commit, OS-buffered
+	ShipWALSync   time.Duration // WAL append + fsync per commit
+
+	// Boot phase, after the synced node "crashes" (no final checkpoint).
+	ColdBoot time.Duration // fresh integration + first queries, cold caches
+	WarmBoot time.Duration // full recovery + the same first queries
+
+	ReplayedCommits int // WAL tail commits the warm boot replayed
+	MemoEntries     int // entailment verdicts imported from the checkpoint
+	PlansWarmed     int // plan shapes re-planned before serving
+
+	// First post-recovery client queries: the warm-start contract.
+	WarmPlanHits      int64 // must equal the query count
+	WarmSolverQueries int64 // must be 0
+}
+
+// WALOverheadNoSync is the ship-time ratio of OS-buffered logging.
+func (r B13Result) WALOverheadNoSync() float64 {
+	if r.ShipBare <= 0 {
+		return 0
+	}
+	return float64(r.ShipWALNoSync) / float64(r.ShipBare)
+}
+
+// WALOverheadSync is the ship-time ratio of fsync-per-commit logging —
+// the full durability bill.
+func (r B13Result) WALOverheadSync() float64 {
+	if r.ShipBare <= 0 {
+		return 0
+	}
+	return float64(r.ShipWALSync) / float64(r.ShipBare)
+}
+
+// BootSpeedup is cold/warm boot-to-serving time.
+func (r B13Result) BootSpeedup() float64 {
+	if r.WarmBoot <= 0 {
+		return 0
+	}
+	return float64(r.ColdBoot) / float64(r.WarmBoot)
+}
+
+// b13Queries is the read workload whose plan shapes the checkpoint
+// persists and a warm boot re-plans.
+func b13Queries() []view.Query {
+	return []view.Query{
+		{Class: "Proceedings", Where: expr.MustParse("rating >= 7")},
+		{Class: "Item", Where: expr.MustParse("shopprice <= 20")},
+	}
+}
+
+// b13Bare builds the two-member Figure 1 federation with routed
+// shipping bound and no WAL — the control engine.
+func b13Bare(scale int) (*view.Engine, string, int, error) {
+	lib, bs := fixture.Figure1Stores(fixture.Options{Scale: scale})
+	res, err := core.Integrate(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), lib, bs, 1)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	e := view.New(res)
+	reg := store.NewRegistry()
+	if err := reg.Add(lib); err != nil {
+		return nil, "", 0, err
+	}
+	if err := reg.Add(bs); err != nil {
+		return nil, "", 0, err
+	}
+	e.BindStores(reg)
+	id, err := b13VLDB(res)
+	return e, bs.Name(), id, err
+}
+
+func b13VLDB(res *core.Result) (int, error) {
+	for _, g := range res.View.Objects {
+		if v, ok := g.Get("isbn"); ok && v.Equal(object.Str("vldb96")) {
+			return g.ID, nil
+		}
+	}
+	return 0, fmt.Errorf("B13: vldb96 not in the integrated view")
+}
+
+// b13Node is a durable two-member node assembled from the store-layer
+// primitives (the root package's Durability orchestration restated at
+// this layer — experiments cannot import the root package without a
+// cycle through the root benchmarks).
+type b13Node struct {
+	eng     *view.Engine
+	res     *core.Result
+	wal     *store.WAL
+	memo    *logic.Memo
+	members []*store.Store
+	dir     string
+
+	stats       store.ReplayStats
+	memoEntries int
+	plansWarmed int
+}
+
+// b13Boot performs the documented boot protocol, cold and warm alike:
+// read the checkpoint, scan the WAL, replay into freshly built member
+// stores, integrate with the imported memo, interpose WAL logging on
+// every member, and re-plan the persisted shapes.
+func b13Boot(dir string, scale int, sync store.SyncPolicy) (*b13Node, error) {
+	ckpt, err := store.ReadCheckpoint(filepath.Join(dir, "checkpoint.db"))
+	if err != nil && !errors.Is(err, store.ErrNoCheckpoint) {
+		return nil, err
+	}
+	wal, recs, err := store.OpenWAL(filepath.Join(dir, "wal.log"), store.WALOptions{Sync: sync})
+	if err != nil {
+		return nil, err
+	}
+	rec := store.BuildRecovery(ckpt, recs, wal.Damage())
+	n := &b13Node{wal: wal, dir: dir}
+
+	memo := logic.NewMemo()
+	n.memo = memo
+	if sec, ok := rec.Derived("memo"); ok {
+		if n.memoEntries, err = memo.Import(sec); err != nil {
+			return nil, err
+		}
+	}
+	lib, bs := fixture.Figure1Stores(fixture.Options{Scale: scale})
+	n.members = []*store.Store{lib, bs}
+	if n.stats, err = rec.Replay(map[string]*store.Store{lib.Name(): lib, bs.Name(): bs}); err != nil {
+		return nil, err
+	}
+	res, err := core.IntegrateOptions(tm.Figure1Library(), tm.Figure1Bookseller(), tm.Figure1IntegrationRepaired(), lib, bs, 1, core.Options{Memo: memo})
+	if err != nil {
+		return nil, err
+	}
+	n.res = res
+	if sec, ok := rec.Derived("derivation"); ok {
+		if err := core.VerifyDerivation(res.Derivation, sec); err != nil {
+			return nil, err
+		}
+	}
+	e := view.New(res)
+	reg := store.NewRegistry()
+	set := store.NewDurableSet(wal)
+	for _, s := range []*store.Store{lib, bs} {
+		if err := reg.Add(s); err != nil {
+			return nil, err
+		}
+		if err := reg.Swap(s.Name(), set.Wrap(s)); err != nil {
+			return nil, err
+		}
+	}
+	e.BindStores(reg)
+	e.SetDurability(set)
+	if sec, ok := rec.Derived("plans"); ok {
+		if n.plansWarmed, _, err = e.WarmPlans(context.Background(), sec); err != nil {
+			return nil, err
+		}
+	}
+	n.eng = e
+	return n, nil
+}
+
+// checkpoint snapshots the node (extents + memo + derivation + plans)
+// under the engine's read lock and drops the redundant WAL prefix.
+func (n *b13Node) checkpoint(memo *logic.Memo) error {
+	ck := &store.Checkpoint{Derived: map[string]json.RawMessage{}}
+	var capErr error
+	n.eng.ReadLocked(func() {
+		ck.LSN = n.wal.LastLSN()
+		for _, s := range n.members {
+			mc, err := store.SnapshotStore(s)
+			if err != nil {
+				capErr = err
+				return
+			}
+			ck.Members = append(ck.Members, mc)
+		}
+		if ck.Derived["memo"], capErr = memo.Export(); capErr != nil {
+			return
+		}
+		if ck.Derived["derivation"], capErr = core.ExportDerivation(n.res.Derivation); capErr != nil {
+			return
+		}
+		ck.Derived["plans"], capErr = n.eng.ExportPlans()
+	})
+	if capErr != nil {
+		return capErr
+	}
+	if err := store.WriteCheckpoint(filepath.Join(n.dir, "checkpoint.db"), ck); err != nil {
+		return err
+	}
+	return n.wal.TruncateThrough(ck.LSN)
+}
+
+// B13 measures durability on the scaled Figure 1 fixture. The ship
+// phase runs the same cross-member workload bare, WAL-logged without
+// fsync, and WAL-logged with an fsync per commit — the write-side bill.
+// The boot phase then crashes the synced node (no final checkpoint) and
+// compares a cold start against the warm recovery: replay the tail,
+// answer the integration's solver queries from the imported memo,
+// verify the derivation, re-plan the persisted shapes, and serve —
+// first queries hitting the plan cache with zero solver work.
+func B13(scale, batches int) (B13Result, error) {
+	r := B13Result{Scale: scale, Batches: batches}
+	ctx := context.Background()
+	queries := b13Queries()
+
+	// Bare control.
+	be, bbs, bid, err := b13Bare(scale)
+	if err != nil {
+		return r, err
+	}
+	t0 := time.Now()
+	for i := 0; i < batches; i++ {
+		if err := be.Ship(ctx, b12Batch(bbs, bid, "b13", i)); err != nil {
+			return r, fmt.Errorf("B13 bare batch %d: %w", i, err)
+		}
+	}
+	r.ShipBare = time.Since(t0)
+	count := func(e *view.Engine) (int, error) {
+		rows, _, err := e.Run(view.Query{Class: "Item"})
+		return len(rows), err
+	}
+	nBare, err := count(be)
+	if err != nil {
+		return r, err
+	}
+
+	// WAL, no fsync.
+	dirNoSync, err := os.MkdirTemp("", "b13-nosync-*")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(dirNoSync)
+	nn, err := b13Boot(dirNoSync, scale, store.SyncNever)
+	if err != nil {
+		return r, err
+	}
+	id, err := b13VLDB(nn.res)
+	if err != nil {
+		return r, err
+	}
+	t0 = time.Now()
+	for i := 0; i < batches; i++ {
+		if err := nn.eng.Ship(ctx, b12Batch(nn.members[1].Name(), id, "b13", i)); err != nil {
+			return r, fmt.Errorf("B13 nosync batch %d: %w", i, err)
+		}
+	}
+	r.ShipWALNoSync = time.Since(t0)
+	if err := nn.wal.Close(); err != nil {
+		return r, err
+	}
+
+	// WAL, fsync per commit. Run the read workload first so the
+	// checkpoint persists plan shapes, checkpoint, then ship — the
+	// workload lands entirely in the WAL tail.
+	dirSync, err := os.MkdirTemp("", "b13-sync-*")
+	if err != nil {
+		return r, err
+	}
+	defer os.RemoveAll(dirSync)
+	ns, err := b13Boot(dirSync, scale, store.SyncAlways)
+	if err != nil {
+		return r, err
+	}
+	for _, q := range queries {
+		if _, _, err := ns.eng.Run(q); err != nil {
+			return r, err
+		}
+	}
+	if err := ns.checkpoint(ns.memo); err != nil {
+		return r, err
+	}
+	if id, err = b13VLDB(ns.res); err != nil {
+		return r, err
+	}
+	t0 = time.Now()
+	for i := 0; i < batches; i++ {
+		if err := ns.eng.Ship(ctx, b12Batch(ns.members[1].Name(), id, "b13", i)); err != nil {
+			return r, fmt.Errorf("B13 sync batch %d: %w", i, err)
+		}
+	}
+	r.ShipWALSync = time.Since(t0)
+	// Crash: close the log without a final checkpoint; the workload
+	// survives only as the WAL tail.
+	if err := ns.wal.Close(); err != nil {
+		return r, err
+	}
+
+	// Cold boot control: integration from scratch, cold caches, first
+	// queries planned and solver-checked from nothing.
+	t0 = time.Now()
+	ce, _, _, err := b13Bare(scale)
+	if err != nil {
+		return r, err
+	}
+	for _, q := range queries {
+		if _, _, err := ce.Run(q); err != nil {
+			return r, err
+		}
+	}
+	r.ColdBoot = time.Since(t0)
+
+	// Warm boot: full recovery of the crashed node plus the same first
+	// queries.
+	t0 = time.Now()
+	nw, err := b13Boot(dirSync, scale, store.SyncAlways)
+	if err != nil {
+		return r, err
+	}
+	cs0 := nw.eng.CacheStats()
+	for _, q := range queries {
+		if _, _, err := nw.eng.Run(q); err != nil {
+			return r, err
+		}
+	}
+	r.WarmBoot = time.Since(t0)
+	cs1 := nw.eng.CacheStats()
+	r.ReplayedCommits = nw.stats.ReplayedCommits
+	r.MemoEntries = nw.memoEntries
+	r.PlansWarmed = nw.plansWarmed
+	r.WarmPlanHits = cs1.PlanHits - cs0.PlanHits
+	r.WarmSolverQueries = cs1.SolverQueries - cs0.SolverQueries
+	if err := nw.wal.Close(); err != nil {
+		return r, err
+	}
+
+	// The warm-start contract.
+	if r.ReplayedCommits == 0 {
+		return r, fmt.Errorf("B13: the crashed node's workload left no WAL tail to replay")
+	}
+	if r.WarmSolverQueries != 0 {
+		return r, fmt.Errorf("B13: first post-recovery queries issued %d solver queries, want 0", r.WarmSolverQueries)
+	}
+	if r.WarmPlanHits != int64(len(queries)) {
+		return r, fmt.Errorf("B13: first post-recovery queries recorded %d plan hits, want %d", r.WarmPlanHits, len(queries))
+	}
+	nWarm, err := count(nw.eng)
+	if err != nil {
+		return r, err
+	}
+	if nWarm != nBare {
+		return r, fmt.Errorf("B13: recovered node serves %d items, never-crashed control %d", nWarm, nBare)
 	}
 	return r, nil
 }

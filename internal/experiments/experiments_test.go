@@ -158,3 +158,20 @@ func TestB9VSmoke(t *testing.T) {
 		t.Errorf("reclaim depth high-water mark %d is unbounded territory", r.MaxChainVersions)
 	}
 }
+
+// TestB13Smoke runs the durability measurement at its smallest shape
+// and checks the warm-start contract it enforces internally (replayed
+// tail, zero post-recovery solver work, extent parity with the
+// never-crashed control).
+func TestB13Smoke(t *testing.T) {
+	r, err := B13(1, 5)
+	if err != nil {
+		t.Fatalf("B13: %v", err)
+	}
+	if r.ReplayedCommits == 0 || r.WarmSolverQueries != 0 || r.PlansWarmed == 0 {
+		t.Fatalf("B13 = %+v, want replayed tail, warmed plans, zero solver work", r)
+	}
+	if r.ShipBare <= 0 || r.ShipWALSync <= 0 || r.WarmBoot <= 0 || r.ColdBoot <= 0 {
+		t.Fatalf("B13 timings incomplete: %+v", r)
+	}
+}

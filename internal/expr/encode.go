@@ -1,0 +1,285 @@
+package expr
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"interopdb/internal/object"
+)
+
+// Structural AST codec for the durability layer. Persisted derived
+// artifacts — global constraints, entailment memo entries, plan-cache
+// metadata — all carry formulas, and those formulas must survive a
+// save/restore cycle with their structural identity intact: the same
+// Fingerprint, the same Equal partition. The surface syntax cannot
+// guarantee that (Lit(Int(30)) and Lit(Real(30.0)) may render to
+// reparse-ambiguous forms), so persistence encodes the tree shape
+// directly, with literal values going through object.MarshalValue's
+// kind-tagged codec.
+//
+// Decoding is strict: unknown node tags, out-of-range operators and
+// malformed literals are errors. A formula that cannot be decoded
+// exactly fails recovery loudly instead of warming a cache with a
+// near-miss.
+
+// jsonNode is the wire form of one AST node.
+type jsonNode struct {
+	T string `json:"t"`
+	// Val is the object.MarshalValue encoding of a literal.
+	Val json.RawMessage `json:"val,omitempty"`
+	// Name is the identifier name, path attribute, call function or
+	// aggregate function, depending on T.
+	Name string `json:"name,omitempty"`
+	Op   int    `json:"op,omitempty"`
+	Neg  bool   `json:"neg,omitempty"`
+	// Kids holds child nodes in positional order (Path:recv; Unary:x;
+	// Binary:l,r; In:x,set; SetLit/Call:elems/args; Agg:src;
+	// Quant:body).
+	Kids []*jsonNode `json:"kids,omitempty"`
+	// Strs holds Key attribute lists and the Agg (var, over) pair.
+	Strs    []string     `json:"strs,omitempty"`
+	Binders []jsonBinder `json:"binders,omitempty"`
+}
+
+type jsonBinder struct {
+	All   bool   `json:"all,omitempty"`
+	Var   string `json:"var"`
+	Class string `json:"class"`
+}
+
+func toJSONNode(n Node) (*jsonNode, error) {
+	switch n := n.(type) {
+	case nil:
+		return nil, nil
+	case Lit:
+		val, err := object.MarshalValue(n.Val)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonNode{T: "lit", Val: val}, nil
+	case SetLit:
+		kids, err := toJSONNodes(n.Elems)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonNode{T: "setlit", Kids: kids}, nil
+	case Ident:
+		return &jsonNode{T: "ident", Name: n.Name}, nil
+	case Path:
+		recv, err := toJSONNode(n.Recv)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonNode{T: "path", Name: n.Attr, Kids: []*jsonNode{recv}}, nil
+	case Unary:
+		x, err := toJSONNode(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonNode{T: "unary", Op: int(n.Op), Kids: []*jsonNode{x}}, nil
+	case Binary:
+		kids, err := toJSONNodes([]Node{n.L, n.R})
+		if err != nil {
+			return nil, err
+		}
+		return &jsonNode{T: "binary", Op: int(n.Op), Kids: kids}, nil
+	case In:
+		kids, err := toJSONNodes([]Node{n.X, n.Set})
+		if err != nil {
+			return nil, err
+		}
+		return &jsonNode{T: "in", Neg: n.Neg, Kids: kids}, nil
+	case Call:
+		kids, err := toJSONNodes(n.Args)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonNode{T: "call", Name: n.Fn, Kids: kids}, nil
+	case Agg:
+		src, err := toJSONNode(n.Src)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonNode{T: "agg", Name: n.Fn, Strs: []string{n.Var, n.Over}, Kids: []*jsonNode{src}}, nil
+	case Quant:
+		body, err := toJSONNode(n.Body)
+		if err != nil {
+			return nil, err
+		}
+		bs := make([]jsonBinder, len(n.Binders))
+		for i, b := range n.Binders {
+			bs[i] = jsonBinder{All: b.All, Var: b.Var, Class: b.Class}
+		}
+		return &jsonNode{T: "quant", Binders: bs, Kids: []*jsonNode{body}}, nil
+	case Key:
+		return &jsonNode{T: "key", Strs: append([]string(nil), n.Attrs...)}, nil
+	default:
+		return nil, fmt.Errorf("expr: cannot encode node of type %T", n)
+	}
+}
+
+func toJSONNodes(ns []Node) ([]*jsonNode, error) {
+	out := make([]*jsonNode, len(ns))
+	for i, n := range ns {
+		j, err := toJSONNode(n)
+		if err != nil {
+			return nil, err
+		}
+		if j == nil {
+			return nil, fmt.Errorf("expr: nil child node at position %d", i)
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+// kids checks the child-node arity for a tag and returns the children.
+func (j *jsonNode) kids(want int) ([]Node, error) {
+	if len(j.Kids) != want {
+		return nil, fmt.Errorf("expr: %s node wants %d children, has %d", j.T, want, len(j.Kids))
+	}
+	out := make([]Node, want)
+	for i, k := range j.Kids {
+		n, err := fromJSONNode(k)
+		if err != nil {
+			return nil, err
+		}
+		if n == nil {
+			return nil, fmt.Errorf("expr: %s node has nil child %d", j.T, i)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+func decodeOp(raw int) (Op, error) {
+	op := Op(raw)
+	if op <= OpInvalid || op > OpNeg {
+		return OpInvalid, fmt.Errorf("expr: operator %d out of range", raw)
+	}
+	return op, nil
+}
+
+func fromJSONNode(j *jsonNode) (Node, error) {
+	if j == nil {
+		return nil, nil
+	}
+	switch j.T {
+	case "lit":
+		v, err := object.UnmarshalValue(j.Val)
+		if err != nil {
+			return nil, fmt.Errorf("expr: literal: %w", err)
+		}
+		return Lit{Val: v}, nil
+	case "setlit":
+		elems, err := j.kids(len(j.Kids))
+		if err != nil {
+			return nil, err
+		}
+		return SetLit{Elems: elems}, nil
+	case "ident":
+		if j.Name == "" {
+			return nil, fmt.Errorf("expr: identifier missing name")
+		}
+		return Ident{Name: j.Name}, nil
+	case "path":
+		ks, err := j.kids(1)
+		if err != nil {
+			return nil, err
+		}
+		if j.Name == "" {
+			return nil, fmt.Errorf("expr: path missing attribute")
+		}
+		return Path{Recv: ks[0], Attr: j.Name}, nil
+	case "unary":
+		op, err := decodeOp(j.Op)
+		if err != nil {
+			return nil, err
+		}
+		ks, err := j.kids(1)
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: op, X: ks[0]}, nil
+	case "binary":
+		op, err := decodeOp(j.Op)
+		if err != nil {
+			return nil, err
+		}
+		ks, err := j.kids(2)
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: op, L: ks[0], R: ks[1]}, nil
+	case "in":
+		ks, err := j.kids(2)
+		if err != nil {
+			return nil, err
+		}
+		return In{X: ks[0], Set: ks[1], Neg: j.Neg}, nil
+	case "call":
+		args, err := j.kids(len(j.Kids))
+		if err != nil {
+			return nil, err
+		}
+		if j.Name == "" {
+			return nil, fmt.Errorf("expr: call missing function name")
+		}
+		return Call{Fn: j.Name, Args: args}, nil
+	case "agg":
+		if len(j.Strs) != 2 {
+			return nil, fmt.Errorf("expr: agg wants [var, over], has %d strings", len(j.Strs))
+		}
+		ks, err := j.kids(1)
+		if err != nil {
+			return nil, err
+		}
+		return Agg{Fn: j.Name, Var: j.Strs[0], Src: ks[0], Over: j.Strs[1]}, nil
+	case "quant":
+		if len(j.Binders) == 0 {
+			return nil, fmt.Errorf("expr: quantifier without binders")
+		}
+		ks, err := j.kids(1)
+		if err != nil {
+			return nil, err
+		}
+		bs := make([]Binder, len(j.Binders))
+		for i, b := range j.Binders {
+			if b.Var == "" || b.Class == "" {
+				return nil, fmt.Errorf("expr: quantifier binder %d missing var or class", i)
+			}
+			bs[i] = Binder{All: b.All, Var: b.Var, Class: b.Class}
+		}
+		return Quant{Binders: bs, Body: ks[0]}, nil
+	case "key":
+		if len(j.Strs) == 0 {
+			return nil, fmt.Errorf("expr: key constraint without attributes")
+		}
+		return Key{Attrs: append([]string(nil), j.Strs...)}, nil
+	case "":
+		return nil, fmt.Errorf("expr: node missing type tag")
+	default:
+		return nil, fmt.Errorf("expr: unknown node type tag %q", j.T)
+	}
+}
+
+// EncodeNode encodes an AST as structural JSON. A nil node encodes as
+// JSON null (persisted derivations carry nil exprs nowhere today, but
+// the codec should not be the thing that breaks if one appears).
+func EncodeNode(n Node) ([]byte, error) {
+	j, err := toJSONNode(n)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(j)
+}
+
+// DecodeNode decodes an AST encoded by EncodeNode. The decoded tree is
+// Equal to the original and carries the same Fingerprint.
+func DecodeNode(data []byte) (Node, error) {
+	var j *jsonNode
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("expr: %w", err)
+	}
+	return fromJSONNode(j)
+}

@@ -1,0 +1,138 @@
+package expr
+
+import (
+	"testing"
+
+	"interopdb/internal/object"
+)
+
+// encodeSamples is drawn from the constraint fragment the paper's
+// Figure 1 exercises, plus hand-built trees for the shapes the parser
+// cannot produce directly (exact Real literals, nested tuples).
+func encodeSamples(t *testing.T) []Node {
+	t.Helper()
+	srcs := []string{
+		"ourprice <= shopprice",
+		"publisher in KNOWNPUBLISHERS",
+		"key isbn",
+		"key isbn, publisher",
+		"(sum (collect x for x in self) over ourprice) < MAX",
+		"publisher.name='IEEE' implies ref?=true",
+		"forall p in Publisher exists i in Item | i.publisher = p",
+		"contains(title, 'Proceed')",
+		"not (a = b) and (c or d implies e)",
+		"price + 2 * rating - 1 >= 0",
+		"x not in {1, 2, 3}",
+		"-(price) < 0",
+		"title != 'x''y'",
+	}
+	var out []Node
+	for _, src := range srcs {
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		out = append(out, n)
+	}
+	// Trees with literal kinds the surface syntax can blur.
+	out = append(out,
+		Lit{Val: object.Int(30)},
+		Lit{Val: object.Real(30)},
+		Binary{Op: OpLt, L: Ident{Name: "price"}, R: Lit{Val: object.Real(40)}},
+		In{X: Ident{Name: "p"}, Set: SetLit{Elems: []Node{Lit{Val: object.Str("ACM")}, Lit{Val: object.Str("IEEE")}}}, Neg: true},
+		Lit{Val: object.NewTuple(map[string]object.Value{"name": object.Str("IEEE"), "s": object.NewSet(object.Int(1))})},
+	)
+	return out
+}
+
+func TestEncodeNodeRoundTrip(t *testing.T) {
+	for _, n := range encodeSamples(t) {
+		b, err := EncodeNode(n)
+		if err != nil {
+			t.Fatalf("EncodeNode(%s): %v", n, err)
+		}
+		got, err := DecodeNode(b)
+		if err != nil {
+			t.Fatalf("DecodeNode(%s = %s): %v", n, b, err)
+		}
+		if !Equal(n, got) {
+			t.Errorf("round trip changed tree: %s -> %s (%s)", n, got, b)
+		}
+		if Fingerprint(n) != Fingerprint(got) {
+			t.Errorf("round trip changed fingerprint of %s", n)
+		}
+		if n.String() != got.String() {
+			t.Errorf("round trip changed rendering: %q -> %q", n, got)
+		}
+	}
+}
+
+// TestEncodeNodeLitKinds pins that literal values decode back to their
+// exact dynamic kinds. Int(30) and Real(30) are expr.Equal (numeric
+// cross-kind equality) and so share a fingerprint — but a codec that
+// silently swapped the kinds would change evaluation semantics
+// elsewhere (rendering, typed wire answers), so the kind itself must
+// survive, which a textual round trip cannot guarantee.
+func TestEncodeNodeLitKinds(t *testing.T) {
+	i, r := Lit{Val: object.Int(30)}, Lit{Val: object.Real(30)}
+	for _, n := range []Lit{i, r} {
+		b, err := EncodeNode(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := DecodeNode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lit, ok := d.(Lit)
+		if !ok {
+			t.Fatalf("decoded %T, want Lit", d)
+		}
+		if lit.Val.Kind() != n.Val.Kind() {
+			t.Errorf("literal kind changed: %s -> %s", n.Val.Kind(), lit.Val.Kind())
+		}
+		if Fingerprint(d) != Fingerprint(n) {
+			t.Error("fingerprint not preserved")
+		}
+	}
+}
+
+func TestEncodeNodeNil(t *testing.T) {
+	b, err := EncodeNode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeNode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("nil round trip produced %v", got)
+	}
+}
+
+func TestDecodeNodeStrict(t *testing.T) {
+	bad := []string{
+		``,
+		`{}`,
+		`{"t":"frob"}`,
+		`{"t":"ident"}`,
+		`{"t":"path","name":"x"}`,
+		`{"t":"unary","op":99,"kids":[{"t":"ident","name":"x"}]}`,
+		`{"t":"unary","op":0,"kids":[{"t":"ident","name":"x"}]}`,
+		`{"t":"binary","op":1,"kids":[{"t":"ident","name":"x"}]}`,
+		`{"t":"lit","val":{"t":"frob"}}`,
+		`{"t":"quant","kids":[{"t":"ident","name":"x"}]}`,
+		`{"t":"quant","binders":[{"var":"","class":"C"}],"kids":[{"t":"ident","name":"x"}]}`,
+		`{"t":"agg","name":"sum","kids":[{"t":"ident","name":"self"}]}`,
+		`{"t":"key"}`,
+		`{"t":"call","kids":[]}`,
+		`{"t":"in","kids":[{"t":"ident","name":"x"},null]}`,
+		`[]`,
+	}
+	for _, s := range bad {
+		if n, err := DecodeNode([]byte(s)); err == nil {
+			t.Errorf("DecodeNode(%q) = %v, want error", s, n)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package logic
+
+import (
+	"bytes"
+	"testing"
+
+	"interopdb/internal/expr"
+)
+
+// memoWorkload runs a representative mix of queries — satisfiability,
+// entailment (with and without a conclusion hit), conflict — through a
+// checker so its shared memo accumulates all three entry kinds.
+func memoWorkload(t *testing.T, c *Checker) {
+	t.Helper()
+	if got := c.Satisfiable(expr.MustParse("rating >= 7"), expr.MustParse("rating <= 9")); got != Yes {
+		t.Fatalf("Satisfiable = %v, want Yes", got)
+	}
+	if got := c.Satisfiable(expr.MustParse("rating >= 7"), expr.MustParse("rating <= 3")); got != No {
+		t.Fatalf("Satisfiable = %v, want No", got)
+	}
+	if got := c.Entails([]expr.Node{expr.MustParse("rating >= 7")}, expr.MustParse("rating >= 4")); got != Yes {
+		t.Fatalf("Entails = %v, want Yes", got)
+	}
+	if got := c.Entails([]expr.Node{expr.MustParse("rating >= 4")}, expr.MustParse("rating >= 7")); got != No {
+		t.Fatalf("Entails = %v, want No", got)
+	}
+	if got := c.Conflicting(expr.MustParse("rating >= 7"), expr.MustParse("rating <= 3")); got != Yes {
+		t.Fatalf("Conflicting = %v, want Yes", got)
+	}
+}
+
+func TestMemoExportImportRoundTrip(t *testing.T) {
+	memo := NewMemo()
+	c := typed()
+	c.Memo = memo
+	memoWorkload(t, c)
+
+	entries := memo.Stats().Entries
+	if entries == 0 {
+		t.Fatal("workload populated no memo entries")
+	}
+
+	data, err := memo.Export()
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	again, err := memo.Export()
+	if err != nil {
+		t.Fatalf("Export (second): %v", err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("two exports of the same memo differ")
+	}
+
+	fresh := NewMemo()
+	n, err := fresh.Import(data)
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	if int64(n) != entries {
+		t.Fatalf("Import installed %d entries, memo had %d", n, entries)
+	}
+
+	// Re-running the same workload against the imported memo must be
+	// pure cache hits: no fresh solver computations.
+	c2 := typed()
+	c2.Memo = fresh
+	memoWorkload(t, c2)
+	st := fresh.Stats()
+	if st.Misses != 0 {
+		t.Fatalf("post-import workload recomputed %d verdicts (hits=%d)", st.Misses, st.Hits)
+	}
+	if st.Hits == 0 {
+		t.Fatal("post-import workload recorded no hits")
+	}
+
+	// A second import is a no-op: existing entries win.
+	if n, err := fresh.Import(data); err != nil || n != 0 {
+		t.Fatalf("re-Import = (%d, %v), want (0, nil)", n, err)
+	}
+
+	// The imported memo exports byte-identically to the original.
+	re, err := fresh.Export()
+	if err != nil {
+		t.Fatalf("Export (imported): %v", err)
+	}
+	if !bytes.Equal(data, re) {
+		t.Fatal("export of imported memo differs from original export")
+	}
+}
+
+func TestMemoImportRejectsGarbage(t *testing.T) {
+	m := NewMemo()
+	if _, err := m.Import([]byte("{not json")); err == nil {
+		t.Fatal("Import accepted malformed JSON")
+	}
+	if _, err := m.Import([]byte(`[{"k":83,"v":9}]`)); err == nil {
+		t.Fatal("Import accepted out-of-range verdict")
+	}
+	if _, err := m.Import([]byte(`[{"k":83,"v":1,"p":[{"bogus":true}]}]`)); err == nil {
+		t.Fatal("Import accepted undecodable premise")
+	}
+	if got := m.Stats().Entries; got != 0 {
+		t.Fatalf("rejected imports still installed %d entries", got)
+	}
+}
+
+func TestMemoExportNilAndEmpty(t *testing.T) {
+	var nilMemo *Memo
+	data, err := nilMemo.Export()
+	if err != nil {
+		t.Fatalf("nil Export: %v", err)
+	}
+	if string(data) != "[]" {
+		t.Fatalf("nil Export = %q, want []", data)
+	}
+	if n, err := NewMemo().Import(data); err != nil || n != 0 {
+		t.Fatalf("empty Import = (%d, %v), want (0, nil)", n, err)
+	}
+}

@@ -1,0 +1,232 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// durableServer boots a server over dir with the background loops off
+// (tests drive checkpoints through Close/delete explicitly).
+func durableServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(Config{DataDir: dir, ReconcileInterval: -1, CheckpointInterval: -1})
+	ts := httptest.NewServer(srv)
+	return srv, ts
+}
+
+// insertItemTx is a figure1 Item insert with a distinguishing isbn.
+func insertItemTx(isbn string) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(`{"ops":[{"kind":"insert","class":"Item","attrs":{
+		"title":{"t":"str","v":"Durable Copy"},"isbn":{"t":"str","v":%q},
+		"shopprice":{"t":"real","v":30},"libprice":{"t":"real","v":25}}}]}`, isbn))
+}
+
+// queryRows runs a textual query and returns the response rows in a
+// canonical order-insensitive form.
+func queryRows(t *testing.T, base, tenant, q string) []string {
+	t.Helper()
+	code, body := postJSON(t, base+"/v1/"+tenant+"/query", queryRequest{Q: q})
+	if code != http.StatusOK {
+		t.Fatalf("query %q: status %d body %s", q, code, body)
+	}
+	var resp queryResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]string, len(resp.Rows))
+	for i, r := range resp.Rows {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows[i] = string(raw)
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// TestDurableCleanRestart is the wire-level warm-start satellite: a
+// served workload, a graceful drain, and a restart over the same data
+// directory must recover the acknowledged writes with zero replay (the
+// drain's final checkpoint folded everything) and report a warm boot —
+// imported memo, verified derivation, warmed plans — in /health.
+func TestDurableCleanRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := durableServer(t, dir)
+	if err := srv.AddTenant("fig", "figure1"); err != nil {
+		t.Fatalf("AddTenant: %v", err)
+	}
+	if info, ok := srv.TenantRecovery("fig"); !ok || !info.ColdStart {
+		t.Fatalf("first boot recovery = (%+v, %v), want durable cold start", info, ok)
+	}
+
+	if code, body := postJSON(t, ts.URL+"/v1/fig/tx", insertItemTx("dur-1")); code != http.StatusOK {
+		t.Fatalf("tx: status %d body %s", code, body)
+	}
+	const inserted = "select title, isbn from Item where isbn = 'dur-1'"
+	const standing = "select title, rating from Proceedings where rating >= 7"
+	if got := queryRows(t, ts.URL, "fig", inserted); len(got) != 1 {
+		t.Fatalf("inserted row query returned %d rows pre-restart", len(got))
+	}
+	wantStanding := queryRows(t, ts.URL, "fig", standing)
+
+	ts.Close()
+	srv.Drain()
+	srv.Close()
+
+	srv2, ts2 := durableServer(t, dir)
+	defer func() { ts2.Close(); srv2.Close() }()
+	if err := srv2.AddTenant("fig", "figure1"); err != nil {
+		t.Fatalf("AddTenant after restart: %v", err)
+	}
+	info, ok := srv2.TenantRecovery("fig")
+	if !ok || info.ColdStart {
+		t.Fatalf("restart recovery = (%+v, %v), want warm start", info, ok)
+	}
+	if info.Replay.ReplayedCommits != 0 {
+		t.Fatalf("clean restart replayed %d commits, want 0 (drain checkpoints)", info.Replay.ReplayedCommits)
+	}
+	if !info.DerivationVerified {
+		t.Fatal("restart did not verify the persisted derivation")
+	}
+	if info.MemoEntries == 0 || info.PlansWarmed == 0 {
+		t.Fatalf("restart imported %d memo entries, warmed %d plans; want both > 0", info.MemoEntries, info.PlansWarmed)
+	}
+
+	if got := queryRows(t, ts2.URL, "fig", inserted); len(got) != 1 {
+		t.Fatalf("acknowledged insert lost across restart (%d rows)", len(got))
+	}
+	if got := queryRows(t, ts2.URL, "fig", standing); !equalStringSlices(got, wantStanding) {
+		t.Fatalf("standing query diverged across restart:\n got %v\nwant %v", got, wantStanding)
+	}
+
+	// /health carries the recovery story.
+	resp, err := http.Get(ts2.URL + "/v1/fig/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Durability *wireDurability `json:"durability"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Durability == nil {
+		t.Fatal("durable tenant health has no durability section")
+	}
+	if health.Durability.ColdStart || !health.Durability.DerivationVerified || health.Durability.WALSealed != "" {
+		t.Fatalf("health durability = %+v, want warm verified unsealed", health.Durability)
+	}
+}
+
+// TestDurableCrashRestart abandons the first server without any drain
+// (its final checkpoint never happens), so the restart must replay the
+// WAL tail to recover the acknowledged transaction.
+func TestDurableCrashRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := durableServer(t, dir)
+	if err := srv.AddTenant("fig", "figure1"); err != nil {
+		t.Fatalf("AddTenant: %v", err)
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/fig/tx", insertItemTx("dur-crash")); code != http.StatusOK {
+		t.Fatalf("tx: status %d body %s", code, body)
+	}
+	// Crash: stop the listener, never call Drain/Close.
+	ts.Close()
+
+	srv2, ts2 := durableServer(t, dir)
+	defer func() { ts2.Close(); srv2.Close() }()
+	if err := srv2.AddTenant("fig", "figure1"); err != nil {
+		t.Fatalf("AddTenant after crash: %v", err)
+	}
+	info, _ := srv2.TenantRecovery("fig")
+	if info.ColdStart || info.Replay.ReplayedCommits == 0 {
+		t.Fatalf("crash recovery = %+v, want warm start with replayed commits", info)
+	}
+	if got := queryRows(t, ts2.URL, "fig", "select isbn from Item where isbn = 'dur-crash'"); len(got) != 1 {
+		t.Fatalf("acknowledged insert lost across crash (%d rows)", len(got))
+	}
+}
+
+// TestDurableDataDirMismatch pins the foreign-state refusal: a data
+// directory initialised for one member recipe must not be recovered
+// into a tenant built from another.
+func TestDurableDataDirMismatch(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := durableServer(t, dir)
+	if err := srv.AddTenant("x", "figure1"); err != nil {
+		t.Fatalf("AddTenant: %v", err)
+	}
+	srv.Close()
+
+	srv2, _ := durableServer(t, dir)
+	defer srv2.Close()
+	err := srv2.AddTenant("x", "personnel")
+	if err == nil || !strings.Contains(err.Error(), "different member set") {
+		t.Fatalf("AddTenant over a figure1 directory with personnel: err = %v, want member-set refusal", err)
+	}
+}
+
+// TestDurableDeleteRecreate covers the wire lifecycle: create, write,
+// refuse runtime attach (the recipe is fixed), delete (which keeps the
+// data directory), and re-create — recovering the written state.
+func TestDurableDeleteRecreate(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := durableServer(t, dir)
+	defer func() { ts.Close(); srv.Close() }()
+
+	if code, body := postJSON(t, ts.URL+"/v1/tenants", createTenantRequest{Name: "fig", Fixture: "figure1"}); code != http.StatusCreated {
+		t.Fatalf("create: status %d body %s", code, body)
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/tenants", createTenantRequest{Name: "fig", Fixture: "figure1"}); code != http.StatusBadRequest {
+		t.Fatalf("duplicate durable create: status %d body %s, want 400 before the live directory is touched", code, body)
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/fig/tx", insertItemTx("dur-keep")); code != http.StatusOK {
+		t.Fatalf("tx: status %d body %s", code, body)
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/fig/attach", attachRequest{FixtureMember: "univarchive"}); code != http.StatusBadRequest {
+		t.Fatalf("attach on durable tenant: status %d body %s, want 400", code, body)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/tenants/fig", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+
+	if code, body := postJSON(t, ts.URL+"/v1/tenants", createTenantRequest{Name: "fig", Fixture: "figure1"}); code != http.StatusCreated {
+		t.Fatalf("re-create: status %d body %s", code, body)
+	}
+	info, ok := srv.TenantRecovery("fig")
+	if !ok || info.ColdStart || info.Replay.ReplayedCommits != 0 {
+		t.Fatalf("re-created tenant recovery = (%+v, %v), want warm zero-replay (delete checkpoints)", info, ok)
+	}
+	if got := queryRows(t, ts.URL, "fig", "select isbn from Item where isbn = 'dur-keep'"); len(got) != 1 {
+		t.Fatalf("write lost across delete/re-create (%d rows)", len(got))
+	}
+}
+
+func equalStringSlices(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -43,32 +43,19 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) erro
 	if err := readJSON(r, &req); err != nil {
 		return err
 	}
-	var members []fixtureMember
 	switch {
 	case req.Fixture != "" && len(req.Members) > 0:
 		return badRequest("supply either fixture or members, not both")
-	case req.Fixture != "":
-		ms, err := builtinFixture(req.Fixture)
-		if err != nil {
-			return badRequest("%v", err)
-		}
-		members = ms
-	case len(req.Members) > 0:
-		for i, m := range req.Members {
-			fm, err := parseUploadedMember(m.Spec, m.Integration)
-			if err != nil {
-				return badRequest("member %d: %v", i, err)
-			}
-			members = append(members, fm)
-		}
-	default:
+	case req.Fixture == "" && len(req.Members) == 0:
 		return badRequest("supply a fixture name or uploaded members")
 	}
-	fed, err := buildFederation(r.Context(), members)
-	if err != nil {
-		return fmt.Errorf("building federation: %w", err)
+	src := tenantSource{Fixture: req.Fixture, Members: req.Members}
+	if _, err := src.build(); err != nil {
+		// Surface recipe errors (unknown fixture, unparsable spec) as the
+		// client's fault before any durable state is touched.
+		return badRequest("%v", err)
 	}
-	if err := s.registerTenant(req.Name, fed); err != nil {
+	if err := s.buildTenant(r.Context(), req.Name, src); err != nil {
 		return err
 	}
 	t, err := s.tenantByName(req.Name)
@@ -115,6 +102,10 @@ func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) erro
 		return fmt.Errorf("tenant %q: %w", name, ErrUnknownTenant)
 	}
 	t.batch.close()
+	// A durable tenant's data directory survives deletion (removing
+	// acknowledged history is an operator action, not an API one);
+	// re-creating the tenant with the same recipe recovers it.
+	t.shutdownDurability(s.logf)
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
 	return nil
 }
@@ -233,6 +224,9 @@ func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	if t.dur != nil {
+		return badRequest("tenant %s is durable; its member recipe is fixed at creation (a member attached now would be missing from the recovery rebuild) — create a new tenant with the full member set", t.name)
+	}
 	var req attachRequest
 	if err := readJSON(r, &req); err != nil {
 		return err
@@ -271,6 +265,9 @@ func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) error {
 	t, err := s.tenantOf(r)
 	if err != nil {
 		return err
+	}
+	if t.dur != nil {
+		return badRequest("tenant %s is durable; its member recipe is fixed at creation — create a new tenant with the reduced member set", t.name)
 	}
 	var req detachRequest
 	if err := readJSON(r, &req); err != nil {

@@ -60,6 +60,9 @@ type healthResponse struct {
 	LastReconcile string             `json:"last_reconcile,omitempty"`
 	Reconciles    int64              `json:"reconciles"`
 	Faults        wireFaultStats     `json:"faults"`
+	// Durability is present on durable tenants only: boot-time recovery
+	// outcome plus live WAL state (see durability.go).
+	Durability *wireDurability `json:"durability,omitempty"`
 }
 
 func encodeHealth(tenantName string, rep view.HealthReport) healthResponse {
@@ -129,6 +132,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := encodeHealth(t.name, e.Health())
+	resp.Durability = encodeDurability(t)
 	m.record(time.Since(t0), false)
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -22,7 +22,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"interopdb"
 	"interopdb/internal/view"
 )
 
@@ -40,6 +39,18 @@ type Config struct {
 	// healed members' breakers. 0 means DefaultReconcileInterval;
 	// negative disables the reconciler (tests drive Reconcile manually).
 	ReconcileInterval time.Duration
+	// DataDir, when set, makes every tenant durable: each owns a data
+	// directory DataDir/<name> with a write-ahead log, checkpoints and a
+	// member-recipe manifest, every acknowledged transaction is logged
+	// before the response, and creating a tenant over an existing
+	// directory recovers it (see durability.go). Empty serves
+	// ephemerally, as before.
+	DataDir string
+	// CheckpointInterval is the background checkpoint cadence for
+	// durable tenants. 0 means DefaultCheckpointInterval; negative
+	// disables periodic checkpoints (graceful drain still writes the
+	// final one). Ignored without DataDir.
+	CheckpointInterval time.Duration
 	// Logf receives request-level log lines; nil means silent.
 	Logf func(format string, args ...any)
 }
@@ -59,9 +70,11 @@ type Server struct {
 
 	draining atomic.Bool
 
-	reconcileStop chan struct{}
-	reconcileDone chan struct{}
-	closeOnce     sync.Once
+	reconcileStop  chan struct{}
+	reconcileDone  chan struct{}
+	checkpointStop chan struct{}
+	checkpointDone chan struct{}
+	closeOnce      sync.Once
 
 	mu      sync.RWMutex
 	tenants map[string]*tenant
@@ -73,13 +86,15 @@ func New(cfg Config) *Server {
 		cfg.MaxInFlight = DefaultMaxInFlight
 	}
 	s := &Server{
-		cfg:           cfg,
-		mux:           http.NewServeMux(),
-		metrics:       newMetricsRegistry(),
-		sem:           make(chan struct{}, cfg.MaxInFlight),
-		tenants:       map[string]*tenant{},
-		reconcileStop: make(chan struct{}),
-		reconcileDone: make(chan struct{}),
+		cfg:            cfg,
+		mux:            http.NewServeMux(),
+		metrics:        newMetricsRegistry(),
+		sem:            make(chan struct{}, cfg.MaxInFlight),
+		tenants:        map[string]*tenant{},
+		reconcileStop:  make(chan struct{}),
+		reconcileDone:  make(chan struct{}),
+		checkpointStop: make(chan struct{}),
+		checkpointDone: make(chan struct{}),
 	}
 	s.routes()
 	if cfg.ReconcileInterval >= 0 {
@@ -90,6 +105,15 @@ func New(cfg Config) *Server {
 		go s.reconcileLoop(interval)
 	} else {
 		close(s.reconcileDone)
+	}
+	if cfg.DataDir != "" && cfg.CheckpointInterval >= 0 {
+		interval := cfg.CheckpointInterval
+		if interval == 0 {
+			interval = DefaultCheckpointInterval
+		}
+		go s.checkpointLoop(interval)
+	} else {
+		close(s.checkpointDone)
 	}
 	return s
 }
@@ -274,33 +298,75 @@ func (s *Server) tenantOf(r *http.Request) (*tenant, error) {
 
 // AddTenant builds a tenant from a built-in fixture and registers it —
 // the programmatic path cmd/interopd uses to preload tenants at boot.
+// On a durable server (Config.DataDir) this is also the restart path:
+// an existing data directory for the tenant is recovered, not rebuilt.
 func (s *Server) AddTenant(name, fixtureName string) error {
-	members, err := builtinFixture(fixtureName)
-	if err != nil {
-		return err
-	}
-	fed, err := buildFederation(context.Background(), members)
-	if err != nil {
-		return err
-	}
-	return s.registerTenant(name, fed)
+	return s.buildTenant(context.Background(), name, tenantSource{Fixture: fixtureName})
 }
 
-func (s *Server) registerTenant(name string, fed *interopdb.Federation) error {
+// buildTenant constructs (ephemeral) or boots (durable) a tenant from
+// its member recipe and registers it.
+func (s *Server) buildTenant(ctx context.Context, name string, src tenantSource) error {
+	if err := validateTenantName(name); err != nil {
+		return err
+	}
+	// Refuse duplicates BEFORE building: a durable boot opens the data
+	// directory the live tenant is appending to, and its Finish-time
+	// checkpoint would overwrite state the live log is ahead of.
+	s.mu.RLock()
+	_, dup := s.tenants[name]
+	s.mu.RUnlock()
+	if dup {
+		return badRequest("tenant %q already exists", name)
+	}
+	var t *tenant
+	if s.cfg.DataDir != "" {
+		dt, err := s.buildDurableTenant(ctx, name, src)
+		if err != nil {
+			return err
+		}
+		t = dt
+	} else {
+		members, err := src.build()
+		if err != nil {
+			return err
+		}
+		fed, err := buildFederation(ctx, members)
+		if err != nil {
+			return err
+		}
+		t = newTenant(name, fed)
+	}
+	return s.registerTenant(t)
+}
+
+func validateTenantName(name string) error {
 	if name == "" || strings.ContainsAny(name, "/ ") {
 		return badRequest("tenant name %q: must be non-empty without '/' or spaces", name)
 	}
 	if name == "tenants" {
 		return badRequest("tenant name %q is reserved", name)
 	}
-	t := newTenant(name, fed)
+	return nil
+}
+
+func (s *Server) registerTenant(t *tenant) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.tenants[name]; dup {
+	if _, dup := s.tenants[t.name]; dup {
+		// Lost a create/create race. Close the loser's log WITHOUT a
+		// checkpoint: the winner's log may already be ahead, and a
+		// snapshot of the loser's boot state would roll it back.
 		t.batch.close()
-		return badRequest("tenant %q already exists", name)
+		if t.dur != nil {
+			t.durMu.Lock()
+			t.durClosed = true
+			t.durMu.Unlock()
+			_ = t.dur.Close()
+		}
+		return badRequest("tenant %q already exists", t.name)
 	}
-	s.tenants[name] = t
+	s.tenants[t.name] = t
 	return nil
 }
 
@@ -328,21 +394,30 @@ func (s *Server) Drain() { s.draining.Store(true) }
 // Draining reports whether Drain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Close stops the background reconciler and every tenant's batcher,
-// shipping anything still enqueued. Handlers must be drained first (see
-// Drain). Safe to call more than once.
+// Close stops the background reconciler, the checkpointer, and every
+// tenant's batcher, shipping anything still enqueued; then, on a
+// durable server, it flushes each tenant's WAL and writes its final
+// checkpoint so a clean restart recovers with zero replay. Handlers
+// must be drained first (see Drain). Safe to call more than once.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		close(s.reconcileStop)
+		close(s.checkpointStop)
 		<-s.reconcileDone
+		<-s.checkpointDone
 		s.mu.Lock()
 		tenants := make([]*tenant, 0, len(s.tenants))
 		for _, t := range s.tenants {
 			tenants = append(tenants, t)
 		}
 		s.mu.Unlock()
+		// Batchers first — the final checkpoint must include the last
+		// enqueued batches — then the durability shutdown.
 		for _, t := range tenants {
 			t.batch.close()
+		}
+		for _, t := range tenants {
+			t.shutdownDurability(s.logf)
 		}
 	})
 }

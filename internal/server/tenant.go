@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"interopdb"
 	"interopdb/internal/view"
@@ -15,12 +16,57 @@ var ErrUnknownTenant = errors.New("unknown tenant")
 
 // tenant is one hosted federation: an isolated Federation instance plus
 // the batcher coalescing its concurrent wire transactions. Tenants
-// share nothing — not stores, not engines, not reasoning memos — so one
-// tenant's mutations can never leak into another's view.
+// share nothing — not stores, not engines, not reasoning memos, not
+// data directories — so one tenant's mutations can never leak into
+// another's view.
 type tenant struct {
 	name  string
 	fed   *interopdb.Federation
 	batch *txBatcher
+
+	// dur is nil on an ephemeral server (Config.DataDir unset). When
+	// set, every acknowledged transaction is in the tenant's WAL and
+	// recovery was performed at boot (the outcome stays in recovery).
+	dur      *interopdb.Durability
+	recovery interopdb.RecoveryInfo
+
+	// durMu serializes Checkpoint against Shutdown — Durability forbids
+	// racing them — and durClosed makes shutdown idempotent across the
+	// delete-tenant handler and server Close.
+	durMu     sync.Mutex
+	durClosed bool
+}
+
+// checkpoint writes a periodic snapshot; a no-op for ephemeral tenants
+// and after durability shutdown.
+func (t *tenant) checkpoint() error {
+	if t.dur == nil {
+		return nil
+	}
+	t.durMu.Lock()
+	defer t.durMu.Unlock()
+	if t.durClosed {
+		return nil
+	}
+	return t.dur.Checkpoint(t.fed)
+}
+
+// shutdownDurability flushes the WAL, writes the final checkpoint (so
+// the next boot replays nothing) and closes the log. Idempotent; the
+// batcher must be stopped first so no ship races the final snapshot.
+func (t *tenant) shutdownDurability(logf func(format string, args ...any)) {
+	if t.dur == nil {
+		return
+	}
+	t.durMu.Lock()
+	defer t.durMu.Unlock()
+	if t.durClosed {
+		return
+	}
+	t.durClosed = true
+	if err := t.dur.Shutdown(t.fed); err != nil && logf != nil {
+		logf("tenant %s: durability shutdown: %v", t.name, err)
+	}
 }
 
 // engine returns the tenant's serving engine, which exists once two

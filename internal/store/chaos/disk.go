@@ -1,0 +1,171 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"interopdb/internal/store"
+)
+
+// Disk faults. The backend faults above exercise the federation's
+// member-failure handling; these exercise the durability layer's crash
+// handling by misbehaving at the WALFile seam the WAL writes through
+// (store.WALOptions.WrapFile). The same determinism contract applies:
+// write and sync attempts are counted in call order under a mutex, and
+// a given Seed + Schedule always injects the same faults at the same
+// attempts, so crash-recovery tests can kill a node at an exact write
+// and assert the recovered state byte for byte.
+
+// DiskFault is one injected disk failure mode.
+type DiskFault int
+
+const (
+	// DiskNone passes the operation through.
+	DiskNone DiskFault = iota
+	// DiskShortWrite persists only a prefix of the buffer and reports
+	// the truncated count — the torn-tail producer. The WAL seals; the
+	// on-disk file ends mid-frame unless the WAL's truncate-back repairs
+	// it.
+	DiskShortWrite
+	// DiskWriteError fails the write with no bytes persisted.
+	DiskWriteError
+	// DiskSyncError lets the write through but fails the next Sync —
+	// data in the page cache, durability denied.
+	DiskSyncError
+	// DiskCorrupt persists the write with one byte flipped and reports
+	// success: the storage lied. Nothing fails until recovery's checksum
+	// scan refuses the frame.
+	DiskCorrupt
+)
+
+// DiskOptions configures disk-fault injection. The zero value injects
+// nothing.
+type DiskOptions struct {
+	// Seed seeds the PRNG behind ShortWriteRate.
+	Seed int64
+	// ShortWriteRate injects DiskShortWrite on this fraction of write
+	// attempts (0 disables sampling).
+	ShortWriteRate float64
+	// Schedule pins faults to specific write attempts (1-based, counted
+	// over the file's lifetime in call order). A scheduled attempt
+	// bypasses the sampler. DiskSyncError scheduled at attempt N lets
+	// write N through and fails the Sync that follows it.
+	Schedule map[int]DiskFault
+}
+
+// DiskStats counts what the injector has done.
+type DiskStats struct {
+	Writes      int
+	Syncs       int
+	Injected    int
+	ShortWrites int
+	WriteErrors int
+	SyncErrors  int
+	Corruptions int
+}
+
+// DiskFile interposes faults on a WAL's file handle.
+type DiskFile struct {
+	inner store.WALFile
+	opts  DiskOptions
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	stats       DiskStats
+	pendingSync bool
+}
+
+// WrapDisk returns a store.WALOptions.WrapFile hook that interposes a
+// DiskFile with the given options, and a getter for the wrapper (nil
+// until the WAL opens its file).
+func WrapDisk(opts DiskOptions) (func(store.WALFile) store.WALFile, func() *DiskFile) {
+	var df *DiskFile
+	return func(f store.WALFile) store.WALFile {
+			df = &DiskFile{inner: f, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+			return df
+		}, func() *DiskFile {
+			return df
+		}
+}
+
+// Stats snapshots the injection counters.
+func (f *DiskFile) Stats() DiskStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// nextFault decides the fault for one write attempt, in call order.
+func (f *DiskFile) nextFault() DiskFault {
+	f.stats.Writes++
+	if fl, ok := f.opts.Schedule[f.stats.Writes]; ok {
+		return fl
+	}
+	if f.opts.ShortWriteRate > 0 && f.rng.Float64() < f.opts.ShortWriteRate {
+		return DiskShortWrite
+	}
+	return DiskNone
+}
+
+// Write implements store.WALFile.
+func (f *DiskFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	fault := f.nextFault()
+	switch fault {
+	case DiskNone:
+		f.mu.Unlock()
+		return f.inner.Write(p)
+	case DiskShortWrite:
+		f.stats.Injected++
+		f.stats.ShortWrites++
+		f.mu.Unlock()
+		n := len(p) / 2
+		if _, err := f.inner.Write(p[:n]); err != nil {
+			return 0, err
+		}
+		return n, fmt.Errorf("chaos: injected short write (%d of %d bytes)", n, len(p))
+	case DiskWriteError:
+		f.stats.Injected++
+		f.stats.WriteErrors++
+		f.mu.Unlock()
+		return 0, fmt.Errorf("chaos: injected write error")
+	case DiskSyncError:
+		f.stats.Injected++
+		f.pendingSync = true
+		f.mu.Unlock()
+		return f.inner.Write(p)
+	case DiskCorrupt:
+		f.stats.Injected++
+		f.stats.Corruptions++
+		f.mu.Unlock()
+		q := append([]byte(nil), p...)
+		q[len(q)/2] ^= 0x40
+		return f.inner.Write(q)
+	}
+	f.mu.Unlock()
+	return 0, fmt.Errorf("chaos: unknown disk fault %d", int(fault))
+}
+
+// Sync implements store.WALFile.
+func (f *DiskFile) Sync() error {
+	f.mu.Lock()
+	f.stats.Syncs++
+	if f.pendingSync {
+		f.pendingSync = false
+		f.stats.SyncErrors++
+		f.mu.Unlock()
+		return fmt.Errorf("chaos: injected fsync error")
+	}
+	f.mu.Unlock()
+	return f.inner.Sync()
+}
+
+// Truncate implements store.WALFile (the WAL's seal-repair path; always
+// passes through so the durable prefix stays recoverable).
+func (f *DiskFile) Truncate(size int64) error { return f.inner.Truncate(size) }
+
+// Close implements store.WALFile.
+func (f *DiskFile) Close() error { return f.inner.Close() }
+
+var _ store.WALFile = (*DiskFile)(nil)

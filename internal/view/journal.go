@@ -154,6 +154,12 @@ type journalEntry struct {
 	Effects  map[string][]memberEffect
 	Applies  []shippedOp
 
+	// Wal is the batch's intent-record LSN when durability is enabled
+	// (0 otherwise): member commit records carry it, and the terminal
+	// resolve record names it. Written once right after begin, under the
+	// engine write lock.
+	Wal uint64
+
 	Mode         journalMode
 	Committed    map[string]bool
 	Compensated  map[string]bool

@@ -124,6 +124,12 @@ func (e *Engine) commitWithRetry(ctx context.Context, b store.Backend, txn store
 		}
 		e.faults.transientFaults.Add(1)
 		if effectsApplied(b, effs) {
+			// The commit applied before the failure was reported. Before
+			// counting it committed, force its WAL record (durable.go):
+			// the member holds the change, so the log must too.
+			if lerr := logApplied(txn); lerr != nil {
+				return lerr
+			}
 			e.faults.ambiguousResolved.Add(1)
 			return nil
 		}
@@ -229,6 +235,7 @@ func (e *Engine) Reconcile(ctx context.Context) (ReconcileStats, error) {
 				continue
 			}
 			if done {
+				e.logResolve(ent, store.ResolveCommitted)
 				e.journal.remove(ent)
 				e.faults.reconCompleted.Add(1)
 				rs.Completed++
@@ -271,7 +278,12 @@ func (e *Engine) completeEntry(ctx context.Context, ent *journalEntry) (bool, er
 		effs := ent.Effects[member]
 		if effectsApplied(b, effs) {
 			// The original commit applied before its failure was
-			// reported: nothing to re-run.
+			// reported: nothing to re-run — but its WAL record must
+			// land before the member counts as committed.
+			if lerr := logApplied(ent.Txns[member]); lerr != nil {
+				e.journal.setErr(ent, lerr)
+				return false, nil // sealed log; settle after restart
+			}
 			e.faults.ambiguousResolved.Add(1)
 			e.journal.markCommitted(ent, member)
 			e.health.success(member)
@@ -289,8 +301,11 @@ func (e *Engine) completeEntry(ctx context.Context, ent *journalEntry) (bool, er
 			return false, nil // down again; next pass
 		}
 		// The member's manager rejected the retained transaction (state
-		// changed underneath it): completion is impossible.
+		// changed underneath it): completion is impossible. The resolve
+		// record lands at the mode flip, before any compensating commit
+		// (see the route.go twin for the crash-ordering argument).
 		e.journal.setMode(ent, modeCompensate, member, err)
+		e.logResolve(ent, store.ResolveCompensated)
 		return false, err
 	}
 	if err := e.applyShipped(ent.Applies); err != nil {

@@ -224,8 +224,17 @@ func (e *Engine) ShipTxRoutedContext(ctx context.Context, reg *store.Registry, o
 	}
 
 	// Intent is journaled before the first member commit: if the commit
-	// phase strands, the entry holds everything Reconcile needs.
+	// phase strands, the entry holds everything Reconcile needs. With
+	// durability on, the same intent also goes to the WAL so a crash
+	// that destroys the in-memory journal can still settle the batch.
 	ent := e.journal.begin(order, backends, txs, effects, applies)
+	if err := e.logIntent(ent, order, txs, effects); err != nil {
+		for _, m := range order {
+			txs[m].Rollback()
+		}
+		e.journal.remove(ent)
+		return err
+	}
 
 	var committed, pendingMembers []string
 	for ci, member := range order {
@@ -243,13 +252,19 @@ func (e *Engine) ShipTxRoutedContext(ctx context.Context, reg *store.Registry, o
 			}
 			if len(committed) == 0 {
 				// Nothing committed anywhere — a plain rejection.
+				e.logResolve(ent, store.ResolveAborted)
 				e.journal.remove(ent)
 				return fmt.Errorf("op batch rejected by %s: %w", member, err)
 			}
 			// Undo the committed prefix. If every compensation lands,
 			// the federation is restored and the caller sees the
-			// member's rejection, not a partial commit.
+			// member's rejection, not a partial commit. The resolve
+			// record goes to the WAL at the mode flip — BEFORE the
+			// compensating commits — so a crash mid-undo recovers into
+			// "finish the compensation", never "complete the batch the
+			// member rejected".
 			e.journal.setMode(ent, modeCompensate, member, err)
+			e.logResolve(ent, store.ResolveCompensated)
 			if e.compensateEntry(ctx, ent) {
 				e.journal.remove(ent)
 				e.faults.compensatedInline.Add(1)
@@ -273,6 +288,7 @@ func (e *Engine) ShipTxRoutedContext(ctx context.Context, reg *store.Registry, o
 			for _, m := range order {
 				txs[m].Rollback()
 			}
+			e.logResolve(ent, store.ResolveAborted)
 			e.journal.remove(ent)
 			return &MemberUnavailableError{Member: member, RetryAfter: e.health.retryHint(member), Err: err}
 		}
@@ -288,6 +304,7 @@ func (e *Engine) ShipTxRoutedContext(ctx context.Context, reg *store.Registry, o
 			Mode: modeComplete.String(), Err: fmt.Errorf("%s", e.journal.lastErrOf(ent)),
 		}
 	}
+	e.logResolve(ent, store.ResolveCommitted)
 	e.journal.remove(ent)
 	return e.applyShipped(applies)
 }
