@@ -26,7 +26,7 @@ test:
 # Race-test the concurrent pipeline paths (worker-pool derivation and
 # conformation, shared entailment cache, query engine).
 race:
-	$(GO) test -race ./internal/core/... ./internal/logic/... ./internal/view/...
+	$(GO) test -race ./internal/core/... ./internal/logic/... ./internal/view/... ./internal/wire/...
 	$(GO) test -race -run Federation .
 
 # Fixed-seed fault-injection suite under the race detector: the chaos
@@ -56,6 +56,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseQuery -fuzztime=20s -run='^$$' ./internal/view/
 	$(GO) test -fuzz=FuzzCodecRoundTrip -fuzztime=20s -run='^$$' ./internal/server/
 	$(GO) test -fuzz=FuzzWALDecode -fuzztime=20s -run='^$$' ./internal/store/
+	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=20s -run='^$$' ./internal/wire/
 
 # Full benchmark run (slow).
 bench:
@@ -75,26 +76,28 @@ bench-smoke:
 # a single-core host, especially for one-shot cold timings) cannot
 # poison the committed baseline.
 baseline:
-	$(GO) run ./cmd/interopbench -quick -json BENCH_9.r1.json
-	$(GO) run ./cmd/interopbench -quick -json BENCH_9.r2.json
-	$(GO) run ./cmd/interopbench -quick -json BENCH_9.r3.json
-	$(GO) run ./cmd/benchcompare -merge BENCH_9.json BENCH_9.r1.json BENCH_9.r2.json BENCH_9.r3.json
-	rm -f BENCH_9.r1.json BENCH_9.r2.json BENCH_9.r3.json
+	$(GO) run ./cmd/interopbench -quick -json BENCH_10.r1.json
+	$(GO) run ./cmd/interopbench -quick -json BENCH_10.r2.json
+	$(GO) run ./cmd/interopbench -quick -json BENCH_10.r3.json
+	$(GO) run ./cmd/benchcompare -merge BENCH_10.json BENCH_10.r1.json BENCH_10.r2.json BENCH_10.r3.json
+	rm -f BENCH_10.r1.json BENCH_10.r2.json BENCH_10.r3.json
 
 # Diff the current baseline against the previous PR's and GATE: shared
 # timing metrics regressing beyond -max-regress fail (sub-10µs rows are
 # noise-floored; E-series pass→fail drift always fails).
 bench-compare:
-	$(GO) run ./cmd/benchcompare -max-regress 100 BENCH_8.json BENCH_9.json
+	$(GO) run ./cmd/benchcompare -max-regress 100 BENCH_9.json BENCH_10.json
 
-# Serve the federation over HTTP: figure1 + personnel tenants on :7070,
-# with /metrics and pprof. Ctrl-C drains gracefully.
+# Serve the federation: figure1 + personnel tenants, HTTP on :7070 and
+# the binary framed transport on :7071, with /metrics and pprof.
+# Ctrl-C drains gracefully.
 serve:
-	$(GO) run ./cmd/interopd -addr :7070
+	$(GO) run ./cmd/interopd -addr :7070 -wire-addr :7071
 
-# Drive a running `make serve` with the B11 wire workload.
+# Drive a running `make serve` with the B11 wire workload over both
+# transports.
 load:
-	$(GO) run ./cmd/interopbench -only b11 -serve-url http://localhost:7070
+	$(GO) run ./cmd/interopbench -only b11 -serve-url http://localhost:7070 -wire-addr localhost:7071
 
 # CPU/heap profiles of the full benchmark suite, so perf work starts
 # from a flame graph instead of a guess:

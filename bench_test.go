@@ -234,6 +234,7 @@ func benchServe(b *testing.B, q view.Query, wantRows int) {
 		idx bool
 	}{{"indexed", true}, {"scan", false}} {
 		b.Run(mode.tag, func(b *testing.B) {
+			b.ReportAllocs()
 			e.UseIndexes = mode.idx
 			// Warm the lazily-built indexes and the entailment memo
 			// outside the timed region.
@@ -281,6 +282,7 @@ func BenchmarkServeParallel(b *testing.B) {
 		b.Fatal(err)
 	}
 	want := len(rows)
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
@@ -310,6 +312,7 @@ func BenchmarkServeValidateInsert(b *testing.B) {
 			idx bool
 		}{{"indexed", true}, {"scan", false}} {
 			b.Run("scale="+itoa(scale)+"/"+mode.tag, func(b *testing.B) {
+				b.ReportAllocs()
 				e.UseIndexes = mode.idx
 				if rejs := e.ValidateInsert("Item", doomed); len(rejs) == 0 {
 					b.Fatal("duplicate key not caught")

@@ -57,23 +57,32 @@ type report struct {
 }
 
 // sections lists the B-series arrays with their identity keys (used to
-// match rows across reports) and their timing keys (compared).
+// match rows across reports), their timing keys (compared in ns with
+// the -regress-floor noise floor), and their count keys (unit-less
+// metrics — allocations per op, overhead ratios — gated with the
+// -count-floor instead, since a 10µs floor would exempt every count).
+// idDefaults fills identity keys absent from older baselines so rows
+// keep matching across a schema change (BENCH_9's b11 rows predate the
+// transport field and were all HTTP).
 var sections = []struct {
-	name   string
-	idKeys []string
-	nsKeys []string
+	name       string
+	idKeys     []string
+	idDefaults map[string]any
+	nsKeys     []string
+	countKeys  []string
 }{
-	{"b1", []string{"Query"}, []string{"OptTime", "BaseTime", "OptColdTime", "BaseColdTime"}},
-	{"b3", []string{"books", "overlap"}, []string{"seq_ns", "par_ns"}},
-	{"b4", []string{"constraints"}, []string{"seq_ns", "par_ns"}},
-	{"b7", []string{"scale", "kind", "detail"}, []string{"scan_ns", "fast_ns"}},
-	{"b8", []string{"scale", "mode"}, []string{"per_op_ns"}},
-	{"b9", []string{"readers"}, []string{"per_op_ns"}},
-	{"b9v", []string{"readers"}, []string{"per_op_ns"}},
-	{"b10", []string{"scale"}, []string{"attach_ns", "reintegrate_ns"}},
-	{"b11", []string{"readers"}, []string{"wire_per_op_ns", "p50_ns"}},
-	{"b12", []string{"scale"}, []string{"faulty_ns", "reconverge_ns"}},
-	{"b13", []string{"scale"}, []string{"ship_wal_sync_ns", "warm_boot_ns"}},
+	{"b1", []string{"Query"}, nil, []string{"OptTime", "BaseTime", "OptColdTime", "BaseColdTime"}, nil},
+	{"b3", []string{"books", "overlap"}, nil, []string{"seq_ns", "par_ns"}, nil},
+	{"b4", []string{"constraints"}, nil, []string{"seq_ns", "par_ns"}, nil},
+	{"b7", []string{"scale", "kind", "detail"}, nil, []string{"scan_ns", "fast_ns"}, nil},
+	{"b8", []string{"scale", "mode"}, nil, []string{"per_op_ns"}, nil},
+	{"b9", []string{"readers"}, nil, []string{"per_op_ns"}, nil},
+	{"b9v", []string{"readers"}, nil, []string{"per_op_ns"}, nil},
+	{"b10", []string{"scale"}, nil, []string{"attach_ns", "reintegrate_ns"}, nil},
+	{"b11", []string{"transport", "readers"}, map[string]any{"transport": "http"},
+		[]string{"wire_per_op_ns", "p50_ns"}, []string{"allocs_per_op", "wire_overhead_x"}},
+	{"b12", []string{"scale"}, nil, []string{"faulty_ns", "reconverge_ns"}, nil},
+	{"b13", []string{"scale"}, nil, []string{"ship_wal_sync_ns", "warm_boot_ns"}, nil},
 }
 
 func load(path string) (*report, error) {
@@ -102,10 +111,14 @@ func load(path string) (*report, error) {
 	return &rep, nil
 }
 
-func ident(r row, keys []string) string {
+func ident(r row, keys []string, defaults map[string]any) string {
 	out := ""
 	for _, k := range keys {
-		out += fmt.Sprintf("%v|", r[k])
+		v := r[k]
+		if v == nil {
+			v = defaults[k]
+		}
+		out += fmt.Sprintf("%v|", v)
 	}
 	return out
 }
@@ -113,6 +126,7 @@ func ident(r row, keys []string) string {
 func main() {
 	maxRegress := flag.Float64("max-regress", 0, "REQUIRED: exit 1 when a shared timing metric slows down by more than this percentage")
 	regressFloor := flag.Float64("regress-floor", 10000, "ignore rows whose baseline is below this many nanoseconds (noise floor)")
+	countFloor := flag.Float64("count-floor", 10, "ignore count metrics (allocs/op, overhead ratios) whose baseline is below this (noise floor)")
 	mergeOut := flag.String("merge", "", "merge N run reports into this output file (per-metric min, E-series pass ANDed) instead of comparing")
 	flag.Parse()
 	if *mergeOut != "" {
@@ -172,26 +186,26 @@ func main() {
 		}
 		byID := map[string]row{}
 		for _, r := range oldRows {
-			byID[ident(r, s.idKeys)] = r
+			byID[ident(r, s.idKeys, s.idDefaults)] = r
 		}
 		fmt.Printf("%s:\n", s.name)
 		for _, nr := range newRows {
-			id := ident(nr, s.idKeys)
+			id := ident(nr, s.idKeys, s.idDefaults)
 			or, ok := byID[id]
 			if !ok {
 				fmt.Printf("  %-52s new row\n", id)
 				continue
 			}
-			for _, k := range s.nsKeys {
+			compare := func(k string, floor float64, unit string) {
 				ov, ook := asFloat(or[k])
 				nv, nok := asFloat(nr[k])
 				if !ook || !nok || ov <= 0 {
-					continue
+					return
 				}
 				pct := 100 * (nv - ov) / ov
 				marker := ""
 				switch {
-				case ov < *regressFloor:
+				case ov < floor:
 					if pct > *maxRegress {
 						marker = "  (sub-floor: not gated)"
 					}
@@ -199,7 +213,13 @@ func main() {
 					marker = "  << REGRESSION"
 					regressions++
 				}
-				fmt.Printf("  %-52s %-14s %12.0fns → %12.0fns  %+6.1f%%%s\n", id, k, ov, nv, pct, marker)
+				fmt.Printf("  %-52s %-14s %12.0f%s → %12.0f%s  %+6.1f%%%s\n", id, k, ov, unit, nv, unit, pct, marker)
+			}
+			for _, k := range s.nsKeys {
+				compare(k, *regressFloor, "ns")
+			}
+			for _, k := range s.countKeys {
+				compare(k, *countFloor, "")
 			}
 		}
 	}
@@ -262,7 +282,7 @@ func mergeRuns(outPath string, inPaths []string) error {
 			byID := map[string]map[string]any{}
 			for _, r := range otherRows {
 				if m, ok := r.(map[string]any); ok {
-					byID[ident(m, s.idKeys)] = m
+					byID[ident(m, s.idKeys, s.idDefaults)] = m
 				}
 			}
 			for _, r := range baseRows {
@@ -270,12 +290,12 @@ func mergeRuns(outPath string, inPaths []string) error {
 				if !ok {
 					continue
 				}
-				o := byID[ident(m, s.idKeys)]
+				o := byID[ident(m, s.idKeys, s.idDefaults)]
 				if o == nil {
 					continue
 				}
 				for k := range m {
-					if !isTimingKey(s.nsKeys, k) {
+					if !isGatedKey(s.nsKeys, s.countKeys, k) {
 						continue
 					}
 					bv, bok := asFloat(m[k])
@@ -301,12 +321,18 @@ func mergeRuns(outPath string, inPaths []string) error {
 	return nil
 }
 
-// isTimingKey reports whether k is one of the section's gated timing
-// metrics, or follows the _ns naming convention (covers ungated timing
-// fields like total_ns so merged rows stay self-consistent).
-func isTimingKey(nsKeys []string, k string) bool {
+// isGatedKey reports whether k is one of the section's gated metrics
+// (timing or count), or follows the _ns naming convention (covers
+// ungated timing fields like total_ns so merged rows stay
+// self-consistent).
+func isGatedKey(nsKeys, countKeys []string, k string) bool {
 	for _, nk := range nsKeys {
 		if k == nk {
+			return true
+		}
+	}
+	for _, ck := range countKeys {
+		if k == ck {
 			return true
 		}
 	}

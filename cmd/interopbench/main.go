@@ -158,6 +158,7 @@ type b10JSON struct {
 // baselines: wire serving (HTTP + JSON codec) against the in-process
 // engine on the same workload.
 type b11JSON struct {
+	Transport    string  `json:"transport"`
 	Readers      int     `json:"readers"`
 	Ops          int     `json:"ops"`
 	WireQPS      float64 `json:"wire_qps"`
@@ -168,6 +169,7 @@ type b11JSON struct {
 	Mutations    int64   `json:"mutations"`
 	InprocPerOp  int64   `json:"inproc_per_op_ns"`
 	WireOverhead float64 `json:"wire_overhead_x"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
 }
 
 // b12JSON flattens B12Result for trend tracking across baselines:
@@ -224,6 +226,8 @@ func main() {
 	only := flag.String("only", "", "run only E or B series, or just b11 (wire serving)")
 	quick := flag.Bool("quick", false, "smaller measurement sweeps")
 	serveURL := flag.String("serve-url", "", "B11: drive a running interopd at this base URL instead of self-hosting")
+	serveWire := flag.String("wire-addr", "", "B11: the same daemon's binary-transport address (interopd -wire-addr); with -serve-url, empty skips the binary arm")
+	transport := flag.String("transport", "", "B11: limit to one transport (http or binary); empty runs both")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -259,7 +263,7 @@ func main() {
 		runB(*quick, &rep)
 	}
 	if *only == "" || strings.EqualFold(*only, "B") || strings.EqualFold(*only, "b11") {
-		runB11(*quick, *serveURL, &rep)
+		runB11(*quick, *serveURL, *serveWire, *transport, &rep)
 	}
 	if *only == "" || strings.EqualFold(*only, "B") || strings.EqualFold(*only, "b12") {
 		runB12(*quick, &rep)
@@ -472,10 +476,12 @@ func runB(quick bool, rep *report) {
 }
 
 // runB11 measures serving the federation over the wire: the B9 query
-// mix driven through interopd's HTTP surface (self-hosted on loopback
+// mix driven through interopd's transports (self-hosted on loopback
 // unless -serve-url points at a running daemon), reported next to the
-// same workload on an in-process engine. The gap is the transport bill.
-func runB11(quick bool, serveURL string, rep *report) {
+// same workload on an in-process engine. The gap is the transport bill;
+// the binary arm (framed protocol + prepared queries) shows how much of
+// the HTTP/JSON bill is codec rather than network.
+func runB11(quick bool, serveURL, wireAddr, only string, rep *report) {
 	ops := 200
 	if quick {
 		ops = 50
@@ -484,27 +490,41 @@ func runB11(quick bool, serveURL string, rep *report) {
 	if n := runtime.GOMAXPROCS(0); n > 4 && !quick {
 		readerCounts = append(readerCounts, n)
 	}
+	transports := []string{"http", "binary"}
+	if only != "" {
+		transports = []string{only}
+	}
+	if serveURL != "" && wireAddr == "" {
+		// A remote daemon without -wire-addr can only serve HTTP.
+		transports = []string{"http"}
+	}
 	target := "self-hosted loopback"
 	if serveURL != "" {
 		target = serveURL
 	}
-	fmt.Printf("\nB11: wire serving over HTTP/JSON (%s; %d queries/reader, writer shipping inserts)\n", target, ops)
-	for _, readers := range readerCounts {
-		r, err := server.RunLoad(server.LoadOptions{
-			BaseURL:      serveURL,
-			Readers:      readers,
-			OpsPerReader: ops,
-		})
-		exitOn(err)
-		fmt.Printf("  readers=%2d ops=%6d %9.0f q/s | per-op %10v (in-proc %10v, %5.1fx) | p50 %8v p95 %8v p99 %8v | %d mutations\n",
-			r.Readers, r.Ops, r.WireQPS, r.WirePerOp, r.InprocPerOp, r.WireOverhead, r.P50, r.P95, r.P99, r.Mutations)
-		rep.B11 = append(rep.B11, b11JSON{
-			Readers: r.Readers, Ops: r.Ops, WireQPS: r.WireQPS,
-			WirePerOp: r.WirePerOp.Nanoseconds(),
-			P50:       r.P50.Nanoseconds(), P95: r.P95.Nanoseconds(), P99: r.P99.Nanoseconds(),
-			Mutations: r.Mutations, InprocPerOp: r.InprocPerOp.Nanoseconds(),
-			WireOverhead: r.WireOverhead,
-		})
+	fmt.Printf("\nB11: wire serving, HTTP/JSON vs binary framed (%s; %d queries/reader, writer shipping inserts)\n", target, ops)
+	for _, tr := range transports {
+		for _, readers := range readerCounts {
+			r, err := server.RunLoad(server.LoadOptions{
+				BaseURL:      serveURL,
+				WireAddr:     wireAddr,
+				Transport:    tr,
+				Readers:      readers,
+				OpsPerReader: ops,
+			})
+			exitOn(err)
+			fmt.Printf("  %-6s readers=%2d ops=%6d %9.0f q/s | per-op %10v (in-proc %10v, %5.1fx) | p50 %8v p95 %8v p99 %8v | %5.0f allocs/op | %d mutations\n",
+				r.Transport, r.Readers, r.Ops, r.WireQPS, r.WirePerOp, r.InprocPerOp, r.WireOverhead, r.P50, r.P95, r.P99, r.AllocsPerOp, r.Mutations)
+			rep.B11 = append(rep.B11, b11JSON{
+				Transport: r.Transport,
+				Readers:   r.Readers, Ops: r.Ops, WireQPS: r.WireQPS,
+				WirePerOp: r.WirePerOp.Nanoseconds(),
+				P50:       r.P50.Nanoseconds(), P95: r.P95.Nanoseconds(), P99: r.P99.Nanoseconds(),
+				Mutations: r.Mutations, InprocPerOp: r.InprocPerOp.Nanoseconds(),
+				WireOverhead: r.WireOverhead,
+				AllocsPerOp:  r.AllocsPerOp,
+			})
+		}
 	}
 }
 

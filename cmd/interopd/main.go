@@ -36,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,10 +45,13 @@ import (
 	"time"
 
 	"interopdb/internal/server"
+	"interopdb/internal/wire"
 )
 
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
+	wireAddr := flag.String("wire-addr", "",
+		"binary transport listen address (e.g. :7071); empty disables the framed protocol listener")
 	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight, "admitted concurrent /v1 requests (excess get 429)")
 	tenants := flag.String("tenant", "figure1=figure1,personnel=personnel",
 		"comma-separated name=fixture preload list (fixtures: figure1, personnel); empty boots no tenants")
@@ -96,9 +100,29 @@ func main() {
 		}
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	// ReadHeaderTimeout bounds slowloris header dribble; IdleTimeout
+	// reclaims keep-alive connections parked between requests. (The
+	// binary listener enforces the analogous per-frame deadlines itself.)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
+
+	var ws *wire.Server
+	if *wireAddr != "" {
+		ln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "interopd: wire listen: %v\n", err)
+			os.Exit(1)
+		}
+		ws = srv.WireServer()
+		go func() { errc <- ws.Serve(ln) }()
+		logf("binary transport listening on %s", ln.Addr())
+	}
 	logf("interopd listening on %s (%d tenants, max %d in flight)", *addr, len(srv.Tenants()), *maxInFlight)
 
 	sig := make(chan os.Signal, 1)
@@ -119,6 +143,11 @@ func main() {
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "interopd: shutdown: %v\n", err)
+	}
+	if ws != nil {
+		if err := ws.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "interopd: wire shutdown: %v\n", err)
+		}
 	}
 	srv.Close()
 	logf("drained, exiting")

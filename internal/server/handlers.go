@@ -253,6 +253,7 @@ func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) error {
 	if err := t.fed.AttachContext(r.Context(), m.spec, m.store, m.integration); err != nil {
 		return fmt.Errorf("attach: %w", err)
 	}
+	t.memberVer.Add(1)
 	writeJSON(w, http.StatusOK, s.infoFor(t))
 	return nil
 }
@@ -279,6 +280,7 @@ func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) error {
 	if err := t.fed.DetachContext(r.Context(), req.Member); err != nil {
 		return badRequest("detach: %v", err)
 	}
+	t.memberVer.Add(1)
 	writeJSON(w, http.StatusOK, s.infoFor(t))
 	return nil
 }

@@ -8,30 +8,43 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"interopdb"
+	"interopdb/internal/object"
 	"interopdb/internal/view"
+	"interopdb/internal/wire"
 )
 
-// The B11 load driver: drives a running interopd over HTTP with the
-// same mixed read workload B9 runs in-process — five plan-cache-warm
-// queries against the figure1 tenant plus one writer shipping insert
-// batches — and reports wire throughput and latency percentiles next
-// to an in-process baseline on an identical engine. The gap between
-// the two is the transport bill (JSON codec, HTTP framing, loopback
-// TCP), isolated from the serving engine's own cost, which both sides
-// share. cmd/interopbench invokes it (-only b11), self-hosting a
-// loopback server when no -serve-url is given.
+// The B11 load driver: drives a running interopd with the same mixed
+// read workload B9 runs in-process — five plan-cache-warm queries
+// against the figure1 tenant plus one writer shipping insert batches —
+// and reports wire throughput and latency percentiles next to an
+// in-process baseline on an identical engine. The gap between the two
+// is the transport bill, isolated from the serving engine's own cost,
+// which both sides share. It drives either transport: HTTP/JSON (the
+// PR-6 path) or the binary framed protocol with prepared queries
+// (internal/wire), so the B11 table quantifies exactly what the binary
+// transport buys. cmd/interopbench invokes it (-only b11),
+// self-hosting a loopback server when no -serve-url is given.
 
 // LoadOptions configures one load run.
 type LoadOptions struct {
-	// BaseURL is the server to drive (e.g. "http://127.0.0.1:7070").
-	// Empty self-hosts a loopback server with a figure1 tenant.
+	// BaseURL is the HTTP server to drive (e.g.
+	// "http://127.0.0.1:7070"). Empty self-hosts a loopback server
+	// with a figure1 tenant.
 	BaseURL string
+	// WireAddr is the binary-transport address of the same daemon
+	// (interopd -wire-addr). Required for Transport "binary" when
+	// BaseURL is set; ignored when self-hosting.
+	WireAddr string
+	// Transport selects the wire protocol: "http" (default) or
+	// "binary" (framed protocol with prepared queries).
+	Transport string
 	// Tenant is the target tenant (default "figure1").
 	Tenant string
 	// Readers is the number of concurrent query clients (default 8).
@@ -41,10 +54,17 @@ type LoadOptions struct {
 	OpsPerReader int
 	// NoWriter disables the concurrent insert writer.
 	NoWriter bool
+	// WriteInterval paces the writer, one insert per tick (default
+	// 2ms, matching B9V's read-dominant mix). An unpaced writer
+	// republishes the written class's snapshot continuously, so every
+	// read replans and the run measures write-storm contention instead
+	// of the transport bill. Negative runs the writer unpaced.
+	WriteInterval time.Duration
 }
 
 // LoadResult reports one load run.
 type LoadResult struct {
+	Transport    string        `json:"transport"`
 	Readers      int           `json:"readers"`
 	Ops          int           `json:"ops"`
 	Elapsed      time.Duration `json:"elapsed_ns"`
@@ -56,6 +76,10 @@ type LoadResult struct {
 	Mutations    int64         `json:"mutations"`
 	InprocPerOp  time.Duration `json:"inproc_per_op_ns"`
 	WireOverhead float64       `json:"wire_overhead_x"`
+	// AllocsPerOp is the process-wide heap allocations per measured
+	// query (client and, when self-hosting, server side together) —
+	// the allocation-diet counterpart of the timing gate.
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 // loadQueries is the B9 query mix in textual wire form.
@@ -68,28 +92,37 @@ var loadQueries = []string{
 }
 
 // StartLocal boots a loopback interopd with the given tenants
-// (name → fixture) and returns its base URL and a shutdown function.
-func StartLocal(tenants map[string]string) (string, func(), error) {
+// (name → fixture) serving both transports, and returns its HTTP base
+// URL, its binary-transport address, and a shutdown function.
+func StartLocal(tenants map[string]string) (string, string, func(), error) {
 	srv := New(Config{})
 	for name, fix := range tenants {
 		if err := srv.AddTenant(name, fix); err != nil {
-			return "", nil, fmt.Errorf("tenant %s: %w", name, err)
+			return "", "", nil, fmt.Errorf("tenant %s: %w", name, err)
 		}
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return "", nil, err
+		return "", "", nil, err
 	}
-	hs := &http.Server{Handler: srv}
+	wln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ln.Close()
+		return "", "", nil, err
+	}
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second, IdleTimeout: 2 * time.Minute}
+	ws := srv.WireServer()
 	go func() { _ = hs.Serve(ln) }()
+	go func() { _ = ws.Serve(wln) }()
 	shutdown := func() {
 		srv.Drain()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx)
+		_ = ws.Shutdown(ctx)
 		srv.Close()
 	}
-	return "http://" + ln.Addr().String(), shutdown, nil
+	return "http://" + ln.Addr().String(), wln.Addr().String(), shutdown, nil
 }
 
 // RunLoad executes one load run against a server (self-hosted when
@@ -104,45 +137,42 @@ func RunLoad(opts LoadOptions) (LoadResult, error) {
 	if opts.OpsPerReader <= 0 {
 		opts.OpsPerReader = 200
 	}
-	base := opts.BaseURL
+	if opts.Transport == "" {
+		opts.Transport = "http"
+	}
+	if opts.WriteInterval == 0 {
+		opts.WriteInterval = 2 * time.Millisecond
+	}
+	base, wireAddr := opts.BaseURL, opts.WireAddr
 	if base == "" {
-		url, shutdown, err := StartLocal(map[string]string{opts.Tenant: "figure1"})
+		url, wa, shutdown, err := StartLocal(map[string]string{opts.Tenant: "figure1"})
 		if err != nil {
 			return LoadResult{}, err
 		}
 		defer shutdown()
-		base = url
+		base, wireAddr = url, wa
 	}
 
-	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConnsPerHost: opts.Readers + 2,
-	}}
-	queryURL := fmt.Sprintf("%s/v1/%s/query", base, opts.Tenant)
-	txURL := fmt.Sprintf("%s/v1/%s/tx", base, opts.Tenant)
-
-	post := func(url string, body any) (int, []byte, error) {
-		raw, err := json.Marshal(body)
-		if err != nil {
-			return 0, nil, err
+	var doQuery func(w, i int) error
+	var doWrite func(isbn string) error
+	var cleanup func()
+	var err error
+	switch opts.Transport {
+	case "http":
+		doQuery, doWrite, cleanup, err = httpDriver(base, opts)
+	case "binary":
+		if wireAddr == "" {
+			return LoadResult{}, fmt.Errorf("transport binary needs a wire address (interopd -wire-addr)")
 		}
-		resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
-		if err != nil {
-			return 0, nil, err
-		}
-		defer resp.Body.Close()
-		out, err := io.ReadAll(resp.Body)
-		return resp.StatusCode, out, err
+		doQuery, doWrite, cleanup, err = binaryDriver(wireAddr, opts)
+	default:
+		return LoadResult{}, fmt.Errorf("unknown transport %q (have: http, binary)", opts.Transport)
 	}
-
-	// Warm the plan cache so the measured section reports steady state,
-	// like B9.
-	for _, q := range loadQueries {
-		if code, body, err := post(queryURL, queryRequest{Q: q}); err != nil || code != http.StatusOK {
-			return LoadResult{}, fmt.Errorf("warm-up query %q: status %d err %v body %s", q, code, err, body)
-		}
+	if err != nil {
+		return LoadResult{}, err
 	}
+	defer cleanup()
 
-	bookseller := interopdb.Figure1Bookseller().Schema.Name
 	stop := make(chan struct{})
 	var mutations atomic.Int64
 	var writerWG sync.WaitGroup
@@ -151,26 +181,29 @@ func RunLoad(opts LoadOptions) (LoadResult, error) {
 		writerWG.Add(1)
 		go func() {
 			defer writerWG.Done()
+			var tick <-chan time.Time
+			if opts.WriteInterval > 0 {
+				tk := time.NewTicker(opts.WriteInterval)
+				defer tk.Stop()
+				tick = tk.C
+			}
 			for i := 0; ; i++ {
-				select {
-				case <-stop:
-					return
-				default:
+				if tick != nil {
+					select {
+					case <-stop:
+						return
+					case <-tick:
+					}
+				} else {
+					select {
+					case <-stop:
+						return
+					default:
+					}
 				}
-				isbn := fmt.Sprintf("b11-%d-%d", opts.Readers, i)
-				req := wireTxRequest{Ops: []WireMutation{{
-					Kind: "insert", Class: "Item",
-					Attrs: map[string]WireValue{
-						"title":     EncodeValue(interopdb.Str(isbn)),
-						"isbn":      EncodeValue(interopdb.Str(isbn)),
-						"publisher": EncodeValue(interopdb.Ref{DB: bookseller, OID: 2}),
-						"shopprice": EncodeValue(interopdb.Real(50)),
-						"libprice":  EncodeValue(interopdb.Real(40)),
-					},
-				}}}
-				code, body, err := post(txURL, req)
-				if err != nil || code != http.StatusOK {
-					writerErr = fmt.Errorf("writer batch %d: status %d err %v body %s", i, code, err, body)
+				isbn := fmt.Sprintf("b11-%s-%d-%d", opts.Transport, opts.Readers, i)
+				if err := doWrite(isbn); err != nil {
+					writerErr = fmt.Errorf("writer batch %d: %w", i, err)
 					return
 				}
 				mutations.Add(1)
@@ -178,10 +211,14 @@ func RunLoad(opts LoadOptions) (LoadResult, error) {
 		}()
 	}
 
-	// Measured section: every reader times each query round trip.
+	// Measured section: every reader times each query round trip. The
+	// allocation counter brackets it so allocs_per_op regressions gate
+	// in benchcompare alongside the timing keys.
 	latencies := make([][]time.Duration, opts.Readers)
 	errs := make(chan error, opts.Readers)
 	var readerWG sync.WaitGroup
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	t0 := time.Now()
 	for w := 0; w < opts.Readers; w++ {
 		readerWG.Add(1)
@@ -189,12 +226,11 @@ func RunLoad(opts LoadOptions) (LoadResult, error) {
 			defer readerWG.Done()
 			lats := make([]time.Duration, 0, opts.OpsPerReader)
 			for i := 0; i < opts.OpsPerReader; i++ {
-				q := loadQueries[(w+i)%len(loadQueries)]
 				s0 := time.Now()
-				code, body, err := post(queryURL, queryRequest{Q: q})
+				err := doQuery(w, i)
 				lats = append(lats, time.Since(s0))
-				if err != nil || code != http.StatusOK {
-					errs <- fmt.Errorf("reader %d op %d: status %d err %v body %s", w, i, code, err, body)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d op %d: %w", w, i, err)
 					return
 				}
 			}
@@ -203,6 +239,8 @@ func RunLoad(opts LoadOptions) (LoadResult, error) {
 	}
 	readerWG.Wait()
 	elapsed := time.Since(t0)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 	close(stop)
 	writerWG.Wait()
 	select {
@@ -234,6 +272,7 @@ func RunLoad(opts LoadOptions) (LoadResult, error) {
 	}
 
 	res := LoadResult{
+		Transport:   opts.Transport,
 		Readers:     opts.Readers,
 		Ops:         totalOps,
 		Elapsed:     elapsed,
@@ -248,6 +287,7 @@ func RunLoad(opts LoadOptions) (LoadResult, error) {
 	}
 	if totalOps > 0 {
 		res.WirePerOp = elapsed * time.Duration(opts.Readers) / time.Duration(totalOps)
+		res.AllocsPerOp = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(totalOps)
 	}
 	if inproc > 0 {
 		res.WireOverhead = float64(res.WirePerOp) / float64(inproc)
@@ -255,11 +295,147 @@ func RunLoad(opts LoadOptions) (LoadResult, error) {
 	return res, nil
 }
 
+// httpDriver builds the HTTP/JSON query and write closures — the PR-6
+// transport, kept as the comparison arm.
+func httpDriver(base string, opts LoadOptions) (func(w, i int) error, func(isbn string) error, func(), error) {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: opts.Readers + 2,
+	}}
+	queryURL := fmt.Sprintf("%s/v1/%s/query", base, opts.Tenant)
+	txURL := fmt.Sprintf("%s/v1/%s/tx", base, opts.Tenant)
+
+	post := func(url string, body any) (int, []byte, error) {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, out, err
+	}
+
+	// Warm the plan cache so the measured section reports steady state,
+	// like B9.
+	for _, q := range loadQueries {
+		if code, body, err := post(queryURL, queryRequest{Q: q}); err != nil || code != http.StatusOK {
+			return nil, nil, nil, fmt.Errorf("warm-up query %q: status %d err %v body %s", q, code, err, body)
+		}
+	}
+
+	bookseller := interopdb.Figure1Bookseller().Schema.Name
+	doQuery := func(w, i int) error {
+		q := loadQueries[(w+i)%len(loadQueries)]
+		code, body, err := post(queryURL, queryRequest{Q: q})
+		if err != nil || code != http.StatusOK {
+			return fmt.Errorf("status %d err %v body %s", code, err, body)
+		}
+		return nil
+	}
+	doWrite := func(isbn string) error {
+		req := wireTxRequest{Ops: []WireMutation{{
+			Kind: "insert", Class: "Item",
+			Attrs: map[string]WireValue{
+				"title":     EncodeValue(interopdb.Str(isbn)),
+				"isbn":      EncodeValue(interopdb.Str(isbn)),
+				"publisher": EncodeValue(interopdb.Ref{DB: bookseller, OID: 2}),
+				"shopprice": EncodeValue(interopdb.Real(50)),
+				"libprice":  EncodeValue(interopdb.Real(40)),
+			},
+		}}}
+		code, body, err := post(txURL, req)
+		if err != nil || code != http.StatusOK {
+			return fmt.Errorf("status %d err %v body %s", code, err, body)
+		}
+		return nil
+	}
+	return doQuery, doWrite, client.CloseIdleConnections, nil
+}
+
+// binaryDriver builds the framed-transport closures: a small connection
+// pool shared round-robin by the readers (each connection pipelines its
+// readers' requests), every query prepared once per connection so the
+// measured executions skip the parser entirely.
+func binaryDriver(addr string, opts LoadOptions) (func(w, i int) error, func(isbn string) error, func(), error) {
+	nconns := opts.Readers
+	if nconns > 4 {
+		nconns = 4
+	}
+	clients := make([]*wire.Client, 0, nconns+1)
+	cleanup := func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}
+	prepared := make([][]*wire.Prepared, nconns)
+	ctx := context.Background()
+	for ci := 0; ci < nconns; ci++ {
+		c, err := wire.Dial(addr)
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		clients = append(clients, c)
+		prepared[ci] = make([]*wire.Prepared, len(loadQueries))
+		for qi, q := range loadQueries {
+			p, err := c.Prepare(ctx, opts.Tenant, q)
+			if err != nil {
+				cleanup()
+				return nil, nil, nil, fmt.Errorf("prepare %q: %w", q, err)
+			}
+			// Warm the plan cache, like the HTTP arm.
+			if _, _, err := p.Exec(ctx); err != nil {
+				cleanup()
+				return nil, nil, nil, fmt.Errorf("warm-up exec %q: %w", q, err)
+			}
+			prepared[ci][qi] = p
+		}
+	}
+	writer, err := wire.Dial(addr)
+	if err != nil {
+		cleanup()
+		return nil, nil, nil, err
+	}
+	clients = append(clients, writer)
+
+	bookseller := interopdb.Figure1Bookseller().Schema.Name
+	doQuery := func(w, i int) error {
+		_, _, err := prepared[w%nconns][(w+i)%len(loadQueries)].Exec(ctx)
+		return err
+	}
+	doWrite := func(isbn string) error {
+		ops := []view.Mutation{{
+			Kind: view.MutInsert, Class: "Item",
+			Attrs: map[string]object.Value{
+				"title":     object.Str(isbn),
+				"isbn":      object.Str(isbn),
+				"publisher": object.Ref{DB: bookseller, OID: 2},
+				"shopprice": object.Real(50),
+				"libprice":  object.Real(40),
+			},
+		}}
+		_, _, err := writer.Tx(ctx, opts.Tenant, ops, false)
+		return err
+	}
+	return doQuery, doWrite, cleanup, nil
+}
+
 // inprocBaseline runs the same query mix with the same concurrency
 // directly against an identical engine (figure1, scale 1) — no codec,
-// no HTTP — and reports the mean per-op latency the wire numbers are
+// no framing — and reports the mean per-op latency the wire numbers are
 // compared against.
 func inprocBaseline(readers, opsPerReader int) (time.Duration, error) {
+	// Micro-runs make the overhead denominator noise: at quick scale a
+	// reader issues 50 two-microsecond queries, a sub-millisecond window
+	// where timer resolution and a single GC assist swing the mean 4x.
+	// Floor the total op count so the baseline is measured over a
+	// stable window; the wire side keeps its requested size.
+	if readers*opsPerReader < 5000 {
+		opsPerReader = (5000 + readers - 1) / readers
+	}
 	local, remote := interopdb.Figure1Stores(interopdb.FixtureOptions{Scale: 1})
 	res, err := interopdb.Integrate(interopdb.Figure1Library(), interopdb.Figure1Bookseller(),
 		interopdb.Figure1IntegrationRepaired(), local, remote, 1)

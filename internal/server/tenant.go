@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"interopdb"
 	"interopdb/internal/view"
@@ -35,6 +36,13 @@ type tenant struct {
 	// delete-tenant handler and server Close.
 	durMu     sync.Mutex
 	durClosed bool
+
+	// memberVer counts successful attach/detach operations. The binary
+	// transport tags prepared-query handles with it and transparently
+	// re-prepares when it moves, so a handle parsed under one federation
+	// shape never executes stale against another (wire.Backend's
+	// MemberVersion contract).
+	memberVer atomic.Uint64
 }
 
 // checkpoint writes a periodic snapshot; a no-op for ephemeral tenants
